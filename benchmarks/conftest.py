@@ -1,0 +1,29 @@
+"""Shared benchmark fixtures.
+
+Each figure benchmark regenerates one paper artefact via the corresponding
+driver in :mod:`repro.experiments`, prints the paper-shaped tables, and
+saves them under ``benchmarks/results/`` so EXPERIMENTS.md can reference a
+concrete run.
+
+Profile selection: set ``REPRO_PROFILE`` to ``smoke`` / ``fast`` / ``full``
+(default ``fast``; see ``repro.experiments.common``).
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def emit():
+    """Print a result block and persist it to benchmarks/results/."""
+
+    def _emit(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return _emit

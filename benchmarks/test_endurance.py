@@ -1,0 +1,34 @@
+"""Endurance benches: flash-wear mechanics (extension; DESIGN.md §6).
+
+Two canonical results on the simulated flash substrate:
+
+- write amplification grows with space utilization under random overwrites;
+- pinning parity to fixed devices (RAID-4 style) concentrates wear, which
+  is why the paper's §IV-C.3 rotates parity round-robin.
+"""
+
+from repro.experiments.endurance import (
+    format_write_amplification,
+    run_parity_placement_wear,
+    run_write_amplification_sweep,
+)
+
+
+def test_write_amplification_sweep(benchmark, emit):
+    points = benchmark.pedantic(run_write_amplification_sweep, rounds=1, iterations=1)
+    emit("endurance_write_amplification", format_write_amplification(points))
+    wa_values = [point.write_amplification for point in points]
+    # WA is monotone in utilization and clearly super-unity when nearly full.
+    assert wa_values == sorted(wa_values)
+    assert wa_values[0] < wa_values[-1]
+    assert wa_values[-1] > 1.5
+
+
+def test_parity_placement_wear(benchmark, emit):
+    result = benchmark.pedantic(run_parity_placement_wear, rounds=1, iterations=1)
+    emit("endurance_parity_placement", result.format())
+    rotated = result.imbalance("rotated (paper)")
+    fixed = result.imbalance("fixed (RAID-4 style)")
+    # Rotation evens device wear; pinned parity concentrates it.
+    assert fixed > rotated * 1.15
+    assert rotated < 1.5

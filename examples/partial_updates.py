@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Partial updates: delta vs direct parity updating (paper §II-B).
+
+Any update to an erasure-coded stripe must refresh its parity. There are
+two ways to pay for it:
+
+- **direct**: re-read the untouched sibling data chunks and re-encode;
+- **delta**:  re-read the old data chunk and the old parity, then apply
+  ``P' = P + C * (D' + D)``.
+
+Which is cheaper depends on the stripe geometry — and the paper says Reo
+"chooses the encoding method that incurs the least disk reads". This example
+updates the same few bytes on a wide stripe (delta wins) and a narrow one
+(direct wins) and shows the chosen plan plus the actual chunk reads.
+
+Run:  python examples/partial_updates.py
+"""
+
+from repro.erasure.rs import RSCodec
+from repro.flash.array import FlashArray
+from repro.flash.stripe import ParityScheme
+from repro.units import KiB
+
+
+def demonstrate(num_devices: int, parity: int) -> None:
+    k = num_devices - parity
+    codec = RSCodec(k, parity)
+    plan = codec.plan_update(updated_fragments=1)
+    print(f"\n{num_devices} devices, {parity}-parity (k={k}):")
+    print(
+        f"  plan_update -> {plan.method} "
+        f"({plan.reads} fragment reads before re-encoding)"
+    )
+
+    array = FlashArray(
+        num_devices=num_devices, device_capacity=4 * 1024 * 1024, chunk_size=4 * KiB
+    )
+    payload = bytes(range(256)) * (k * 4 * KiB // 256)
+    array.write_object("obj", payload, ParityScheme(parity))
+    result = array.update_range("obj", 100, b"UPDATED-BYTES")
+    print(
+        f"  update_range: {result.chunks_read} chunks read, "
+        f"{result.chunks_written} written"
+    )
+    # Verify the update landed and parity still protects it.
+    for device_id in range(parity):
+        array.fail_device(device_id)
+    data, read_result = array.read_object("obj")
+    assert data[100:113] == b"UPDATED-BYTES"
+    print(
+        f"  verified after {parity} device failure(s): degraded read ok "
+        f"(degraded={read_result.degraded})"
+    )
+
+
+def main() -> None:
+    print("Updating 13 bytes of one data chunk:")
+    demonstrate(num_devices=9, parity=1)   # wide stripe: delta wins (2 reads vs 7)
+    demonstrate(num_devices=5, parity=2)   # the paper's geometry
+    demonstrate(num_devices=3, parity=2)   # narrow stripe: direct wins
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has no network access and no ``wheel`` package, so
+PEP 660 editable installs (which shell out to ``bdist_wheel``) fail. Keeping a
+``setup.py`` lets ``pip install -e .`` fall back to the legacy
+``setup.py develop`` path, which needs neither. All project metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,102 @@
+"""Background dirty-data flusher with watermarks.
+
+The paper's write-back cache holds dirty objects until eviction, which is
+why it replicates them — the cache owns the only valid copy indefinitely. A
+production write-back cache usually *also* bounds that exposure with a
+background flusher: when dirty bytes exceed a high watermark, it cleans
+cold-end dirty objects down to a low watermark.
+
+Flushing interacts with differentiated redundancy: once flushed, an object
+is clean, so its next reclassification downgrades it from Class 1 (full
+replication) to hot/cold, releasing replica space for caching. The
+dirty-exposure experiment quantifies that trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.cache.manager import CacheManager
+
+__all__ = ["DirtyFlusher", "FlusherConfig"]
+
+
+@dataclass(frozen=True)
+class FlusherConfig:
+    """Watermarks as fractions of the cache's usable capacity."""
+
+    high_watermark: float = 0.20
+    low_watermark: float = 0.10
+    #: Most dirty objects flushed per maintenance step.
+    batch_size: int = 8
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.low_watermark <= self.high_watermark <= 1.0:
+            raise ValueError("need 0 < low <= high <= 1 watermarks")
+        if self.batch_size < 1:
+            raise ValueError("batch size must be positive")
+
+
+class DirtyFlusher:
+    """Cleans dirty objects LRU-first when dirty bytes exceed the watermark."""
+
+    def __init__(self, manager: "CacheManager", config: Optional[FlusherConfig] = None) -> None:
+        self.manager = manager
+        self.config = config or FlusherConfig()
+        self.flush_rounds = 0
+        self.objects_flushed = 0
+
+    @property
+    def dirty_bytes(self) -> int:
+        """Logical bytes of dirty objects currently cached."""
+        return sum(
+            cached.size
+            for cached in self.manager._objects.values()
+            if cached.dirty
+        )
+
+    @property
+    def _capacity(self) -> float:
+        return self.manager.usable_capacity
+
+    @property
+    def above_high_watermark(self) -> bool:
+        return self.dirty_bytes > self.config.high_watermark * self._capacity
+
+    def dirty_lru_first(self) -> List[str]:
+        """Dirty object names ordered coldest-first (eviction order)."""
+        objects = self.manager._objects
+        return [
+            name
+            for name in self.manager._eviction
+            if name in objects and objects[name].dirty
+        ]
+
+    def step(self) -> int:
+        """One maintenance step: flush down toward the low watermark.
+
+        Returns the number of objects flushed (0 when below the high
+        watermark — the step is cheap to call unconditionally).
+        """
+        if not self.above_high_watermark:
+            return 0
+        self.flush_rounds += 1
+        target = self.config.low_watermark * self._capacity
+        flushed = 0
+        for name in self.dirty_lru_first():
+            if flushed >= self.config.batch_size or self.dirty_bytes <= target:
+                break
+            cached = self.manager._objects.get(name)
+            if cached is None or not cached.dirty:
+                continue
+            self.manager._flush_if_dirty(name)
+            if not cached.dirty:
+                flushed += 1
+                # Now clean: reclassify out of the replicated dirty class at
+                # the next maintenance pass; do it eagerly so the replica
+                # space frees immediately.
+                self.manager.reclassify_object(name)
+        self.objects_flushed += flushed
+        return flushed

@@ -1,0 +1,63 @@
+"""An O(1) Least-Recently-Used queue.
+
+The paper's cache manager uses standard LRU replacement at object
+granularity (§V). Built on :class:`dict` ordering plus ``move_to_end``
+semantics via :class:`collections.OrderedDict`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, Iterator, Optional, TypeVar
+
+__all__ = ["LruQueue"]
+
+K = TypeVar("K")
+
+
+class LruQueue(Generic[K]):
+    """Tracks recency of a set of keys; eviction pops the LRU end."""
+
+    def __init__(self) -> None:
+        self._queue: "OrderedDict[K, None]" = OrderedDict()
+
+    def touch(self, key: K) -> None:
+        """Insert the key as most-recently-used (moving it if present)."""
+        if key in self._queue:
+            self._queue.move_to_end(key)
+        else:
+            self._queue[key] = None
+
+    def pop_lru(self) -> K:
+        """Remove and return the least-recently-used key.
+
+        Raises:
+            KeyError: the queue is empty.
+        """
+        key, _ = self._queue.popitem(last=False)
+        return key
+
+    def peek_lru(self) -> Optional[K]:
+        """The least-recently-used key, or None when empty."""
+        return next(iter(self._queue), None)
+
+    def remove(self, key: K) -> None:
+        """Drop a key; raises KeyError if absent."""
+        del self._queue[key]
+
+    def discard(self, key: K) -> None:
+        """Drop a key if present."""
+        self._queue.pop(key, None)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._queue
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __iter__(self) -> Iterator[K]:
+        """Iterate from least- to most-recently-used."""
+        return iter(self._queue)
+
+    def __repr__(self) -> str:
+        return f"LruQueue(size={len(self._queue)})"

@@ -1,0 +1,548 @@
+"""The object-based cache manager (paper §V, initiator side).
+
+Implements the paper's cache-server behaviour on top of the OSD initiator:
+
+- **LRU replacement at object granularity**, with admission control against
+  the array's projected stored bytes (data + redundancy for the object's
+  class).
+- **Write-back**: client writes land in cache as Class-1 (dirty) objects;
+  dirty objects are flushed to the backend only on eviction or explicit
+  sync, so their replicas keep occupying flash — the effect Fig. 9 measures.
+- **Classification**: read frequencies feed the
+  :class:`~repro.core.hotness.HotnessTracker`; periodically the adaptive
+  ``H_hot`` threshold is recomputed against the redundancy budget and
+  changed objects are reclassified through ``#SETID#`` control messages,
+  which re-encode them under their new scheme.
+- **Failure semantics**: a read that finds its object lost (sense 0x63)
+  counts as a miss, purges the object, and refetches from the backend.
+
+Simulated-time accounting: the latency returned for a request is its
+critical path (cache I/O for hits, backend fetch for misses). Cache-fill
+writes, dirty flushes, and re-encodes advance device/backend queues — so
+they contend with foreground traffic — but are not added to the requesting
+client's latency, matching the asynchronous handling in the paper's server.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from repro.backend.store import BackendStore
+from repro.cache.policies import EvictionPolicy, LruPolicy
+from repro.cache.stats import CacheStats
+from repro.core.classes import ObjectClass, classify
+from repro.core.hotness import HotnessTracker
+from repro.core.redundancy import RedundancyBudget
+from repro.errors import CacheFullError, DeviceFullError, ObjectNotFoundError
+from repro.osd.initiator import OsdInitiator
+from repro.osd.sense import SenseCode
+from repro.osd.types import FIRST_USER_OID, PARTITION_BASE, ObjectId
+
+__all__ = ["AccessResult", "CacheManager", "CachedObject"]
+
+
+@dataclass
+class CachedObject:
+    """Manager-side state for one cached object."""
+
+    name: str
+    object_id: ObjectId
+    size: int
+    dirty: bool = False
+    #: Content version; client writes bump it ahead of the backend's.
+    version: int = 0
+    class_id: int = int(ObjectClass.COLD_CLEAN)
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one client request against the cache."""
+
+    name: str
+    hit: bool
+    latency: float
+    num_bytes: int
+    is_write: bool = False
+    #: True when the payload came from (or went through) the backend store.
+    from_backend: bool = False
+    #: True when the cache served the request by decoding around failures.
+    degraded: bool = False
+
+
+class CacheManager:
+    """Object cache with LRU replacement, write-back, and classification."""
+
+    def __init__(
+        self,
+        initiator: OsdInitiator,
+        backend: BackendStore,
+        budget: Optional[RedundancyBudget] = None,
+        hotness: Optional[HotnessTracker] = None,
+        reclassify_interval: int = 1000,
+        capacity_margin: float = 0.02,
+        partition: int = PARTITION_BASE,
+        admit_while_degraded: bool = False,
+        eviction: Optional[EvictionPolicy] = None,
+    ) -> None:
+        """
+        Args:
+            eviction: replacement policy; LRU (the paper's) when omitted.
+            admit_while_degraded: whether clean misses may be admitted while
+                the array has failed, un-replaced devices. Off by default:
+                like most degraded arrays, the cache serves what it holds
+                but does not take on new clean data until repaired (dirty
+                writes are still accepted — reliability first). This is what
+                keeps the paper's Fig. 8 hit-ratio levels flat per window.
+        """
+        if reclassify_interval < 1:
+            raise ValueError("reclassify interval must be >= 1")
+        if not 0.0 <= capacity_margin < 0.5:
+            raise ValueError("capacity margin must be in [0, 0.5)")
+        self.initiator = initiator
+        self.target = initiator.target
+        self.array = self.target.array
+        self.backend = backend
+        self.budget = budget
+        self.hotness = hotness or HotnessTracker()
+        self.stats = CacheStats()
+        self.reclassify_interval = reclassify_interval
+        self.capacity_margin = capacity_margin
+        self.admit_while_degraded = admit_while_degraded
+        self._partition = partition
+        self._objects: Dict[str, CachedObject] = {}
+        self._by_oid: Dict[ObjectId, str] = {}
+        # `is not None`, not `or`: an empty policy is falsy via __len__.
+        self._eviction: EvictionPolicy[str] = (
+            eviction if eviction is not None else LruPolicy()
+        )
+        self._next_oid = FIRST_USER_OID
+        self._reads_since_reclassify = 0
+        #: Optional background dirty flusher (set via ReoCache.build or
+        #: directly); stepped after every client write.
+        self.flusher = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._objects
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def cached_names(self) -> Iterable[str]:
+        return self._objects.keys()
+
+    def get_cached(self, name: str) -> CachedObject:
+        try:
+            return self._objects[name]
+        except KeyError:
+            raise ObjectNotFoundError(f"{name!r} is not cached") from None
+
+    def name_for(self, object_id: ObjectId) -> Optional[str]:
+        return self._by_oid.get(object_id)
+
+    @property
+    def usable_capacity(self) -> float:
+        """Stored-byte capacity the manager will fill to (margin applied).
+
+        The margin absorbs per-device imbalance from rotated parity and
+        uneven tail chunks.
+        """
+        return self.array.capacity_bytes * (1.0 - self.capacity_margin)
+
+    @property
+    def dirty_count(self) -> int:
+        return sum(1 for obj in self._objects.values() if obj.dirty)
+
+    @property
+    def is_degraded(self) -> bool:
+        """True while the array has failed devices that were not replaced."""
+        return self.array.online_count < self.array.width
+
+    # ------------------------------------------------------------------
+    # Client read path
+    # ------------------------------------------------------------------
+    def read(self, name: str) -> AccessResult:
+        """Serve a client read: cache hit, degraded hit, or backend miss."""
+        self.stats.read_requests += 1
+        cached = self._objects.get(name)
+        if cached is not None:
+            payload, response = self.initiator.read(cached.object_id)
+            if response.ok and payload is not None:
+                self.stats.hits += 1
+                self.stats.record_class_hit(cached.class_id)
+                self.stats.bytes_from_cache += len(payload)
+                self._eviction.touch(name)
+                self.hotness.record_read(name)
+                self._after_read()
+                return AccessResult(
+                    name=name,
+                    hit=True,
+                    latency=response.io.elapsed,
+                    num_bytes=len(payload),
+                    degraded=response.io.degraded,
+                )
+            # Present but unreadable: the failure took it out (sense 0x63).
+            self.stats.corruption_misses += 1
+            self._drop(name, lost=True)
+        result = self._miss(name)
+        self._after_read()
+        return result
+
+    def _miss(self, name: str) -> AccessResult:
+        self.stats.misses += 1
+        payload, backend_latency = self.backend.read(name)
+        self.stats.bytes_from_backend += len(payload)
+        version = self.backend.version_of(name)
+        if self.admit_while_degraded or not self.is_degraded:
+            self._admit(name, payload, dirty=False, version=version)
+        return AccessResult(
+            name=name,
+            hit=False,
+            latency=backend_latency,
+            num_bytes=len(payload),
+            from_backend=True,
+        )
+
+    # ------------------------------------------------------------------
+    # Client write path (write-back)
+    # ------------------------------------------------------------------
+    def write(self, name: str) -> AccessResult:
+        """Apply a client write: the new content lands in cache as dirty.
+
+        The write is acknowledged once the cache copy is durable (the
+        write-back model); the backend is only updated when the object is
+        flushed.
+        """
+        self.stats.write_requests += 1
+        cached = self._objects.get(name)
+        if cached is not None:
+            new_version = max(cached.version, self.backend.version_of(name)) + 1
+        else:
+            new_version = self.backend.version_of(name) + 1
+        payload = self.backend.payload_for(name, new_version)
+        if cached is not None and not self.target.exists(cached.object_id):
+            # Lost to a failure; treat as a fresh insert.
+            self._drop(name, lost=True)
+            cached = None
+        if cached is not None:
+            elapsed = self._rewrite_dirty(cached, payload, new_version)
+        else:
+            elapsed = self._admit(name, payload, dirty=True, version=new_version)
+        if self.flusher is not None:
+            self.flusher.step()
+        return AccessResult(
+            name=name,
+            hit=cached is not None,
+            latency=elapsed,
+            num_bytes=len(payload),
+            is_write=True,
+        )
+
+    def _rewrite_dirty(self, cached: CachedObject, payload: bytes, version: int) -> float:
+        # The transactional overwrite holds old + new simultaneously, so
+        # room is made for the new copy on top of the old one.
+        old_stored = (
+            self.array.stored_bytes_for(cached.object_id)
+            if cached.object_id in self.array
+            else 0
+        )
+        self._make_room(
+            len(payload), ObjectClass.DIRTY, exclude=cached.name, extra_bytes=old_stored
+        )
+        while True:
+            try:
+                response = self.initiator.write(
+                    cached.object_id, payload, class_id=int(ObjectClass.DIRTY)
+                )
+                break
+            except DeviceFullError:
+                if self._evict_one(exclude=cached.name):
+                    continue
+                # Nothing left to evict: give up transactionality and
+                # replace the object outright (the new content supersedes
+                # the old dirty copy anyway).
+                self._drop(cached.name, lost=False)
+                return self._admit(cached.name, payload, dirty=True, version=version)
+        if response.sense is SenseCode.DATA_CORRUPTED:
+            # The old copy was lost mid-failure; insert fresh.
+            self._drop(cached.name, lost=True)
+            return self._admit(cached.name, payload, dirty=True, version=version)
+        cached.dirty = True
+        cached.size = len(payload)
+        cached.version = version
+        cached.class_id = int(ObjectClass.DIRTY)
+        self._eviction.touch(cached.name)
+        return response.io.elapsed
+
+    # ------------------------------------------------------------------
+    # Admission and eviction
+    # ------------------------------------------------------------------
+    def _admit(self, name: str, payload: bytes, dirty: bool, version: int) -> float:
+        """Insert an object, evicting LRU victims until it fits.
+
+        Returns the simulated time of the cache write (the caller decides
+        whether it is on the request's critical path).
+        """
+        size = len(payload)
+        class_id = self._initial_class(name, size, dirty)
+        scheme = self.target.policy(int(class_id))
+        projected = self.array.estimate_stored_bytes(size, scheme)
+        if projected > self.usable_capacity:
+            # The object cannot fit even in an empty cache. Clean objects are
+            # simply not admitted; dirty writes go straight through to the
+            # backend so no update is ever dropped.
+            self.stats.admission_bypasses += 1
+            if dirty:
+                return self.backend.write(name, payload, version=version)
+            return 0.0
+        self._make_room(size, class_id)
+        object_id = self._allocate_oid()
+        while True:
+            try:
+                response = self.initiator.write(object_id, payload, class_id=int(class_id))
+                break
+            except DeviceFullError:
+                if not self._evict_one():
+                    raise CacheFullError(
+                        f"cannot fit {size}-byte object {name!r} even with an empty LRU"
+                    ) from None
+        entry = CachedObject(
+            name=name,
+            object_id=object_id,
+            size=size,
+            dirty=dirty,
+            version=version,
+            class_id=int(class_id),
+        )
+        self._objects[name] = entry
+        self._by_oid[object_id] = name
+        self._eviction.touch(name)
+        self.hotness.register(name, size)
+        self.stats.insertions += 1
+        return response.io.elapsed
+
+    def _initial_class(self, name: str, size: int, dirty: bool) -> ObjectClass:
+        hot = False
+        if not dirty:
+            hot = self.hotness.would_be_hot(name, size)
+            if hot and self.budget is not None:
+                hot = self.budget.can_afford_hot(size)
+        return classify(is_metadata=False, dirty=dirty, hot=hot)
+
+    def _make_room(
+        self,
+        size: int,
+        class_id: ObjectClass,
+        exclude: Optional[str] = None,
+        extra_bytes: int = 0,
+    ) -> None:
+        scheme = self.target.policy(int(class_id))
+        projected = self.array.estimate_stored_bytes(size, scheme) + extra_bytes
+        guard = len(self._objects) + 1
+        while (
+            self.array.used_bytes + projected > self.usable_capacity and guard > 0
+        ):
+            if not self._evict_one(exclude=exclude):
+                break
+            guard -= 1
+
+    def _evict_one(self, exclude: Optional[str] = None) -> bool:
+        """Evict the LRU object (flushing it first if dirty)."""
+        victim = None
+        for candidate in self._eviction:
+            if candidate != exclude:
+                victim = candidate
+                break
+        if victim is None:
+            return False
+        self._flush_if_dirty(victim)
+        self._drop(victim, lost=False)
+        self.stats.evictions += 1
+        return True
+
+    def _flush_if_dirty(self, name: str) -> None:
+        cached = self._objects.get(name)
+        if cached is None or not cached.dirty:
+            return
+        payload, response = self.initiator.read(cached.object_id)
+        if not response.ok or payload is None:
+            # The only valid copy is gone: permanent data loss (the paper's
+            # catastrophic case). Record it; nothing can be flushed.
+            self.stats.lost_objects += 1
+            return
+        self.backend.write(name, payload, version=cached.version)
+        cached.dirty = False
+        self.stats.flushes += 1
+
+    def _drop(self, name: str, lost: bool) -> None:
+        cached = self._objects.pop(name, None)
+        if cached is None:
+            return
+        self._by_oid.pop(cached.object_id, None)
+        self._eviction.discard(name)
+        self.hotness.forget(name)
+        if self.target.exists(cached.object_id):
+            self.target.remove_object(cached.object_id)
+        if lost:
+            self.stats.lost_objects += 1
+
+    def drop_lost(self, name: str) -> None:
+        """Purge an object the recovery process found unrecoverable."""
+        self._drop(name, lost=True)
+
+    def evict_lru(self, exclude: Optional[str] = None) -> bool:
+        """Evict one LRU victim on behalf of recovery; returns False when
+        nothing (other than ``exclude``) is left to evict.
+
+        Lets differentiated recovery trade unimportant cached data for room
+        to restripe important objects on a shrunken array.
+        """
+        return self._evict_one(exclude=exclude)
+
+    # ------------------------------------------------------------------
+    # Write-back sync
+    # ------------------------------------------------------------------
+    def flush_all(self) -> int:
+        """Flush every dirty object to the backend; returns the count."""
+        flushed = 0
+        for name in list(self._objects):
+            cached = self._objects[name]
+            if cached.dirty:
+                self._flush_if_dirty(name)
+                if not cached.dirty:
+                    flushed += 1
+        return flushed
+
+    # ------------------------------------------------------------------
+    # Classification maintenance (paper §IV-C.1)
+    # ------------------------------------------------------------------
+    def _after_read(self) -> None:
+        self._reads_since_reclassify += 1
+        if self._reads_since_reclassify >= self.reclassify_interval:
+            self.reclassify()
+
+    def reclassify(self) -> int:
+        """Recompute ``H_hot`` and re-encode objects whose class changed.
+
+        Returns the number of objects reclassified. Requires a redundancy
+        budget (uniform policies have nothing to differentiate).
+        """
+        self._reads_since_reclassify = 0
+        if self.budget is None or not self.budget.enabled:
+            return 0
+        if self.is_degraded:
+            # Re-encoding healthy objects mid-failure would compete with
+            # recovery for the surviving devices; classification resumes
+            # once the array is whole again.
+            return 0
+        mandatory = self._mandatory_redundancy_bytes()
+        available = self.budget.budget_bytes - mandatory
+        overhead = self.budget.hot_overhead_per_byte()
+        self.hotness.update_threshold(available, overhead)
+        # Decide the hot set hottest-first so H-value ties cannot blow past
+        # the reserve, then apply demotions before promotions so freed space
+        # and budget are available when hot objects are re-encoded.
+        clean = sorted(
+            (item for item in self._objects.items() if not item[1].dirty),
+            key=lambda item: self.hotness.h_value(item[0]),
+            reverse=True,
+        )
+        demotions = []
+        promotions = []
+        spent = 0.0
+        for name, cached in clean:
+            cost = cached.size * overhead if cached.size else 0.0
+            wants_hot = (
+                self.hotness.is_hot(name)
+                and math.isfinite(cost)
+                and spent + cost <= available
+            )
+            if wants_hot:
+                spent += cost
+            desired = classify(is_metadata=False, dirty=False, hot=wants_hot)
+            if int(desired) != cached.class_id:
+                target_list = promotions if desired is ObjectClass.HOT_CLEAN else demotions
+                target_list.append((name, desired))
+        changed = 0
+        for name, desired in demotions + promotions:
+            changed += self._apply_class_change(name, desired)
+        self.stats.reclassifications += changed
+        self.target.redundancy_reserve_full = self.budget.is_full
+        return changed
+
+    def reclassify_object(self, name: str) -> bool:
+        """Re-evaluate one clean object's class immediately.
+
+        Used after a background flush turns a dirty object clean: it leaves
+        the replicated Class 1 for hot or cold as its H value (and the
+        budget) dictate, releasing replica space without waiting for the
+        next periodic pass. Returns True when the object was re-encoded.
+        """
+        cached = self._objects.get(name)
+        if cached is None or cached.dirty:
+            return False
+        hot = self.hotness.is_hot(name)
+        if hot and self.budget is not None:
+            hot = self.budget.can_afford_hot(cached.size)
+        desired = classify(is_metadata=False, dirty=False, hot=hot)
+        if int(desired) == cached.class_id:
+            return False
+        return bool(self._apply_class_change(name, desired))
+
+    def _apply_class_change(self, name: str, desired: ObjectClass) -> int:
+        """Re-encode one object under its new class; returns 1 on success.
+
+        A promotion enlarges the object's footprint, so room is made first;
+        if the array still cannot fit the re-encode (eviction exhausted),
+        the promotion is skipped — the object simply stays cold.
+        """
+        cached = self._objects.get(name)
+        if cached is None:  # evicted while making room for an earlier change
+            return 0
+        if desired is ObjectClass.HOT_CLEAN:
+            scheme = self.target.policy(int(desired))
+            extra = self.array.estimate_stored_bytes(cached.size, scheme) - (
+                self.array.stored_bytes_for(cached.object_id)
+                if cached.object_id in self.array
+                else 0
+            )
+            if extra > 0:
+                self._make_room(0, desired, exclude=name, extra_bytes=extra)
+        try:
+            response = self.initiator.set_class(cached.object_id, int(desired))
+        except DeviceFullError:
+            return 0
+        if response.sense is SenseCode.DATA_CORRUPTED:
+            self._drop(name, lost=True)
+            return 0
+        if response.ok:
+            cached.class_id = int(desired)
+            return 1
+        return 0
+
+    def _mandatory_redundancy_bytes(self) -> int:
+        """Redundancy consumed by classes that bypass the budget (0 and 1)."""
+        total = 0
+        for info in self.target.user_objects():
+            if info.class_id in (int(ObjectClass.METADATA), int(ObjectClass.DIRTY)):
+                if info.object_id in self.array:
+                    total += self.array.get_extent(info.object_id).redundancy_bytes
+        return total
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _allocate_oid(self) -> ObjectId:
+        object_id = ObjectId(self._partition, self._next_oid)
+        self._next_oid += 1
+        return object_id
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheManager(objects={len(self._objects)}, "
+            f"dirty={self.dirty_count}, hits={self.stats.hits})"
+        )

@@ -1,0 +1,116 @@
+"""Redundancy policies: class→scheme maps (paper §IV-C.4 and §VI-A).
+
+A policy is the single point where Reo and its baselines differ. The target
+calls the policy with an object's class id and gets back the
+:class:`~repro.flash.stripe.RedundancyScheme` to encode it with:
+
+- :class:`ReoPolicy` — the paper's differentiated map: metadata and dirty
+  objects are fully replicated, hot clean objects get 2-parity stripes, cold
+  clean objects get no redundancy. Carries the reserved parity fraction
+  (Reo-10% / Reo-20% / Reo-40%).
+- :class:`UniformPolicy` — the evaluation's baselines: the same scheme for
+  every class (0-parity, 1-parity, 2-parity, or full replication).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.classes import ObjectClass
+from repro.flash.stripe import ParityScheme, RedundancyScheme, ReplicationScheme
+
+__all__ = [
+    "RedundancyPolicy",
+    "ReoPolicy",
+    "UniformPolicy",
+    "full_replication",
+    "reo_policy",
+    "uniform_parity",
+]
+
+
+class RedundancyPolicy:
+    """Maps a Reo class id to a redundancy scheme.
+
+    Policies are callable so an :class:`~repro.osd.target.OsdTarget` can use
+    one directly as its ``scheme_for`` hook.
+    """
+
+    #: Display name used in experiment reports.
+    name: str = "abstract"
+    #: Fraction of flash reserved for redundancy; None disables budgeting.
+    reserve_fraction: "float | None" = None
+
+    def scheme_for(self, class_id: int) -> RedundancyScheme:
+        raise NotImplementedError
+
+    def __call__(self, class_id: int) -> RedundancyScheme:
+        return self.scheme_for(class_id)
+
+    @property
+    def differentiates(self) -> bool:
+        """True when different classes can receive different schemes."""
+        schemes = {self.scheme_for(class_id) for class_id in ObjectClass}
+        return len(schemes) > 1
+
+
+@dataclass(frozen=True)
+class UniformPolicy(RedundancyPolicy):
+    """One scheme for every object, regardless of class (the baselines)."""
+
+    scheme: RedundancyScheme
+
+    @property
+    def name(self) -> str:
+        return self.scheme.name
+
+    def scheme_for(self, class_id: int) -> RedundancyScheme:
+        return self.scheme
+
+
+@dataclass(frozen=True)
+class ReoPolicy(RedundancyPolicy):
+    """The paper's differentiated class→scheme map.
+
+    Attributes:
+        reserve_fraction: flash fraction reserved for redundancy overhead —
+            0.1, 0.2, and 0.4 give the paper's Reo-10%, Reo-20%, Reo-40%.
+        hot_parity: parity chunks per stripe for hot clean objects (2 in the
+            paper, "which ensures that they can survive no more than two
+            device failures").
+    """
+
+    reserve_fraction: float = 0.10
+    hot_parity: int = 2
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.reserve_fraction <= 1.0:
+            raise ValueError("reserve fraction must be in (0, 1]")
+        if self.hot_parity < 0:
+            raise ValueError("hot parity cannot be negative")
+
+    @property
+    def name(self) -> str:
+        return f"Reo-{round(self.reserve_fraction * 100)}%"
+
+    def scheme_for(self, class_id: int) -> RedundancyScheme:
+        if class_id in (ObjectClass.METADATA, ObjectClass.DIRTY):
+            return ReplicationScheme()
+        if class_id == ObjectClass.HOT_CLEAN:
+            return ParityScheme(self.hot_parity)
+        return ParityScheme(0)
+
+
+def uniform_parity(parity: int) -> UniformPolicy:
+    """The 0/1/2-parity uniform baselines of §VI-A."""
+    return UniformPolicy(ParityScheme(parity))
+
+
+def full_replication() -> UniformPolicy:
+    """The full-replication baseline of §VI-D."""
+    return UniformPolicy(ReplicationScheme())
+
+
+def reo_policy(reserve_fraction: float = 0.10, hot_parity: int = 2) -> ReoPolicy:
+    """Reo with the given reserved redundancy fraction (0.1/0.2/0.4)."""
+    return ReoPolicy(reserve_fraction=reserve_fraction, hot_parity=hot_parity)

@@ -1,0 +1,222 @@
+"""The :class:`ReoCache` facade: the paper's full stack in one object.
+
+Wires together the simulated flash array, the OSD target (with a redundancy
+policy), the initiator, the backend store, the cache manager, and the
+recovery manager — sharing one simulated clock — and exposes the small
+surface the examples, tests, and benchmark harness drive:
+
+>>> cache = ReoCache.build(policy=reo_policy(0.20), cache_bytes=64 << 20)
+>>> cache.register_objects({"video-1": 4 << 20})
+>>> result = cache.read("video-1")          # miss, fetched from backend
+>>> cache.read("video-1").hit
+True
+>>> cache.fail_device(0)                     # shootdown
+>>> cache.replace_device(0)                  # insert spare
+>>> cache.recovery.start().pending >= 0
+True
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from repro.backend.store import BackendStore
+from repro.cache.flusher import DirtyFlusher, FlusherConfig
+from repro.cache.manager import AccessResult, CacheManager
+from repro.cache.policies import make_eviction_policy
+from repro.cache.stats import CacheStats
+from repro.core.hotness import HotnessTracker
+from repro.core.policy import RedundancyPolicy, reo_policy
+from repro.core.recovery import RecoveryManager
+from repro.core.redundancy import RedundancyBudget
+from repro.flash.array import FlashArray
+from repro.flash.latency import INTEL_540S_SSD, ServiceTimeModel
+from repro.osd.exofs import format_volume
+from repro.osd.initiator import OsdInitiator
+from repro.osd.target import OsdTarget
+from repro.sim.clock import SimClock
+from repro.units import KiB
+
+__all__ = ["ReoCache"]
+
+
+class ReoCache:
+    """A reliable, efficient, object-based flash cache (the paper's Reo)."""
+
+    def __init__(
+        self,
+        array: FlashArray,
+        target: OsdTarget,
+        initiator: OsdInitiator,
+        backend: BackendStore,
+        manager: CacheManager,
+        recovery: RecoveryManager,
+        policy: RedundancyPolicy,
+    ) -> None:
+        self.array = array
+        self.target = target
+        self.initiator = initiator
+        self.backend = backend
+        self.manager = manager
+        self.recovery = recovery
+        self.policy = policy
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        policy: Optional[RedundancyPolicy] = None,
+        num_devices: int = 5,
+        cache_bytes: int = 512 * 1024 * 1024,
+        chunk_size: int = 64 * KiB,
+        clock: Optional[SimClock] = None,
+        device_model: ServiceTimeModel = INTEL_540S_SSD,
+        backend_model: Optional[ServiceTimeModel] = None,
+        reclassify_interval: int = 1000,
+        capacity_margin: float = 0.02,
+        admit_while_degraded: bool = False,
+        hotness_size_exponent: float = 1.0,
+        prioritized_recovery: bool = True,
+        eviction_policy: str = "lru",
+        flusher_config: "Optional[FlusherConfig]" = None,
+        backend: Optional[BackendStore] = None,
+    ) -> "ReoCache":
+        """Assemble a complete cache stack.
+
+        Args:
+            policy: class→scheme map; defaults to Reo-10%.
+            num_devices: flash devices in the array (the paper uses five).
+            cache_bytes: total raw flash capacity across all devices.
+            chunk_size: stripe chunk size (64 KB in Figs. 5-7/9, 1 MB in
+                Fig. 8).
+            clock: shared simulated clock (created if omitted).
+            device_model: SSD service-time model.
+            backend_model: backend service-time model (HDD + network hop if
+                omitted).
+            reclassify_interval: reads between ``H_hot`` recomputations.
+            capacity_margin: headroom kept free on the array.
+        """
+        policy = policy or reo_policy(0.10)
+        clock = clock or SimClock()
+        device_capacity = max(1, math.ceil(cache_bytes / num_devices))
+        array = FlashArray(
+            num_devices=num_devices,
+            device_capacity=device_capacity,
+            chunk_size=chunk_size,
+            clock=clock,
+            model=device_model,
+        )
+        target = OsdTarget(array, policy=policy)
+        format_volume(target)
+        initiator = OsdInitiator(target)
+        if backend is None:
+            backend = BackendStore(clock=clock, model=backend_model)
+        else:
+            # Shared storage server (e.g. a cache-server restart scenario):
+            # keep a single timeline across the stacks.
+            backend.clock = clock
+        budget = (
+            RedundancyBudget(array, policy)
+            if policy.reserve_fraction is not None
+            else None
+        )
+        manager = CacheManager(
+            initiator=initiator,
+            backend=backend,
+            budget=budget,
+            hotness=HotnessTracker(size_exponent=hotness_size_exponent),
+            reclassify_interval=reclassify_interval,
+            capacity_margin=capacity_margin,
+            admit_while_degraded=admit_while_degraded,
+            eviction=make_eviction_policy(eviction_policy),
+        )
+        if flusher_config is not None:
+            manager.flusher = DirtyFlusher(manager, flusher_config)
+        recovery = RecoveryManager(
+            target, cache_manager=manager, prioritized=prioritized_recovery
+        )
+        return cls(array, target, initiator, backend, manager, recovery, policy)
+
+    # ------------------------------------------------------------------
+    # Data set
+    # ------------------------------------------------------------------
+    def register_objects(self, catalog: Dict[str, int]) -> None:
+        """Declare the backend data set (object name → size in bytes)."""
+        for name, size in catalog.items():
+            self.backend.register(name, size)
+
+    # ------------------------------------------------------------------
+    # Client interface
+    # ------------------------------------------------------------------
+    def read(self, name: str) -> AccessResult:
+        """Read an object through the cache (miss fetches from backend)."""
+        return self.manager.read(name)
+
+    def write(self, name: str) -> AccessResult:
+        """Write an object (write-back: lands in cache as dirty)."""
+        return self.manager.write(name)
+
+    def flush(self) -> int:
+        """Synchronize all dirty objects to the backend."""
+        return self.manager.flush_all()
+
+    # ------------------------------------------------------------------
+    # Failure lifecycle
+    # ------------------------------------------------------------------
+    def fail_device(self, device_id: int) -> None:
+        """Shoot down a device (the paper's emulated failure)."""
+        self.array.fail_device(device_id)
+
+    def replace_device(self, device_id: int) -> None:
+        """Insert a fresh spare into a failed slot."""
+        self.array.replace_device(device_id)
+
+    def scrub(self):
+        """Verify every stored chunk and repair silent corruption in place.
+
+        Objects beyond repair are purged from the cache (they remain intact
+        in the backend, so the next access refetches them). Returns the
+        :class:`~repro.flash.array.ScrubReport`.
+        """
+        report = self.array.scrub()
+        for key in report.unrecoverable_objects:
+            name = self.manager.name_for(key)
+            if name is not None:
+                self.manager.drop_lost(name)
+        return report
+
+    def fail_and_recover(self, device_id: int) -> None:
+        """Convenience: fail, insert a spare, and run recovery to the end."""
+        self.fail_device(device_id)
+        self.replace_device(device_id)
+        self.recovery.start()
+        self.recovery.run_to_completion()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def clock(self) -> SimClock:
+        return self.array.clock
+
+    @property
+    def stats(self) -> CacheStats:
+        return self.manager.stats
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.stats.hit_ratio
+
+    @property
+    def space_efficiency(self) -> float:
+        """User data as a fraction of occupied flash (paper §VI-B)."""
+        return self.array.space_efficiency
+
+    def __repr__(self) -> str:
+        return (
+            f"ReoCache(policy={self.policy.name}, objects={len(self.manager)}, "
+            f"hit_ratio={self.hit_ratio:.3f})"
+        )

@@ -1,0 +1,26 @@
+"""Reed-Solomon erasure coding over GF(256), built from scratch.
+
+This package is the coding substrate that Reo's differentiated redundancy
+rides on (paper §II-B and §IV-C). It provides:
+
+- :mod:`repro.erasure.galois` — arithmetic in the finite field GF(2^8),
+  vectorised with numpy log/antilog tables.
+- :mod:`repro.erasure.matrix` — dense matrices over GF(256) with
+  multiplication, Gauss-Jordan inversion, and Vandermonde / Cauchy
+  constructions.
+- :mod:`repro.erasure.rs` — :class:`~repro.erasure.rs.RSCodec`, a systematic
+  Reed-Solomon codec with erasure decoding and both *direct* and *delta*
+  parity updates (the paper chooses whichever needs fewer chunk reads).
+"""
+
+from repro.erasure.galois import GF256
+from repro.erasure.matrix import GFMatrix, cauchy_matrix, vandermonde_matrix
+from repro.erasure.rs import RSCodec
+
+__all__ = [
+    "GF256",
+    "GFMatrix",
+    "RSCodec",
+    "cauchy_matrix",
+    "vandermonde_matrix",
+]

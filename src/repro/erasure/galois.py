@@ -1,0 +1,163 @@
+"""Arithmetic in the finite field GF(2^8).
+
+The field is constructed with the primitive polynomial
+``x^8 + x^4 + x^3 + x^2 + 1`` (0x11D), the same polynomial used by most
+storage Reed-Solomon implementations (e.g. jerasure, ISA-L). Elements are
+integers in ``[0, 255]``; addition is XOR; multiplication is carried out via
+discrete log/antilog tables so that bulk operations on numpy arrays are a
+pair of table lookups plus an integer add.
+
+Scalar helpers (:meth:`GF256.mul`, :meth:`GF256.inv`, ...) operate on plain
+ints; the ``*_bytes`` helpers operate on whole numpy arrays of ``uint8`` and
+are what the Reed-Solomon codec uses on chunk payloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ErasureError
+
+__all__ = ["GF256"]
+
+_PRIMITIVE_POLY = 0x11D
+_FIELD_SIZE = 256
+_GENERATOR = 2
+
+
+def _build_tables() -> "tuple[np.ndarray, np.ndarray]":
+    """Build the antilog (exp) and log tables for the field.
+
+    ``exp`` has 512 entries so products of two logs (max 254 + 254) can be
+    looked up without a modulo reduction in the hot path.
+    """
+    exp = np.zeros(2 * _FIELD_SIZE, dtype=np.uint8)
+    log = np.zeros(_FIELD_SIZE, dtype=np.int32)
+    value = 1
+    for power in range(_FIELD_SIZE - 1):
+        exp[power] = value
+        log[value] = power
+        value <<= 1
+        if value & 0x100:
+            value ^= _PRIMITIVE_POLY
+    # Replicate the cycle so exp[i] == exp[i + 255] for i in [0, 255).
+    for power in range(_FIELD_SIZE - 1, 2 * _FIELD_SIZE):
+        exp[power] = exp[power - (_FIELD_SIZE - 1)]
+    return exp, log
+
+
+class GF256:
+    """The finite field GF(2^8) with vectorised numpy operations.
+
+    All methods are static-like; the class carries the shared tables. A
+    module-level default instance is exposed as :data:`GF256.default` so
+    callers do not rebuild tables.
+    """
+
+    #: Number of elements in the field.
+    order = _FIELD_SIZE
+    #: The primitive polynomial, for documentation and interoperability.
+    primitive_poly = _PRIMITIVE_POLY
+
+    def __init__(self) -> None:
+        self._exp, self._log = _build_tables()
+
+    # ------------------------------------------------------------------
+    # Scalar arithmetic
+    # ------------------------------------------------------------------
+    @staticmethod
+    def add(a: int, b: int) -> int:
+        """Field addition (XOR). Identical to subtraction in GF(2^8)."""
+        return (a ^ b) & 0xFF
+
+    # Subtraction is addition in characteristic-2 fields.
+    sub = add
+
+    def mul(self, a: int, b: int) -> int:
+        """Field multiplication via log/antilog tables."""
+        if a == 0 or b == 0:
+            return 0
+        return int(self._exp[self._log[a] + self._log[b]])
+
+    def div(self, a: int, b: int) -> int:
+        """Field division ``a / b``; raises on division by zero."""
+        if b == 0:
+            raise ZeroDivisionError("division by zero in GF(256)")
+        if a == 0:
+            return 0
+        return int(self._exp[self._log[a] - self._log[b] + (_FIELD_SIZE - 1)])
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse; raises on zero."""
+        if a == 0:
+            raise ZeroDivisionError("zero has no inverse in GF(256)")
+        return int(self._exp[(_FIELD_SIZE - 1) - self._log[a]])
+
+    def pow(self, a: int, n: int) -> int:
+        """Raise ``a`` to the integer power ``n`` (n may be negative)."""
+        if a == 0:
+            if n == 0:
+                return 1
+            if n < 0:
+                raise ZeroDivisionError("zero has no negative powers in GF(256)")
+            return 0
+        exponent = (self._log[a] * n) % (_FIELD_SIZE - 1)
+        return int(self._exp[exponent])
+
+    def generator_pow(self, n: int) -> int:
+        """Return ``g^n`` for the field generator ``g = 2``."""
+        return self.pow(_GENERATOR, n)
+
+    # ------------------------------------------------------------------
+    # Vectorised arithmetic on uint8 arrays
+    # ------------------------------------------------------------------
+    @staticmethod
+    def add_bytes(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Element-wise field addition of two uint8 arrays."""
+        return np.bitwise_xor(a, b)
+
+    def mul_bytes(self, scalar: int, data: np.ndarray) -> np.ndarray:
+        """Multiply every element of ``data`` by the field scalar ``scalar``."""
+        if not 0 <= scalar < _FIELD_SIZE:
+            raise ErasureError(f"scalar {scalar} outside GF(256)")
+        if scalar == 0:
+            return np.zeros_like(data)
+        if scalar == 1:
+            return data.copy()
+        log_scalar = int(self._log[scalar])
+        result = np.zeros_like(data)
+        nonzero = data != 0
+        result[nonzero] = self._exp[self._log[data[nonzero]] + log_scalar]
+        return result
+
+    def addmul_bytes(self, accumulator: np.ndarray, scalar: int, data: np.ndarray) -> None:
+        """In-place ``accumulator ^= scalar * data`` — the codec's hot loop."""
+        if scalar == 0:
+            return
+        if scalar == 1:
+            np.bitwise_xor(accumulator, data, out=accumulator)
+            return
+        np.bitwise_xor(accumulator, self.mul_bytes(scalar, data), out=accumulator)
+
+    def matvec_bytes(self, matrix: np.ndarray, fragments: np.ndarray) -> np.ndarray:
+        """Multiply a coefficient matrix by a stack of payload rows.
+
+        ``matrix`` is ``(r, k)`` uint8; ``fragments`` is ``(k, length)``
+        uint8. Returns ``(r, length)`` where row ``i`` is the GF(256) linear
+        combination ``sum_j matrix[i, j] * fragments[j]``.
+        """
+        rows, cols = matrix.shape
+        if fragments.shape[0] != cols:
+            raise ErasureError(
+                f"matrix expects {cols} fragments, got {fragments.shape[0]}"
+            )
+        out = np.zeros((rows, fragments.shape[1]), dtype=np.uint8)
+        for i in range(rows):
+            accumulator = out[i]
+            for j in range(cols):
+                self.addmul_bytes(accumulator, int(matrix[i, j]), fragments[j])
+        return out
+
+
+#: Shared default field instance; building tables is cheap but not free.
+GF256.default = GF256()

@@ -1,0 +1,168 @@
+"""Dense matrices over GF(256).
+
+Provides the small amount of linear algebra Reed-Solomon needs: matrix
+multiplication, Gauss-Jordan inversion, and the two standard generator-matrix
+constructions (Vandermonde, as cited by the paper, and Cauchy, which is
+always invertible on any square sub-selection and is what the codec uses
+internally for its parity rows).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.erasure.galois import GF256
+from repro.errors import ErasureError
+
+__all__ = ["GFMatrix", "vandermonde_matrix", "cauchy_matrix", "identity_matrix"]
+
+
+class GFMatrix:
+    """A dense matrix with elements in GF(256).
+
+    Thin wrapper around a ``(rows, cols)`` uint8 numpy array carrying the
+    field operations. Instances are immutable by convention: operations
+    return new matrices.
+    """
+
+    def __init__(self, data: "np.ndarray | Sequence[Sequence[int]]", field: GF256 = None) -> None:
+        array = np.asarray(data, dtype=np.uint8)
+        if array.ndim != 2:
+            raise ErasureError(f"matrix must be 2-D, got shape {array.shape}")
+        self._data = array
+        self._field = field or GF256.default
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def rows(self) -> int:
+        return int(self._data.shape[0])
+
+    @property
+    def cols(self) -> int:
+        return int(self._data.shape[1])
+
+    @property
+    def array(self) -> np.ndarray:
+        """The backing uint8 array (do not mutate)."""
+        return self._data
+
+    def __getitem__(self, index):
+        return self._data[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GFMatrix):
+            return NotImplemented
+        return self._data.shape == other._data.shape and bool(
+            np.array_equal(self._data, other._data)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - matrices used as values
+        return hash(self._data.tobytes())
+
+    def __repr__(self) -> str:
+        return f"GFMatrix({self._data.tolist()!r})"
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def matmul(self, other: "GFMatrix") -> "GFMatrix":
+        """Matrix product over GF(256)."""
+        if self.cols != other.rows:
+            raise ErasureError(
+                f"cannot multiply {self.rows}x{self.cols} by {other.rows}x{other.cols}"
+            )
+        field = self._field
+        out = np.zeros((self.rows, other.cols), dtype=np.uint8)
+        for i in range(self.rows):
+            for j in range(self.cols):
+                coefficient = int(self._data[i, j])
+                if coefficient:
+                    field.addmul_bytes(out[i], coefficient, other._data[j])
+        return GFMatrix(out, field)
+
+    def __matmul__(self, other: "GFMatrix") -> "GFMatrix":
+        return self.matmul(other)
+
+    def select_rows(self, indices: Iterable[int]) -> "GFMatrix":
+        """Return a new matrix made of the given rows, in order."""
+        return GFMatrix(self._data[list(indices)], self._field)
+
+    def invert(self) -> "GFMatrix":
+        """Gauss-Jordan inversion; raises :class:`ErasureError` if singular."""
+        if self.rows != self.cols:
+            raise ErasureError("only square matrices can be inverted")
+        n = self.rows
+        field = self._field
+        # Augmented [A | I] worked on in int32 for index arithmetic comfort.
+        work = self._data.astype(np.int32)
+        inverse = np.eye(n, dtype=np.int32)
+        for col in range(n):
+            pivot_row = None
+            for row in range(col, n):
+                if work[row, col] != 0:
+                    pivot_row = row
+                    break
+            if pivot_row is None:
+                raise ErasureError("matrix is singular over GF(256)")
+            if pivot_row != col:
+                work[[col, pivot_row]] = work[[pivot_row, col]]
+                inverse[[col, pivot_row]] = inverse[[pivot_row, col]]
+            pivot_inv = field.inv(int(work[col, col]))
+            for j in range(n):
+                work[col, j] = field.mul(int(work[col, j]), pivot_inv)
+                inverse[col, j] = field.mul(int(inverse[col, j]), pivot_inv)
+            for row in range(n):
+                if row == col or work[row, col] == 0:
+                    continue
+                factor = int(work[row, col])
+                for j in range(n):
+                    work[row, j] ^= field.mul(factor, int(work[col, j]))
+                    inverse[row, j] ^= field.mul(factor, int(inverse[col, j]))
+        return GFMatrix(inverse.astype(np.uint8), field)
+
+    def is_identity(self) -> bool:
+        """True if this is the identity matrix."""
+        return self.rows == self.cols and bool(
+            np.array_equal(self._data, np.eye(self.rows, dtype=np.uint8))
+        )
+
+
+def identity_matrix(n: int, field: GF256 = None) -> GFMatrix:
+    """The ``n``-by-``n`` identity over GF(256)."""
+    return GFMatrix(np.eye(n, dtype=np.uint8), field)
+
+
+def vandermonde_matrix(rows: int, cols: int, field: GF256 = None) -> GFMatrix:
+    """The classic Vandermonde construction ``V[i, j] = (i+1)^j``.
+
+    This is the construction the paper cites for Reed-Solomon encoding. Note
+    that a raw Vandermonde matrix stacked under an identity does *not*
+    guarantee every square sub-matrix is invertible; the codec therefore uses
+    :func:`cauchy_matrix` for its parity rows, keeping this function for
+    interoperability and tests.
+    """
+    field = field or GF256.default
+    data: List[List[int]] = []
+    for i in range(rows):
+        data.append([field.pow(i + 1, j) for j in range(cols)])
+    return GFMatrix(data, field)
+
+
+def cauchy_matrix(rows: int, cols: int, field: GF256 = None) -> GFMatrix:
+    """A Cauchy matrix ``C[i, j] = 1 / (x_i + y_j)`` with disjoint x, y sets.
+
+    Every square sub-matrix of a Cauchy matrix is invertible, which makes a
+    ``[I ; C]`` systematic generator matrix MDS: any ``k`` surviving
+    fragments suffice to decode. Requires ``rows + cols <= 256``.
+    """
+    field = field or GF256.default
+    if rows + cols > GF256.order:
+        raise ErasureError("cauchy matrix needs rows + cols <= 256")
+    xs = list(range(cols, cols + rows))
+    ys = list(range(cols))
+    data = [[field.inv(field.add(x, y)) for y in ys] for x in xs]
+    return GFMatrix(data, field)

@@ -1,0 +1,217 @@
+"""Systematic Reed-Solomon codec with erasure decoding.
+
+:class:`RSCodec` encodes ``k`` equal-size data fragments into ``k + m``
+fragments (the originals plus ``m`` parity fragments) such that *any* ``k``
+surviving fragments reconstruct the data — the MDS property the paper relies
+on (§II-B). Parity rows come from a Cauchy matrix, whose every square
+sub-matrix is invertible, so decoding is always possible when at most ``m``
+fragments are erased.
+
+Both parity-update strategies discussed in the paper are implemented:
+
+- **direct parity update** — re-read the sibling data fragments and re-encode;
+- **delta parity update** — read the old data fragment and old parity, and
+  apply ``P' = P + coeff * (D' + D)``.
+
+:meth:`RSCodec.plan_update` reports the chunk-read cost of each so the caller
+can pick the cheaper one, exactly as the paper says it does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.erasure.galois import GF256
+from repro.erasure.matrix import GFMatrix, cauchy_matrix, identity_matrix
+from repro.errors import ErasureError, UnrecoverableDataError
+
+__all__ = ["RSCodec", "UpdatePlan"]
+
+
+def _as_array(fragment: "bytes | bytearray | np.ndarray") -> np.ndarray:
+    """View a fragment as a uint8 numpy array without copying when possible."""
+    if isinstance(fragment, np.ndarray):
+        if fragment.dtype != np.uint8:
+            raise ErasureError("fragments must be uint8 arrays")
+        return fragment
+    return np.frombuffer(bytes(fragment), dtype=np.uint8)
+
+
+@dataclass(frozen=True)
+class UpdatePlan:
+    """The cheaper of the two parity-update strategies for one write.
+
+    Attributes:
+        method: ``"delta"`` or ``"direct"``.
+        reads: number of fragments that must be read before re-encoding.
+    """
+
+    method: str
+    reads: int
+
+
+class RSCodec:
+    """Reed-Solomon codec over GF(256) for ``k`` data + ``m`` parity fragments.
+
+    Args:
+        data_fragments: ``k``, the number of data fragments per stripe.
+        parity_fragments: ``m``, the number of parity fragments per stripe.
+
+    ``m = 0`` is allowed and degenerates to "no redundancy": encode returns
+    an empty parity list and any erasure is unrecoverable.
+    """
+
+    def __init__(self, data_fragments: int, parity_fragments: int, field: GF256 = None) -> None:
+        if data_fragments < 1:
+            raise ErasureError("need at least one data fragment")
+        if parity_fragments < 0:
+            raise ErasureError("parity fragment count cannot be negative")
+        if data_fragments + parity_fragments > GF256.order:
+            raise ErasureError("k + m must not exceed 256 for GF(256) codes")
+        self._field = field or GF256.default
+        self.k = data_fragments
+        self.m = parity_fragments
+        self.n = data_fragments + parity_fragments
+        if parity_fragments:
+            self._parity_matrix = cauchy_matrix(parity_fragments, data_fragments, self._field)
+        else:
+            self._parity_matrix = GFMatrix(
+                np.zeros((0, data_fragments), dtype=np.uint8), self._field
+            )
+        # Full systematic generator: data rows are the identity.
+        self._generator = GFMatrix(
+            np.vstack(
+                [identity_matrix(data_fragments, self._field).array, self._parity_matrix.array]
+            ),
+            self._field,
+        )
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def encode(self, data: Sequence["bytes | np.ndarray"]) -> List[bytes]:
+        """Compute the ``m`` parity fragments for ``k`` data fragments."""
+        arrays = self._check_data(data)
+        if self.m == 0:
+            return []
+        stacked = np.vstack(arrays)
+        parity = self._field.matvec_bytes(self._parity_matrix.array, stacked)
+        return [parity[i].tobytes() for i in range(self.m)]
+
+    def encode_stripe(self, data: Sequence["bytes | np.ndarray"]) -> List[bytes]:
+        """Return all ``n`` fragments: the data followed by the parity."""
+        parity = self.encode(data)
+        return [bytes(_as_array(fragment).tobytes()) for fragment in data] + parity
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    def decode(self, fragments: Mapping[int, "bytes | np.ndarray"]) -> List[bytes]:
+        """Recover the ``k`` data fragments from any ``k`` survivors.
+
+        Args:
+            fragments: mapping from fragment index (``0 .. n-1``) to payload.
+                Indices ``< k`` are data fragments, the rest parity.
+
+        Raises:
+            UnrecoverableDataError: fewer than ``k`` fragments supplied.
+        """
+        available = sorted(fragments)
+        if any(index < 0 or index >= self.n for index in available):
+            raise ErasureError(f"fragment index outside [0, {self.n})")
+        if len(available) < self.k:
+            raise UnrecoverableDataError(
+                f"need {self.k} fragments to decode, only {len(available)} survive"
+            )
+        # Fast path: all data fragments are present.
+        if all(index in fragments for index in range(self.k)):
+            return [bytes(_as_array(fragments[i]).tobytes()) for i in range(self.k)]
+        chosen = available[: self.k]
+        sub_generator = self._generator.select_rows(chosen)
+        decoder = sub_generator.invert()
+        stacked = np.vstack([_as_array(fragments[index]) for index in chosen])
+        data = self._field.matvec_bytes(decoder.array, stacked)
+        return [data[i].tobytes() for i in range(self.k)]
+
+    def reconstruct(
+        self,
+        fragments: Mapping[int, "bytes | np.ndarray"],
+        missing: Sequence[int],
+    ) -> Dict[int, bytes]:
+        """Rebuild specific missing fragments (data or parity) by index."""
+        for index in missing:
+            if not 0 <= index < self.n:
+                raise ErasureError(f"fragment index {index} outside [0, {self.n})")
+        data = self.decode(fragments)
+        arrays = [_as_array(fragment) for fragment in data]
+        rebuilt: Dict[int, bytes] = {}
+        parity_cache: List[bytes] = []
+        for index in missing:
+            if index < self.k:
+                rebuilt[index] = data[index]
+            else:
+                if not parity_cache:
+                    parity_cache = self.encode(arrays)
+                rebuilt[index] = parity_cache[index - self.k]
+        return rebuilt
+
+    # ------------------------------------------------------------------
+    # Parity update strategies (paper §II-B)
+    # ------------------------------------------------------------------
+    def plan_update(self, updated_fragments: int = 1) -> UpdatePlan:
+        """Pick the parity-update strategy with the fewest fragment reads.
+
+        Direct update re-reads the ``k - updated_fragments`` untouched data
+        fragments. Delta update reads the ``updated_fragments`` old data
+        fragments plus the ``m`` old parity fragments. The paper states Reo
+        "chooses the encoding method that incurs the least disk reads".
+        """
+        if not 1 <= updated_fragments <= self.k:
+            raise ErasureError("updated fragment count must be in [1, k]")
+        direct_reads = self.k - updated_fragments
+        delta_reads = updated_fragments + self.m
+        if delta_reads < direct_reads:
+            return UpdatePlan("delta", delta_reads)
+        return UpdatePlan("direct", direct_reads)
+
+    def delta_update(
+        self,
+        old_parity: Sequence["bytes | np.ndarray"],
+        fragment_index: int,
+        old_data: "bytes | np.ndarray",
+        new_data: "bytes | np.ndarray",
+    ) -> List[bytes]:
+        """Delta parity update for a single rewritten data fragment.
+
+        ``P'_i = P_i + C[i, j] * (D'_j + D_j)`` for each parity row ``i``.
+        """
+        if not 0 <= fragment_index < self.k:
+            raise ErasureError(f"data fragment index {fragment_index} outside [0, {self.k})")
+        if len(old_parity) != self.m:
+            raise ErasureError(f"expected {self.m} parity fragments, got {len(old_parity)}")
+        delta = np.bitwise_xor(_as_array(old_data), _as_array(new_data))
+        updated: List[bytes] = []
+        for row in range(self.m):
+            parity = _as_array(old_parity[row]).copy()
+            coefficient = int(self._parity_matrix.array[row, fragment_index])
+            self._field.addmul_bytes(parity, coefficient, delta)
+            updated.append(parity.tobytes())
+        return updated
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _check_data(self, data: Sequence["bytes | np.ndarray"]) -> List[np.ndarray]:
+        if len(data) != self.k:
+            raise ErasureError(f"expected {self.k} data fragments, got {len(data)}")
+        arrays = [_as_array(fragment) for fragment in data]
+        lengths = {array.shape[0] for array in arrays}
+        if len(lengths) != 1:
+            raise ErasureError(f"fragments must be equal-size, got lengths {sorted(lengths)}")
+        return arrays
+
+    def __repr__(self) -> str:
+        return f"RSCodec(k={self.k}, m={self.m})"

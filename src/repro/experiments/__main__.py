@@ -1,0 +1,111 @@
+"""Command-line entry point: regenerate the paper's evaluation.
+
+Usage::
+
+    python -m repro.experiments                 # everything, default profile
+    python -m repro.experiments fig8 fig9       # just those artefacts
+    REPRO_PROFILE=smoke python -m repro.experiments --list
+
+Artefact names: fig5, fig6, fig7, fig8, fig9, space-table, ablations.
+Outputs print to stdout and are saved under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.experiments.ablations import (
+    run_chunk_size_sweep,
+    run_eviction_policy_ablation,
+    run_hot_parity_sweep,
+    run_hotness_indicator_ablation,
+    run_recovery_priority_ablation,
+)
+from repro.experiments.endurance import (
+    format_write_amplification,
+    run_parity_placement_wear,
+    run_write_amplification_sweep,
+)
+from repro.experiments.concurrency import run_concurrency_sweep
+from repro.experiments.recovery_timeline import run_recovery_timeline
+from repro.experiments.warmup import run_warmup_experiment
+from repro.experiments.common import active_profile
+from repro.experiments.failure import run_failure_resistance
+from repro.experiments.normal_run import run_normal_run_figure
+from repro.experiments.space_efficiency import run_space_efficiency_table
+from repro.experiments.writeback import run_writeback_figure
+from repro.workload.medisyn import Locality
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+
+def _ablations_text() -> str:
+    return "\n\n".join(
+        result.format()
+        for result in (
+            run_hotness_indicator_ablation(),
+            run_recovery_priority_ablation(),
+            run_eviction_policy_ablation(),
+            run_hot_parity_sweep(),
+            run_chunk_size_sweep(),
+        )
+    )
+
+
+ARTEFACTS = {
+    "fig5": lambda: run_normal_run_figure(Locality.WEAK).format(),
+    "fig6": lambda: run_normal_run_figure(Locality.MEDIUM).format(),
+    "fig7": lambda: run_normal_run_figure(Locality.STRONG).format(),
+    "fig8": lambda: run_failure_resistance().format(),
+    "fig9": lambda: run_writeback_figure().format(),
+    "space-table": lambda: run_space_efficiency_table().format(),
+    "recovery-timeline": lambda: run_recovery_timeline().format(),
+    "concurrency": lambda: run_concurrency_sweep().format(),
+    "warmup": lambda: run_warmup_experiment().format(),
+    "ablations": _ablations_text,
+    "endurance": lambda: (
+        format_write_amplification(run_write_amplification_sweep())
+        + "\n\n"
+        + run_parity_placement_wear().format()
+    ),
+}
+
+
+def main(argv=None) -> int:
+    """CLI entry: regenerate the chosen artefacts; returns the exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments", description=__doc__
+    )
+    parser.add_argument(
+        "artefacts",
+        nargs="*",
+        choices=[*ARTEFACTS, []],
+        help="artefacts to regenerate (default: all)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list artefact names and exit"
+    )
+    args = parser.parse_args(argv)
+    if args.list:
+        for name in ARTEFACTS:
+            print(name)
+        return 0
+    profile = active_profile()
+    chosen = args.artefacts or list(ARTEFACTS)
+    print(f"profile: {profile.name} (REPRO_PROFILE to change)\n")
+    for name in chosen:
+        started = time.time()
+        text = ARTEFACTS[name]()
+        elapsed = time.time() - started
+        print(text)
+        print(f"\n[{name}: {elapsed:.1f}s]\n")
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        (RESULTS_DIR / f"cli_{name.replace('-', '_')}.txt").write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,818 @@
+"""The simulated flash array: object placement, degraded reads, rebuild.
+
+:class:`FlashArray` is the storage engine under the OSD target. It lays
+objects out in stripes across the *online* devices, encodes parity with
+Reed-Solomon, serves degraded reads by decoding surviving fragments, and
+rebuilds lost fragments onto a replacement spare. All I/O is billed in
+simulated time: chunks on distinct devices transfer in parallel, operations
+queued on the same device serialize through the device's ``busy_until``.
+
+Space accounting distinguishes logical user bytes from redundancy bytes,
+which is exactly the paper's *space efficiency* metric (§VI-B).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.erasure.rs import RSCodec
+from repro.errors import (
+    ChunkCorruptedError,
+    DeviceFailedError,
+    FlashError,
+    ObjectExistsError,
+    ObjectNotFoundError,
+    StripeLayoutError,
+    UnrecoverableDataError,
+)
+from repro.flash.device import FlashDevice
+from repro.flash.latency import INTEL_540S_SSD, ServiceTimeModel
+from repro.flash.stripe import (
+    ChunkKind,
+    ChunkLocation,
+    RedundancyScheme,
+    ReplicationScheme,
+    StripeDescriptor,
+    split_payload,
+)
+from repro.sim.clock import SimClock
+
+__all__ = ["ArrayIoResult", "FlashArray", "ObjectExtent", "ObjectHealth", "ScrubReport"]
+
+ObjectKey = Hashable
+
+
+class ObjectHealth(enum.Enum):
+    """Availability of an object given the current device states."""
+
+    #: Every chunk lives on an online device.
+    HEALTHY = "healthy"
+    #: Some chunks are lost but every stripe can still be decoded.
+    DEGRADED = "degraded"
+    #: At least one stripe lost more fragments than its code tolerates.
+    LOST = "lost"
+
+
+@dataclass
+class ArrayIoResult:
+    """Outcome of one array operation, in simulated terms."""
+
+    elapsed: float = 0.0
+    chunks_read: int = 0
+    chunks_written: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    #: True when the operation had to decode around missing fragments.
+    degraded: bool = False
+
+    def merge(self, other: "ArrayIoResult") -> None:
+        """Fold another result into this one (sequential composition)."""
+        self.elapsed += other.elapsed
+        self.chunks_read += other.chunks_read
+        self.chunks_written += other.chunks_written
+        self.bytes_read += other.bytes_read
+        self.bytes_written += other.bytes_written
+        self.degraded = self.degraded or other.degraded
+
+
+@dataclass
+class ScrubReport:
+    """Outcome of one scrub pass over the array."""
+
+    objects_checked: int = 0
+    chunks_checked: int = 0
+    chunks_repaired: int = 0
+    unrecoverable_objects: List[ObjectKey] = field(default_factory=list)
+    io: ArrayIoResult = field(default_factory=ArrayIoResult)
+
+
+@dataclass
+class ObjectExtent:
+    """Array-side metadata for one stored object."""
+
+    key: ObjectKey
+    size: int
+    scheme: RedundancyScheme
+    stripes: List[StripeDescriptor] = field(default_factory=list)
+
+    @property
+    def stored_bytes(self) -> int:
+        return sum(chunk.length for stripe in self.stripes for chunk in stripe.chunks)
+
+    @property
+    def data_bytes(self) -> int:
+        return sum(
+            chunk.length
+            for stripe in self.stripes
+            for chunk in stripe.chunks
+            if chunk.kind is ChunkKind.DATA
+        )
+
+    @property
+    def redundancy_bytes(self) -> int:
+        return self.stored_bytes - self.data_bytes
+
+
+class _IoBatch:
+    """Accumulates chunk operations and bills simulated time.
+
+    Chunks on different devices proceed in parallel; multiple operations on
+    the same device serialize. ``finish`` advances each involved device's
+    ``busy_until`` and returns the critical-path elapsed time.
+    """
+
+    def __init__(self, start: float) -> None:
+        self._start = start
+        self._service: Dict[int, float] = {}
+        self._wait: Dict[int, float] = {}
+        self.result = ArrayIoResult()
+
+    def _begin(self, device: FlashDevice) -> None:
+        if device.device_id not in self._wait:
+            self._wait[device.device_id] = max(0.0, device.busy_until - self._start)
+            self._service[device.device_id] = 0.0
+
+    def read(self, device: FlashDevice, address: Tuple[int, int]) -> bytes:
+        self._begin(device)
+        payload, service_time = device.read_chunk(address)
+        self._service[device.device_id] += service_time
+        self.result.chunks_read += 1
+        self.result.bytes_read += len(payload)
+        return payload
+
+    def write(self, device: FlashDevice, address: Tuple[int, int], payload: bytes) -> None:
+        self._begin(device)
+        service_time = device.write_chunk(address, payload)
+        self._service[device.device_id] += service_time
+        self.result.chunks_written += 1
+        self.result.bytes_written += len(payload)
+
+    def charge(self, device: FlashDevice, seconds: float) -> None:
+        """Bill raw device time (e.g. decode CPU attributed to the reader)."""
+        self._begin(device)
+        self._service[device.device_id] += seconds
+
+    def finish(self, devices: Sequence[FlashDevice]) -> ArrayIoResult:
+        elapsed = 0.0
+        by_id = {device.device_id: device for device in devices}
+        for device_id, service in self._service.items():
+            completion = self._wait[device_id] + service
+            elapsed = max(elapsed, completion)
+            device = by_id[device_id]
+            device.busy_until = self._start + completion
+        self.result.elapsed = elapsed
+        return self.result
+
+
+class FlashArray:
+    """An array of simulated flash devices managing objects in stripes."""
+
+    def __init__(
+        self,
+        num_devices: int = 5,
+        device_capacity: int = 120 * 10**9,
+        chunk_size: int = 64 * 1024,
+        clock: Optional[SimClock] = None,
+        model: ServiceTimeModel = INTEL_540S_SSD,
+    ) -> None:
+        if num_devices < 1:
+            raise StripeLayoutError("an array needs at least one device")
+        if chunk_size < 1:
+            raise StripeLayoutError("chunk size must be positive")
+        self.clock = clock or SimClock()
+        self.chunk_size = chunk_size
+        self.devices: List[FlashDevice] = [
+            FlashDevice(device_id=i, capacity_bytes=device_capacity, model=model)
+            for i in range(num_devices)
+        ]
+        self._objects: Dict[ObjectKey, ObjectExtent] = {}
+        self._next_stripe_id = 0
+        self._codecs: Dict[Tuple[int, int], RSCodec] = {}
+        # Incremental space accounting.
+        self._logical_bytes = 0
+        self._data_bytes = 0
+        self._redundancy_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> int:
+        """Total device slots, live or failed."""
+        return len(self.devices)
+
+    @property
+    def online_devices(self) -> List[FlashDevice]:
+        return [device for device in self.devices if device.is_online]
+
+    @property
+    def online_count(self) -> int:
+        return len(self.online_devices)
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Capacity of the online devices."""
+        return sum(device.capacity_bytes for device in self.online_devices)
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(device.used_bytes for device in self.online_devices)
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    @property
+    def logical_bytes(self) -> int:
+        """User bytes stored, before redundancy and padding."""
+        return self._logical_bytes
+
+    @property
+    def data_bytes(self) -> int:
+        """Bytes in data chunks (logical bytes plus padding)."""
+        return self._data_bytes
+
+    @property
+    def redundancy_bytes(self) -> int:
+        """Bytes in parity and replica chunks."""
+        return self._redundancy_bytes
+
+    @property
+    def space_efficiency(self) -> float:
+        """User data as a fraction of all occupied space (paper §VI-B)."""
+        occupied = self._data_bytes + self._redundancy_bytes
+        if occupied == 0:
+            return 1.0
+        return self._data_bytes / occupied
+
+    def __contains__(self, key: ObjectKey) -> bool:
+        return key in self._objects
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def keys(self) -> Iterable[ObjectKey]:
+        return self._objects.keys()
+
+    def get_extent(self, key: ObjectKey) -> ObjectExtent:
+        try:
+            return self._objects[key]
+        except KeyError:
+            raise ObjectNotFoundError(f"no object {key!r} in array") from None
+
+    def object_size(self, key: ObjectKey) -> int:
+        return self.get_extent(key).size
+
+    def stored_bytes_for(self, key: ObjectKey) -> int:
+        return self.get_extent(key).stored_bytes
+
+    def estimate_stored_bytes(self, size: int, scheme: RedundancyScheme) -> int:
+        """Projected stored bytes for an object of ``size`` under ``scheme``.
+
+        Uses the current online width; padding makes this a slight
+        underestimate for tiny objects, which admission control tolerates.
+        """
+        width = self.online_count
+        scheme.validate(width)
+        return int(size * scheme.storage_multiplier(width)) if size else 0
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def write_object(
+        self,
+        key: ObjectKey,
+        payload: bytes,
+        scheme: RedundancyScheme,
+        overwrite: bool = False,
+    ) -> ArrayIoResult:
+        """Stripe, encode, and store an object across the online devices.
+
+        Overwrites are transactional: the new stripes are written first and
+        the old copy is only deleted after they all land, so a mid-write
+        failure (e.g. :class:`DeviceFullError`) rolls back and leaves the
+        previous copy intact.
+        """
+        previous = self._objects.get(key)
+        if previous is not None and not overwrite:
+            raise ObjectExistsError(f"object {key!r} already stored")
+        online = self.online_devices
+        width = len(online)
+        scheme.validate(width)
+        device_ids = [device.device_id for device in online]
+        by_id = {device.device_id: device for device in self.devices}
+
+        extent = ObjectExtent(key=key, size=len(payload), scheme=scheme)
+        batch = _IoBatch(self.clock.now)
+        is_replication = isinstance(scheme, ReplicationScheme)
+        data_per_stripe = scheme.data_chunks_per_stripe(width)
+        offset = 0
+        try:
+            for stripe_payload, chunk_length in split_payload(
+                len(payload), self.chunk_size, data_per_stripe
+            ):
+                stripe_id = self._next_stripe_id
+                self._next_stripe_id += 1
+                # Rotate by the *global* stripe id so parity lands evenly
+                # across devices regardless of object sizes (§IV-C.3).
+                plan = scheme.plan(device_ids, stripe_id)
+                raw = payload[offset : offset + stripe_payload]
+                offset += stripe_payload
+                fragments = self._make_fragments(raw, data_per_stripe, chunk_length)
+                if is_replication:
+                    stripe_fragments = [fragments[0]] * len(plan)
+                    parity_count = 0
+                else:
+                    parity_count = len(plan) - data_per_stripe
+                    codec = self._codec(data_per_stripe, parity_count)
+                    stripe_fragments = fragments + codec.encode(fragments)
+                locations: List[ChunkLocation] = []
+                for slot in plan:
+                    chunk_payload = stripe_fragments[slot.fragment_index]
+                    location = ChunkLocation(
+                        stripe_id=stripe_id,
+                        fragment_index=slot.fragment_index,
+                        device_id=slot.device_id,
+                        kind=slot.kind,
+                        length=len(chunk_payload),
+                    )
+                    batch.write(by_id[slot.device_id], location.address, chunk_payload)
+                    locations.append(location)
+                extent.stripes.append(
+                    StripeDescriptor(
+                        stripe_id=stripe_id,
+                        payload_bytes=stripe_payload,
+                        data_count=data_per_stripe,
+                        parity_count=parity_count,
+                        chunks=tuple(locations),
+                        replicated=is_replication,
+                    )
+                )
+        except Exception:
+            # Roll back: drop the partially written new chunks so the
+            # previous copy (if any) remains the authoritative one.
+            self._discard_chunks(extent)
+            raise
+        if previous is not None:
+            self._discard_chunks(previous)
+            self._logical_bytes -= previous.size
+            self._data_bytes -= previous.data_bytes
+            self._redundancy_bytes -= previous.redundancy_bytes
+        self._objects[key] = extent
+        self._logical_bytes += extent.size
+        self._data_bytes += extent.data_bytes
+        self._redundancy_bytes += extent.redundancy_bytes
+        return batch.finish(self.devices)
+
+    def _discard_chunks(self, extent: ObjectExtent) -> None:
+        """Remove an extent's chunks from whichever online devices hold them."""
+        by_id = {device.device_id: device for device in self.devices}
+        for stripe in extent.stripes:
+            for chunk in stripe.chunks:
+                device = by_id[chunk.device_id]
+                if device.has_chunk(chunk.address):
+                    device.delete_chunk(chunk.address)
+
+    # ------------------------------------------------------------------
+    # Read path (normal and degraded)
+    # ------------------------------------------------------------------
+    def read_object(self, key: ObjectKey) -> Tuple[bytes, ArrayIoResult]:
+        """Read an object, decoding around failed devices when necessary.
+
+        Raises:
+            ObjectNotFoundError: the key is unknown.
+            UnrecoverableDataError: a stripe lost more fragments than its
+                redundancy tolerates.
+        """
+        extent = self.get_extent(key)
+        batch = _IoBatch(self.clock.now)
+        by_id = {device.device_id: device for device in self.devices}
+        pieces: List[bytes] = []
+        for stripe in extent.stripes:
+            pieces.append(self._read_stripe(stripe, batch, by_id))
+        payload = b"".join(pieces)[: extent.size]
+        return payload, batch.finish(self.devices)
+
+    def _read_stripe(
+        self,
+        stripe: StripeDescriptor,
+        batch: _IoBatch,
+        by_id: Dict[int, FlashDevice],
+    ) -> bytes:
+        available: Dict[int, ChunkLocation] = {}
+        for chunk in stripe.chunks:
+            device = by_id[chunk.device_id]
+            if device.has_chunk(chunk.address):
+                available[chunk.fragment_index] = chunk
+
+        if stripe.replicated:
+            for index in sorted(available):
+                chunk = available[index]
+                payload = self._read_fragment(batch, by_id, chunk)
+                if payload is None:
+                    batch.result.degraded = True
+                    continue
+                if chunk.kind is not ChunkKind.DATA:
+                    batch.result.degraded = True
+                return payload[: stripe.payload_bytes]
+            raise UnrecoverableDataError(
+                f"stripe {stripe.stripe_id}: all replicas lost or corrupted"
+            )
+
+        k = stripe.data_count
+        fragments: Dict[int, bytes] = {}
+        # Pull fragments in index order (data first); a checksum failure
+        # drops the fragment and the next survivor takes its place.
+        for index in sorted(available):
+            if len(fragments) == k:
+                break
+            payload = self._read_fragment(batch, by_id, available[index])
+            if payload is None:
+                batch.result.degraded = True
+                continue
+            fragments[index] = payload
+        if len(fragments) < k:
+            raise UnrecoverableDataError(
+                f"stripe {stripe.stripe_id}: {len(fragments)} readable fragments, "
+                f"{k} needed"
+            )
+        if all(index in fragments for index in range(k)):
+            return b"".join(fragments[i] for i in range(k))[: stripe.payload_bytes]
+        batch.result.degraded = True
+        codec = self._codec(k, stripe.parity_count)
+        data = codec.decode(fragments)
+        return b"".join(data)[: stripe.payload_bytes]
+
+    @staticmethod
+    def _read_fragment(
+        batch: _IoBatch,
+        by_id: Dict[int, FlashDevice],
+        chunk: ChunkLocation,
+    ) -> Optional[bytes]:
+        """Read one fragment; silent corruption returns None (read billed)."""
+        try:
+            return batch.read(by_id[chunk.device_id], chunk.address)
+        except ChunkCorruptedError:
+            return None
+
+    # ------------------------------------------------------------------
+    # Partial updates (paper §II-B: direct vs delta parity updating)
+    # ------------------------------------------------------------------
+    def update_range(self, key: ObjectKey, offset: int, data: bytes) -> ArrayIoResult:
+        """Update ``data`` at byte ``offset`` of a stored object in place.
+
+        Only the affected stripes are touched. For each parity stripe the
+        cheaper of the two parity-update strategies is chosen by fragment
+        reads, as the paper prescribes:
+
+        - **delta**: read the old data fragments and old parity, apply
+          ``P' = P + C * (D' + D)``;
+        - **direct**: read the untouched sibling fragments and re-encode.
+
+        The object must be fully healthy (no missing or corrupt fragments);
+        degraded objects should be repaired (or restriped) first.
+
+        Raises:
+            FlashError: the range falls outside the object.
+        """
+        extent = self.get_extent(key)
+        if offset < 0 or offset + len(data) > extent.size:
+            raise FlashError(
+                f"update [{offset}, {offset + len(data)}) outside object of "
+                f"{extent.size} bytes"
+            )
+        if not data:
+            return ArrayIoResult()
+        by_id = {device.device_id: device for device in self.devices}
+        batch = _IoBatch(self.clock.now)
+        position = 0
+        for stripe in extent.stripes:
+            stripe_end = position + stripe.payload_bytes
+            if stripe_end > offset and position < offset + len(data):
+                self._update_stripe(stripe, batch, by_id, position, offset, data)
+            position = stripe_end
+        return batch.finish(self.devices)
+
+    def _update_stripe(
+        self,
+        stripe: StripeDescriptor,
+        batch: _IoBatch,
+        by_id: Dict[int, FlashDevice],
+        stripe_start: int,
+        offset: int,
+        data: bytes,
+    ) -> None:
+        local_start = max(0, offset - stripe_start)
+        local_end = min(stripe.payload_bytes, offset + len(data) - stripe_start)
+        chunks_by_index = {chunk.fragment_index: chunk for chunk in stripe.chunks}
+
+        if stripe.replicated:
+            # One logical fragment replicated everywhere: read any healthy
+            # copy, patch, push the new content to every replica.
+            source = chunks_by_index[min(chunks_by_index)]
+            old = batch.read(by_id[source.device_id], source.address)
+            patched = bytearray(old)
+            patched[local_start:local_end] = data[
+                stripe_start + local_start - offset : stripe_start + local_end - offset
+            ]
+            for chunk in stripe.chunks:
+                batch.write(by_id[chunk.device_id], chunk.address, bytes(patched))
+            return
+
+        k = stripe.data_count
+        chunk_length = chunks_by_index[0].length
+        first = local_start // chunk_length
+        last = (local_end - 1) // chunk_length
+        updated = list(range(first, last + 1))
+        codec = self._codec(k, stripe.parity_count)
+        plan = codec.plan_update(len(updated)) if stripe.parity_count else None
+
+        # The updated fragments are always read (read-modify-write).
+        old_fragments: Dict[int, bytes] = {}
+        new_fragments: Dict[int, bytes] = {}
+        for index in updated:
+            chunk = chunks_by_index[index]
+            old = batch.read(by_id[chunk.device_id], chunk.address)
+            patched = bytearray(old)
+            frag_start = index * chunk_length
+            lo = max(local_start, frag_start)
+            hi = min(local_end, frag_start + chunk_length)
+            patched[lo - frag_start : hi - frag_start] = data[
+                stripe_start + lo - offset : stripe_start + hi - offset
+            ]
+            old_fragments[index] = old
+            new_fragments[index] = bytes(patched)
+
+        if plan is None:
+            parity_payloads: List[bytes] = []
+        elif plan.method == "delta":
+            parity_payloads = [
+                batch.read(by_id[chunks_by_index[k + row].device_id],
+                           chunks_by_index[k + row].address)
+                for row in range(stripe.parity_count)
+            ]
+            for index in updated:
+                parity_payloads = codec.delta_update(
+                    parity_payloads, index, old_fragments[index], new_fragments[index]
+                )
+        else:
+            full = {}
+            for index in range(k):
+                if index in new_fragments:
+                    full[index] = new_fragments[index]
+                else:
+                    chunk = chunks_by_index[index]
+                    full[index] = batch.read(by_id[chunk.device_id], chunk.address)
+            parity_payloads = codec.encode([full[index] for index in range(k)])
+
+        for index in updated:
+            chunk = chunks_by_index[index]
+            batch.write(by_id[chunk.device_id], chunk.address, new_fragments[index])
+        for row, payload in enumerate(parity_payloads):
+            chunk = chunks_by_index[k + row]
+            batch.write(by_id[chunk.device_id], chunk.address, payload)
+
+    # ------------------------------------------------------------------
+    # Delete
+    # ------------------------------------------------------------------
+    def delete_object(self, key: ObjectKey) -> ArrayIoResult:
+        """Remove an object's chunks (from online devices) and metadata."""
+        extent = self.get_extent(key)
+        by_id = {device.device_id: device for device in self.devices}
+        for stripe in extent.stripes:
+            for chunk in stripe.chunks:
+                device = by_id[chunk.device_id]
+                if device.has_chunk(chunk.address):
+                    device.delete_chunk(chunk.address)
+        del self._objects[key]
+        self._logical_bytes -= extent.size
+        self._data_bytes -= extent.data_bytes
+        self._redundancy_bytes -= extent.redundancy_bytes
+        # Deletes are metadata-only (TRIM); no simulated time billed.
+        return ArrayIoResult()
+
+    # ------------------------------------------------------------------
+    # Health and failure lifecycle
+    # ------------------------------------------------------------------
+    def fail_device(self, device_id: int) -> None:
+        """Shoot down a device; resident chunks become unreadable."""
+        self.devices[device_id].fail()
+
+    def replace_device(self, device_id: int) -> None:
+        """Insert a fresh spare into a failed slot."""
+        device = self.devices[device_id]
+        if device.is_online:
+            raise DeviceFailedError(device_id, f"device {device_id} is not failed")
+        device.replace()
+
+    def object_health(self, key: ObjectKey) -> ObjectHealth:
+        """Classify an object as healthy, degraded-but-recoverable, or lost."""
+        extent = self.get_extent(key)
+        by_id = {device.device_id: device for device in self.devices}
+        health = ObjectHealth.HEALTHY
+        for stripe in extent.stripes:
+            present = [
+                chunk
+                for chunk in stripe.chunks
+                if by_id[chunk.device_id].has_chunk(chunk.address)
+            ]
+            if len(present) == len(stripe.chunks):
+                continue
+            if stripe.replicated:
+                recoverable = bool(present)
+            else:
+                recoverable = len(present) >= stripe.data_count
+            if not recoverable:
+                return ObjectHealth.LOST
+            health = ObjectHealth.DEGRADED
+        return health
+
+    def is_readable(self, key: ObjectKey) -> bool:
+        return self.object_health(key) is not ObjectHealth.LOST
+
+    # ------------------------------------------------------------------
+    # Rebuild (recovery onto a replacement spare)
+    # ------------------------------------------------------------------
+    def missing_chunks(self, key: ObjectKey) -> List[ChunkLocation]:
+        """Chunks of this object absent from their (online) home device."""
+        extent = self.get_extent(key)
+        by_id = {device.device_id: device for device in self.devices}
+        return [
+            chunk
+            for stripe in extent.stripes
+            for chunk in stripe.chunks
+            if not by_id[chunk.device_id].has_chunk(chunk.address)
+        ]
+
+    def rebuild_object(self, key: ObjectKey) -> ArrayIoResult:
+        """Reconstruct the object's missing fragments onto online devices.
+
+        Fragments whose home device is still failed are skipped (there is
+        nowhere to put them until a spare arrives).
+
+        Raises:
+            UnrecoverableDataError: a stripe cannot be decoded.
+        """
+        extent = self.get_extent(key)
+        by_id = {device.device_id: device for device in self.devices}
+        batch = _IoBatch(self.clock.now)
+        for stripe in extent.stripes:
+            available: Dict[int, ChunkLocation] = {}
+            missing: List[ChunkLocation] = []
+            for chunk in stripe.chunks:
+                device = by_id[chunk.device_id]
+                if device.has_chunk(chunk.address):
+                    available[chunk.fragment_index] = chunk
+                elif device.is_online:
+                    missing.append(chunk)
+            if not missing:
+                continue
+            if stripe.replicated:
+                payload = None
+                for index in sorted(available):
+                    source = available[index]
+                    payload = self._read_fragment(batch, by_id, source)
+                    if payload is not None:
+                        break
+                if payload is None:
+                    raise UnrecoverableDataError(
+                        f"stripe {stripe.stripe_id}: all replicas lost or corrupted"
+                    )
+                for chunk in missing:
+                    batch.write(by_id[chunk.device_id], chunk.address, payload)
+                continue
+            k = stripe.data_count
+            fragments: Dict[int, bytes] = {}
+            for index in sorted(available):
+                if len(fragments) == k:
+                    break
+                payload = self._read_fragment(batch, by_id, available[index])
+                if payload is not None:
+                    fragments[index] = payload
+            if len(fragments) < k:
+                raise UnrecoverableDataError(
+                    f"stripe {stripe.stripe_id}: {len(fragments)} readable fragments, "
+                    f"{k} needed"
+                )
+            codec = self._codec(k, stripe.parity_count)
+            rebuilt = codec.reconstruct(fragments, [chunk.fragment_index for chunk in missing])
+            for chunk in missing:
+                batch.write(by_id[chunk.device_id], chunk.address, rebuilt[chunk.fragment_index])
+        result = batch.finish(self.devices)
+        result.degraded = True
+        return result
+
+    # ------------------------------------------------------------------
+    # Scrubbing (silent-corruption repair)
+    # ------------------------------------------------------------------
+    def scrub(self) -> "ScrubReport":
+        """Walk every stored chunk, verify checksums, repair what failed.
+
+        Corrupted fragments are regenerated from the healthy fragments of
+        their stripe (replica copy or Reed-Solomon reconstruction) and
+        rewritten in place. Objects whose stripes have too few healthy
+        fragments are reported as unrecoverable and left untouched (the
+        cache layer purges them on access).
+        """
+        report = ScrubReport()
+        by_id = {device.device_id: device for device in self.devices}
+        batch = _IoBatch(self.clock.now)
+        for key, extent in list(self._objects.items()):
+            report.objects_checked += 1
+            object_ok = True
+            for stripe in extent.stripes:
+                good: Dict[int, bytes] = {}
+                bad: List[ChunkLocation] = []
+                for chunk in stripe.chunks:
+                    device = by_id[chunk.device_id]
+                    if not device.has_chunk(chunk.address):
+                        continue
+                    report.chunks_checked += 1
+                    payload = self._read_fragment(batch, by_id, chunk)
+                    if payload is None:
+                        bad.append(chunk)
+                    else:
+                        good[chunk.fragment_index] = payload
+                if not bad:
+                    continue
+                if stripe.replicated:
+                    if not good:
+                        object_ok = False
+                        continue
+                    replacement = next(iter(good.values()))
+                    for chunk in bad:
+                        batch.write(by_id[chunk.device_id], chunk.address, replacement)
+                        report.chunks_repaired += 1
+                    continue
+                k = stripe.data_count
+                if len(good) < k:
+                    object_ok = False
+                    continue
+                codec = self._codec(k, stripe.parity_count)
+                rebuilt = codec.reconstruct(
+                    dict(list(good.items())[:k]),
+                    [chunk.fragment_index for chunk in bad],
+                )
+                for chunk in bad:
+                    batch.write(
+                        by_id[chunk.device_id], chunk.address, rebuilt[chunk.fragment_index]
+                    )
+                    report.chunks_repaired += 1
+            if not object_ok:
+                report.unrecoverable_objects.append(key)
+        report.io = batch.finish(self.devices)
+        return report
+
+    def restripe_object(self, key: ObjectKey, scheme: Optional[RedundancyScheme] = None) -> ArrayIoResult:
+        """Re-lay an object across the *currently online* devices.
+
+        Used by recovery when no spare is available: a degraded object is
+        read (decoding around failures) and rewritten over the surviving
+        devices, recreating fresh redundancy there — the paper's
+        "additional data redundancy" effect of prioritized recovery.
+
+        Args:
+            scheme: redundancy scheme for the new layout; defaults to the
+                object's current scheme.
+
+        Raises:
+            UnrecoverableDataError: the object cannot be decoded.
+        """
+        extent = self.get_extent(key)
+        scheme = scheme or extent.scheme
+        payload, read_io = self.read_object(key)
+        write_io = self.write_object(key, payload, scheme, overwrite=True)
+        read_io.merge(write_io)
+        read_io.degraded = True
+        return read_io
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _codec(self, k: int, m: int) -> RSCodec:
+        try:
+            return self._codecs[(k, m)]
+        except KeyError:
+            codec = RSCodec(k, m)
+            self._codecs[(k, m)] = codec
+            return codec
+
+    @staticmethod
+    def _make_fragments(raw: bytes, count: int, chunk_length: int) -> List[bytes]:
+        """Cut a stripe payload into ``count`` fragments of ``chunk_length``,
+        zero-padding the tail."""
+        fragments: List[bytes] = []
+        for index in range(count):
+            piece = raw[index * chunk_length : (index + 1) * chunk_length]
+            if len(piece) < chunk_length:
+                piece = piece + b"\x00" * (chunk_length - len(piece))
+            fragments.append(piece)
+        return fragments
+
+    def __repr__(self) -> str:
+        return (
+            f"FlashArray(devices={self.width}, online={self.online_count}, "
+            f"objects={len(self._objects)}, chunk_size={self.chunk_size})"
+        )

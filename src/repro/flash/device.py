@@ -1,0 +1,229 @@
+"""A simulated flash SSD.
+
+Each :class:`FlashDevice` stores chunk payloads keyed by
+``(stripe_id, fragment_index)``, models service time through a
+:class:`~repro.flash.latency.ServiceTimeModel`, and exposes the failure
+lifecycle the paper's evaluation exercises: a device can be *failed*
+(shootdown — all resident chunks become unreadable) and later *replaced* by a
+fresh spare that background recovery repopulates.
+
+A light flash-wear model is included: program and erase counters per device,
+so experiments can report write amplification and wear imbalance even though
+the paper itself does not fail devices by wear-out.
+"""
+
+from __future__ import annotations
+
+import enum
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.errors import (
+    ChunkCorruptedError,
+    ChunkMissingError,
+    DeviceFailedError,
+    DeviceFullError,
+)
+from repro.flash.latency import INTEL_540S_SSD, ServiceTimeModel
+
+__all__ = ["ChunkAddress", "DeviceState", "DeviceStats", "FlashDevice"]
+
+#: A chunk is globally addressed by (stripe id, fragment index in the stripe).
+ChunkAddress = Tuple[int, int]
+
+
+class DeviceState(enum.Enum):
+    """Lifecycle state of a simulated device."""
+
+    ONLINE = "online"
+    FAILED = "failed"
+
+
+@dataclass
+class DeviceStats:
+    """Cumulative I/O counters for one device."""
+
+    reads: int = 0
+    writes: int = 0
+    deletes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    #: Program operations, a proxy for flash wear.
+    programs: int = 0
+    #: Erase operations (chunk deletions / whole-device replacement).
+    erases: int = 0
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.deletes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        # wear counters survive a stats reset on purpose: wear is physical.
+
+
+@dataclass
+class FlashDevice:
+    """One simulated SSD in the array.
+
+    Attributes:
+        device_id: position of the device in the array.
+        capacity_bytes: usable capacity.
+        model: service-time model for read/write operations.
+    """
+
+    device_id: int
+    capacity_bytes: int
+    model: ServiceTimeModel = INTEL_540S_SSD
+    state: DeviceState = DeviceState.ONLINE
+    stats: DeviceStats = field(default_factory=DeviceStats)
+    #: Completion time of the last scheduled operation (for queueing).
+    busy_until: float = 0.0
+    #: How many device replacements happened in this slot (spare insertions).
+    generation: int = 0
+    #: Optional flash-translation-layer accounting (GC, wear, write
+    #: amplification); attach a :class:`~repro.flash.ftl.PageMappedFtl`.
+    ftl: "object | None" = None
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError("device capacity must be positive")
+        self._chunks: Dict[ChunkAddress, bytes] = {}
+        #: CRC32 recorded at program time, verified on every read — the
+        #: defence against silent (bit-rot) corruption.
+        self._checksums: Dict[ChunkAddress, int] = {}
+        self._used = 0
+
+    # ------------------------------------------------------------------
+    # Capacity
+    # ------------------------------------------------------------------
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently stored on the device."""
+        return self._used
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self._used
+
+    @property
+    def chunk_count(self) -> int:
+        return len(self._chunks)
+
+    @property
+    def is_online(self) -> bool:
+        return self.state is DeviceState.ONLINE
+
+    # ------------------------------------------------------------------
+    # I/O — each call returns the simulated service time in seconds.
+    # ------------------------------------------------------------------
+    def write_chunk(self, address: ChunkAddress, payload: bytes) -> float:
+        """Store (or overwrite) a chunk; returns the simulated service time."""
+        self._check_online()
+        previous = self._chunks.get(address)
+        new_used = self._used - (len(previous) if previous is not None else 0) + len(payload)
+        if new_used > self.capacity_bytes:
+            raise DeviceFullError(
+                f"device {self.device_id}: chunk of {len(payload)} bytes does not fit "
+                f"({self.free_bytes} free)"
+            )
+        if previous is not None:
+            # Overwriting flash means programming new pages; the old ones are
+            # erased by garbage collection, which we bill immediately.
+            self.stats.erases += 1
+            if self.ftl is not None:
+                self.ftl.trim_extent(address, len(previous))
+        self._chunks[address] = bytes(payload)
+        self._checksums[address] = zlib.crc32(payload)
+        self._used = new_used
+        if self.ftl is not None:
+            self.ftl.write_extent(address, len(payload))
+        self.stats.writes += 1
+        self.stats.programs += 1
+        self.stats.bytes_written += len(payload)
+        return self.model.write_time(len(payload))
+
+    def read_chunk(self, address: ChunkAddress) -> Tuple[bytes, float]:
+        """Fetch a chunk; returns ``(payload, simulated service time)``."""
+        self._check_online()
+        try:
+            payload = self._chunks[address]
+        except KeyError:
+            raise ChunkMissingError(
+                f"device {self.device_id}: no chunk at {address}"
+            ) from None
+        self.stats.reads += 1
+        self.stats.bytes_read += len(payload)
+        if zlib.crc32(payload) != self._checksums[address]:
+            raise ChunkCorruptedError(
+                f"device {self.device_id}: checksum mismatch at {address}"
+            )
+        return payload, self.model.read_time(len(payload))
+
+    def delete_chunk(self, address: ChunkAddress) -> None:
+        """Drop a chunk. Deleting a missing chunk raises; deletes are metadata
+        operations and are billed no simulated time (TRIM is asynchronous)."""
+        self._check_online()
+        try:
+            payload = self._chunks.pop(address)
+        except KeyError:
+            raise ChunkMissingError(
+                f"device {self.device_id}: no chunk at {address}"
+            ) from None
+        self._checksums.pop(address, None)
+        self._used -= len(payload)
+        self.stats.deletes += 1
+        self.stats.erases += 1
+        if self.ftl is not None:
+            self.ftl.trim_extent(address, len(payload))
+
+    def has_chunk(self, address: ChunkAddress) -> bool:
+        """True if the chunk is present *and* the device is online."""
+        return self.is_online and address in self._chunks
+
+    # ------------------------------------------------------------------
+    # Failure lifecycle
+    # ------------------------------------------------------------------
+    def fail(self) -> None:
+        """Shoot the device down: all resident chunks become unreadable."""
+        self.state = DeviceState.FAILED
+
+    def corrupt_chunk(self, address: ChunkAddress) -> None:
+        """Fault injection: flip bits in a stored chunk (silent corruption).
+
+        The chunk stays present and readable-looking; the next read trips
+        the checksum and raises :class:`ChunkCorruptedError`.
+        """
+        self._check_online()
+        try:
+            payload = bytearray(self._chunks[address])
+        except KeyError:
+            raise ChunkMissingError(
+                f"device {self.device_id}: no chunk at {address}"
+            ) from None
+        if payload:
+            payload[0] ^= 0xFF
+        self._chunks[address] = bytes(payload)
+
+    def replace(self) -> None:
+        """Swap in a fresh spare at this slot: empty, online, zero queue."""
+        self._chunks.clear()
+        self._checksums.clear()
+        self._used = 0
+        self.state = DeviceState.ONLINE
+        self.generation += 1
+        self.stats.erases += 1
+        if self.ftl is not None:
+            # The spare arrives with a pristine FTL of the same geometry.
+            self.ftl = type(self.ftl)(self.ftl.config)
+
+    def _check_online(self) -> None:
+        if not self.is_online:
+            raise DeviceFailedError(self.device_id)
+
+    def __repr__(self) -> str:
+        return (
+            f"FlashDevice(id={self.device_id}, state={self.state.value}, "
+            f"used={self._used}/{self.capacity_bytes})"
+        )

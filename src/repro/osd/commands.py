@@ -1,0 +1,149 @@
+"""OSD command set, modelled on the T10 OSD-2 service actions the paper uses.
+
+Commands are plain dataclasses with an :meth:`apply` method executing them
+against an :class:`~repro.osd.target.OsdTarget`. The indirection mirrors the
+SCSI command boundary of the real open-osd stack: the initiator builds
+command PDUs, the target interprets them, and all status flows back as sense
+codes. Keeping the boundary explicit lets tests drive the target exactly the
+way the cache manager does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.osd.target import OsdResponse, OsdTarget
+from repro.osd.sense import SenseCode
+from repro.osd.types import ObjectId, ObjectKind
+
+__all__ = [
+    "CreateObject",
+    "CreatePartition",
+    "GetAttr",
+    "ListPartition",
+    "OsdCommand",
+    "Read",
+    "Remove",
+    "SetAttr",
+    "Update",
+    "Write",
+]
+
+
+class OsdCommand:
+    """Base class for OSD commands (marker + shared docstring)."""
+
+    def apply(self, target: OsdTarget) -> OsdResponse:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class CreatePartition(OsdCommand):
+    """CREATE PARTITION service action."""
+
+    pid: int
+
+    def apply(self, target: OsdTarget) -> OsdResponse:
+        return target.create_partition(self.pid)
+
+
+@dataclass(frozen=True)
+class CreateObject(OsdCommand):
+    """CREATE service action — an empty user or collection object."""
+
+    object_id: ObjectId
+    kind: ObjectKind = ObjectKind.USER
+
+    def apply(self, target: OsdTarget) -> OsdResponse:
+        if target.exists(self.object_id):
+            return OsdResponse(SenseCode.FAIL)
+        return target.write_object(self.object_id, b"", kind=self.kind)
+
+
+@dataclass(frozen=True)
+class Write(OsdCommand):
+    """WRITE service action. ``class_id`` rides along as a capability hint."""
+
+    object_id: ObjectId
+    payload: bytes
+    class_id: Optional[int] = None
+
+    def apply(self, target: OsdTarget) -> OsdResponse:
+        return target.write_object(self.object_id, self.payload, class_id=self.class_id)
+
+
+@dataclass(frozen=True)
+class Update(OsdCommand):
+    """Partial in-place WRITE at a byte offset (delta/direct parity path)."""
+
+    object_id: ObjectId
+    offset: int
+    payload: bytes
+
+    def apply(self, target: OsdTarget) -> OsdResponse:
+        return target.update_object(self.object_id, self.offset, self.payload)
+
+
+@dataclass(frozen=True)
+class Read(OsdCommand):
+    """READ service action — whole-object read."""
+
+    object_id: ObjectId
+
+    def apply(self, target: OsdTarget) -> OsdResponse:
+        return target.read_object(self.object_id)
+
+
+@dataclass(frozen=True)
+class Remove(OsdCommand):
+    """REMOVE service action."""
+
+    object_id: ObjectId
+
+    def apply(self, target: OsdTarget) -> OsdResponse:
+        return target.remove_object(self.object_id)
+
+
+@dataclass(frozen=True)
+class SetAttr(OsdCommand):
+    """SET ATTRIBUTES service action (one page entry)."""
+
+    object_id: ObjectId
+    key: str
+    value: str
+
+    def apply(self, target: OsdTarget) -> OsdResponse:
+        if not target.exists(self.object_id):
+            return OsdResponse(SenseCode.FAIL)
+        target.get_info(self.object_id).attributes[self.key] = self.value
+        return OsdResponse(SenseCode.OK)
+
+
+@dataclass(frozen=True)
+class GetAttr(OsdCommand):
+    """GET ATTRIBUTES service action; value returned as the payload."""
+
+    object_id: ObjectId
+    key: str
+
+    def apply(self, target: OsdTarget) -> OsdResponse:
+        if not target.exists(self.object_id):
+            return OsdResponse(SenseCode.FAIL)
+        value = target.get_info(self.object_id).attributes.get(self.key)
+        if value is None:
+            return OsdResponse(SenseCode.FAIL)
+        return OsdResponse(SenseCode.OK, payload=value.encode("utf-8"))
+
+
+@dataclass(frozen=True)
+class ListPartition(OsdCommand):
+    """LIST service action: member object ids, newline-separated."""
+
+    pid: int
+
+    def apply(self, target: OsdTarget) -> OsdResponse:
+        if not target.has_partition(self.pid):
+            return OsdResponse(SenseCode.FAIL)
+        listing = "\n".join(str(oid) for oid in target.list_partition(self.pid))
+        return OsdResponse(SenseCode.OK, payload=listing.encode("ascii"))

@@ -1,0 +1,125 @@
+"""The control-object message codec (paper §IV-C.2).
+
+Reo reserves object OID ``0x10004`` as a communication point between the
+cache manager and the object storage. Control messages are small strings
+written synchronously to that object:
+
+- **Classification command** — header ``#SETID#`` followed by the target
+  object's PID, OID, and the class id (CID)::
+
+      #SETID#,0x10000,0x10005,2
+
+- **Query command** — header ``#QUERY#`` followed by PID, OID, the operation
+  type (``R``/``W``), the offset, and the size::
+
+      #QUERY#,0x10000,0x10005,R,0,4096
+
+The target decodes the message and performs the corresponding operation; the
+initiator reads back a sense code (Table III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ControlMessageError
+from repro.osd.types import ObjectId
+
+__all__ = [
+    "QueryMessage",
+    "SET_CLASS_HEADER",
+    "QUERY_HEADER",
+    "SetClassMessage",
+    "parse_control_message",
+]
+
+SET_CLASS_HEADER = "#SETID#"
+QUERY_HEADER = "#QUERY#"
+_SEPARATOR = ","
+
+
+@dataclass(frozen=True)
+class SetClassMessage:
+    """Deliver a classifier (class id) for a specified data object."""
+
+    object_id: ObjectId
+    class_id: int
+
+    def encode(self) -> bytes:
+        fields = [
+            SET_CLASS_HEADER,
+            f"{self.object_id.pid:#x}",
+            f"{self.object_id.oid:#x}",
+            str(self.class_id),
+        ]
+        return _SEPARATOR.join(fields).encode("ascii")
+
+
+@dataclass(frozen=True)
+class QueryMessage:
+    """Retrieve the status of a queried object (read or write intent)."""
+
+    object_id: ObjectId
+    operation: str  # "R" or "W"
+    offset: int = 0
+    size: int = 0
+
+    def __post_init__(self) -> None:
+        if self.operation not in ("R", "W"):
+            raise ControlMessageError(f"operation must be 'R' or 'W', got {self.operation!r}")
+        if self.offset < 0 or self.size < 0:
+            raise ControlMessageError("offset and size must be non-negative")
+
+    def encode(self) -> bytes:
+        fields = [
+            QUERY_HEADER,
+            f"{self.object_id.pid:#x}",
+            f"{self.object_id.oid:#x}",
+            self.operation,
+            str(self.offset),
+            str(self.size),
+        ]
+        return _SEPARATOR.join(fields).encode("ascii")
+
+
+def _parse_int(token: str, what: str) -> int:
+    try:
+        return int(token, 0)  # accepts both decimal and 0x-prefixed hex
+    except ValueError:
+        raise ControlMessageError(f"malformed {what}: {token!r}") from None
+
+
+def parse_control_message(payload: bytes) -> "SetClassMessage | QueryMessage":
+    """Decode a control-object write into a message object.
+
+    Raises:
+        ControlMessageError: unknown header, wrong field count, or malformed
+            numeric fields.
+    """
+    try:
+        text = payload.decode("ascii")
+    except UnicodeDecodeError:
+        raise ControlMessageError("control message is not ASCII") from None
+    fields = text.split(_SEPARATOR)
+    header = fields[0] if fields else ""
+    if header == SET_CLASS_HEADER:
+        if len(fields) != 4:
+            raise ControlMessageError(
+                f"classification command needs 4 fields, got {len(fields)}"
+            )
+        object_id = ObjectId(_parse_int(fields[1], "PID"), _parse_int(fields[2], "OID"))
+        return SetClassMessage(object_id, _parse_int(fields[3], "class id"))
+    if header == QUERY_HEADER:
+        if len(fields) != 6:
+            raise ControlMessageError(f"query command needs 6 fields, got {len(fields)}")
+        object_id = ObjectId(_parse_int(fields[1], "PID"), _parse_int(fields[2], "OID"))
+        operation = fields[3]
+        if operation not in ("R", "W"):
+            raise ControlMessageError(f"unknown operation type {operation!r}")
+        return QueryMessage(
+            object_id,
+            operation,
+            _parse_int(fields[4], "offset"),
+            _parse_int(fields[5], "size"),
+        )
+    raise ControlMessageError(f"unknown control header {header!r}")

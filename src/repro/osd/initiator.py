@@ -1,0 +1,108 @@
+"""The OSD initiator: the client side the cache manager runs on (paper §V).
+
+The initiator builds OSD commands and executes them against a target —
+either in-process (the default, used by the experiment calibration) or
+through an :class:`~repro.osd.transport.IscsiChannel`, which serializes
+every command and response to PDU bytes and bills simulated network time,
+matching the open-osd/iSCSI split of the paper's prototype.
+
+Crucially for Reo, classification and query messages travel through the
+reserved control object exactly as the paper describes: synchronous writes
+to OID ``0x10004`` (§IV-C.2).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Tuple
+
+from repro.flash.array import ArrayIoResult
+from repro.osd import commands
+from repro.osd.control import QueryMessage, SetClassMessage
+from repro.osd.sense import SenseCode
+from repro.osd.target import OsdResponse, OsdTarget
+from repro.osd.types import CONTROL_OBJECT, ROOT_OBJECT, ObjectId
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.osd.transport import IscsiChannel
+
+__all__ = ["OsdInitiator"]
+
+
+class OsdInitiator:
+    """Client-side handle to one OSD target."""
+
+    def __init__(self, target: OsdTarget, channel: "Optional[IscsiChannel]" = None) -> None:
+        """
+        Args:
+            target: the OSD target to talk to.
+            channel: optional transport session; when set, every command
+                round-trips through the wire format with network billing.
+        """
+        self.target = target
+        self.channel = channel
+
+    def _execute(self, command: commands.OsdCommand) -> OsdResponse:
+        if self.channel is not None:
+            return self.channel.submit(command)
+        return command.apply(self.target)
+
+    # ------------------------------------------------------------------
+    # Object data path
+    # ------------------------------------------------------------------
+    def write(
+        self, object_id: ObjectId, payload: bytes, class_id: Optional[int] = None
+    ) -> OsdResponse:
+        """Store an object, optionally tagging its class at write time."""
+        return self._execute(commands.Write(object_id, payload, class_id))
+
+    def read(self, object_id: ObjectId) -> Tuple[Optional[bytes], OsdResponse]:
+        """Read an object; returns ``(payload or None, response)``."""
+        response = self._execute(commands.Read(object_id))
+        return response.payload, response
+
+    def update(self, object_id: ObjectId, offset: int, data: bytes) -> OsdResponse:
+        """Partial in-place write at a byte offset (delta/direct parity)."""
+        return self._execute(commands.Update(object_id, offset, data))
+
+    def remove(self, object_id: ObjectId) -> OsdResponse:
+        return self._execute(commands.Remove(object_id))
+
+    def exists(self, object_id: ObjectId) -> bool:
+        return self.target.exists(object_id)
+
+    # ------------------------------------------------------------------
+    # Control messages (paper §IV-C.2)
+    # ------------------------------------------------------------------
+    def set_class(self, object_id: ObjectId, class_id: int) -> OsdResponse:
+        """Send a #SETID# classification command through the control object.
+
+        The write is synchronous (the paper fsyncs it past the buffer cache)
+        so the returned sense code reflects the completed reclassification.
+        """
+        message = SetClassMessage(object_id, class_id)
+        return self._execute(commands.Write(CONTROL_OBJECT, message.encode()))
+
+    def query(
+        self,
+        object_id: ObjectId,
+        operation: str = "R",
+        offset: int = 0,
+        size: int = 0,
+    ) -> Tuple[SenseCode, ArrayIoResult]:
+        """Send a #QUERY# status probe; returns the sense code."""
+        message = QueryMessage(object_id, operation, offset, size)
+        response = self._execute(commands.Write(CONTROL_OBJECT, message.encode()))
+        return response.sense, response.io
+
+    def recovery_status(self) -> SenseCode:
+        """Poll the global recovery state via a root-object #QUERY#.
+
+        Returns 0x65 while recovery runs, 0x66 after it completed, 0x0 when
+        none ever ran (paper Table III).
+        """
+        sense, _ = self.query(ROOT_OBJECT)
+        return sense
+
+    def __repr__(self) -> str:
+        transport = "iscsi" if self.channel is not None else "local"
+        return f"OsdInitiator(target={self.target!r}, transport={transport})"

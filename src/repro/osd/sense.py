@@ -1,0 +1,44 @@
+"""Sense codes returned by the OSD target (paper Table III)."""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["SenseCode"]
+
+
+class SenseCode(enum.IntEnum):
+    """Status vocabulary between the object storage and the cache manager.
+
+    Values match the paper's Table III exactly.
+    """
+
+    #: The command is successful.
+    OK = 0x0
+    #: The command is unsuccessful.
+    FAIL = -0x1
+    #: Data is corrupted.
+    DATA_CORRUPTED = 0x63
+    #: The cache is full, demanding a cache replacement.
+    CACHE_FULL = 0x64
+    #: Recovery starts.
+    RECOVERY_STARTED = 0x65
+    #: Recovery ends.
+    RECOVERY_ENDED = 0x66
+    #: The allocated space for data redundancy is full.
+    REDUNDANCY_FULL = 0x67
+
+    def describe(self) -> str:
+        """The paper's textual description of this code."""
+        return _DESCRIPTIONS[self]
+
+
+_DESCRIPTIONS = {
+    SenseCode.OK: "The command is successful",
+    SenseCode.FAIL: "The command is unsuccessful",
+    SenseCode.DATA_CORRUPTED: "Data is corrupted",
+    SenseCode.CACHE_FULL: "The cache is full",
+    SenseCode.RECOVERY_STARTED: "Recovery starts",
+    SenseCode.RECOVERY_ENDED: "Recovery ends",
+    SenseCode.REDUNDANCY_FULL: "The allocated space for data redundancy is full",
+}

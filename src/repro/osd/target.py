@@ -1,0 +1,299 @@
+"""The OSD target: the server side of the object cache (paper §V).
+
+The target owns the flash array and executes object commands. As in the
+paper's prototype — where the stock osd-target's host file system and SQLite
+metadata were replaced by the flash array and a hash table — object metadata
+here is a plain dict keyed by :class:`~repro.osd.types.ObjectId`.
+
+The target is policy-agnostic: it maps an object's *class id* to a
+:class:`~repro.flash.stripe.RedundancyScheme` through a pluggable
+``scheme_for(class_id)`` callable. Reo's differentiated policy and the
+uniform baselines (paper §VI) are both implemented in
+:mod:`repro.core.policy` and injected here, so every experiment runs the
+same target code and varies only the policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Set
+
+from repro.errors import (
+    ControlMessageError,
+    FlashError,
+    ObjectNotFoundError,
+    UnrecoverableDataError,
+)
+from repro.flash.array import ArrayIoResult, FlashArray, ObjectHealth
+from repro.flash.stripe import ParityScheme, RedundancyScheme
+from repro.osd.control import QueryMessage, SetClassMessage, parse_control_message
+from repro.osd.sense import SenseCode
+from repro.osd.types import CONTROL_OBJECT, ROOT_OBJECT, ObjectId, ObjectInfo, ObjectKind
+
+__all__ = ["OsdResponse", "OsdTarget", "SchemePolicy"]
+
+#: Maps a Reo class id to the redundancy scheme objects of that class get.
+SchemePolicy = Callable[[int], RedundancyScheme]
+
+
+def _default_policy(_class_id: int) -> RedundancyScheme:
+    """Uniform no-redundancy policy used when none is injected."""
+    return ParityScheme(0)
+
+
+@dataclass
+class OsdResponse:
+    """Outcome of one OSD command."""
+
+    sense: SenseCode
+    io: ArrayIoResult = field(default_factory=ArrayIoResult)
+    payload: Optional[bytes] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.sense is SenseCode.OK
+
+
+class OsdTarget:
+    """Executes object commands against a flash array."""
+
+    def __init__(
+        self,
+        array: FlashArray,
+        policy: Optional[SchemePolicy] = None,
+    ) -> None:
+        self.array = array
+        self.policy: SchemePolicy = policy or _default_policy
+        self._objects: Dict[ObjectId, ObjectInfo] = {}
+        self._partitions: Dict[int, Set[ObjectId]] = {}
+        #: Set by the recovery manager while reconstruction is in progress;
+        #: surfaces to initiators as sense 0x65/0x66 on queries.
+        self.recovery_active = False
+        #: True once a recovery pass has completed (drives sense 0x66).
+        self.recovery_completed = False
+        #: Set by the redundancy budget manager when the parity reserve is
+        #: exhausted; surfaces as sense 0x67.
+        self.redundancy_reserve_full = False
+
+    # ------------------------------------------------------------------
+    # Namespace
+    # ------------------------------------------------------------------
+    def create_partition(self, pid: int) -> OsdResponse:
+        """Create a partition object (OID 0) for ``pid``."""
+        partition_id = ObjectId(pid, 0)
+        if pid in self._partitions:
+            return OsdResponse(SenseCode.FAIL)
+        self._partitions[pid] = set()
+        self._objects[partition_id] = ObjectInfo(
+            object_id=partition_id,
+            kind=ObjectKind.PARTITION,
+            class_id=0,
+            created_at=self.array.clock.now,
+        )
+        return OsdResponse(SenseCode.OK)
+
+    def has_partition(self, pid: int) -> bool:
+        return pid in self._partitions
+
+    def exists(self, object_id: ObjectId) -> bool:
+        return object_id in self._objects
+
+    def get_info(self, object_id: ObjectId) -> ObjectInfo:
+        try:
+            return self._objects[object_id]
+        except KeyError:
+            raise ObjectNotFoundError(f"no object {object_id}") from None
+
+    def list_partition(self, pid: int) -> List[ObjectId]:
+        """User/collection objects within a partition, sorted by id."""
+        if pid not in self._partitions:
+            raise ObjectNotFoundError(f"no partition {pid:#x}")
+        return sorted(self._partitions[pid])
+
+    def user_objects(self) -> Iterable[ObjectInfo]:
+        return (
+            info
+            for info in self._objects.values()
+            if info.kind in (ObjectKind.USER, ObjectKind.COLLECTION)
+        )
+
+    def objects_in_class(self, class_id: int) -> List[ObjectInfo]:
+        return [info for info in self.user_objects() if info.class_id == class_id]
+
+    @property
+    def object_count(self) -> int:
+        return len(self._objects)
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def write_object(
+        self,
+        object_id: ObjectId,
+        payload: bytes,
+        class_id: Optional[int] = None,
+        kind: ObjectKind = ObjectKind.USER,
+    ) -> OsdResponse:
+        """Create or overwrite an object, encoding it per its class's scheme.
+
+        Writes to the control object are intercepted and interpreted as
+        control messages (paper §IV-C.2).
+        """
+        if object_id == CONTROL_OBJECT:
+            return self._handle_control_write(payload)
+        if object_id.pid not in self._partitions:
+            return OsdResponse(SenseCode.FAIL)
+        existing = self._objects.get(object_id)
+        if existing is not None:
+            effective_class = class_id if class_id is not None else existing.class_id
+        else:
+            effective_class = class_id if class_id is not None else 3
+        scheme = self.policy(effective_class)
+        try:
+            io = self.array.write_object(object_id, payload, scheme, overwrite=True)
+        except UnrecoverableDataError:
+            return OsdResponse(SenseCode.DATA_CORRUPTED)
+        if existing is None:
+            info = ObjectInfo(
+                object_id=object_id,
+                kind=kind,
+                size=len(payload),
+                class_id=effective_class,
+                created_at=self.array.clock.now,
+            )
+            info.attributes["reo.class_id"] = str(effective_class)
+            self._objects[object_id] = info
+            self._partitions[object_id.pid].add(object_id)
+        else:
+            existing.size = len(payload)
+            existing.class_id = effective_class
+        return OsdResponse(SenseCode.OK, io=io)
+
+    def update_object(self, object_id: ObjectId, offset: int, data: bytes) -> OsdResponse:
+        """Partial in-place WRITE at a byte offset (paper §II-B update path).
+
+        Touches only the affected stripes, choosing delta vs direct parity
+        updating per stripe by fragment-read cost. Fails (0x63) when the
+        object is degraded — repair precedes update.
+        """
+        if object_id not in self._objects:
+            return OsdResponse(SenseCode.FAIL)
+        if object_id not in self.array:
+            return OsdResponse(SenseCode.FAIL)
+        if self.array.object_health(object_id) is not ObjectHealth.HEALTHY:
+            return OsdResponse(SenseCode.DATA_CORRUPTED)
+        try:
+            io = self.array.update_range(object_id, offset, data)
+        except FlashError:
+            return OsdResponse(SenseCode.FAIL)
+        return OsdResponse(SenseCode.OK, io=io)
+
+    def read_object(self, object_id: ObjectId) -> OsdResponse:
+        """Read an object; degraded stripes are decoded transparently."""
+        if object_id not in self._objects:
+            return OsdResponse(SenseCode.FAIL)
+        try:
+            payload, io = self.array.read_object(object_id)
+        except (UnrecoverableDataError, ObjectNotFoundError):
+            return OsdResponse(SenseCode.DATA_CORRUPTED)
+        return OsdResponse(SenseCode.OK, io=io, payload=payload)
+
+    def remove_object(self, object_id: ObjectId) -> OsdResponse:
+        info = self._objects.pop(object_id, None)
+        if info is None:
+            return OsdResponse(SenseCode.FAIL)
+        self._partitions.get(object_id.pid, set()).discard(object_id)
+        if object_id in self.array:
+            io = self.array.delete_object(object_id)
+        else:
+            io = ArrayIoResult()
+        return OsdResponse(SenseCode.OK, io=io)
+
+    # ------------------------------------------------------------------
+    # Classification (differentiated redundancy hookup)
+    # ------------------------------------------------------------------
+    def set_class(self, object_id: ObjectId, class_id: int) -> OsdResponse:
+        """Reclassify an object, re-encoding it if its scheme changes.
+
+        Re-encoding reads the object (degraded reads allowed) and rewrites it
+        under the new scheme; a lost object cannot be reclassified and
+        returns sense 0x63.
+        """
+        info = self._objects.get(object_id)
+        if info is None:
+            return OsdResponse(SenseCode.FAIL)
+        old_scheme = self.policy(info.class_id)
+        new_scheme = self.policy(class_id)
+        info.class_id = class_id
+        # The classifier is "a label ... in effect a semantic hint" attached
+        # to the object (§IV-B); mirror it on the OSD attributes page.
+        info.attributes["reo.class_id"] = str(class_id)
+        if old_scheme == new_scheme or object_id not in self.array:
+            return OsdResponse(SenseCode.OK)
+        try:
+            payload, read_io = self.array.read_object(object_id)
+        except UnrecoverableDataError:
+            return OsdResponse(SenseCode.DATA_CORRUPTED)
+        write_io = self.array.write_object(object_id, payload, new_scheme, overwrite=True)
+        read_io.merge(write_io)
+        return OsdResponse(SenseCode.OK, io=read_io)
+
+    # ------------------------------------------------------------------
+    # Control object (paper §IV-C.2)
+    # ------------------------------------------------------------------
+    def _handle_control_write(self, payload: bytes) -> OsdResponse:
+        try:
+            message = parse_control_message(payload)
+        except ControlMessageError:
+            return OsdResponse(SenseCode.FAIL)
+        # A control write is a few dozen bytes, written synchronously
+        # (fsync); bill one small device write on the simulated clock.
+        io = ArrayIoResult(
+            elapsed=self.array.devices[0].model.write_time(len(payload)),
+            chunks_written=1,
+            bytes_written=len(payload),
+        )
+        if isinstance(message, SetClassMessage):
+            response = self.set_class(message.object_id, message.class_id)
+            response.io.merge(io)
+            return response
+        assert isinstance(message, QueryMessage)
+        sense = self.query(message)
+        return OsdResponse(sense, io=io)
+
+    def query(self, message: QueryMessage) -> SenseCode:
+        """Answer a #QUERY# status probe (paper Table III semantics).
+
+        A query against the root object (PID 0/OID 0) reports the global
+        recovery state: 0x65 while reconstruction runs, 0x66 once it has
+        completed, 0x0 when no recovery ever happened.
+        """
+        if message.object_id == ROOT_OBJECT:
+            if self.recovery_active:
+                return SenseCode.RECOVERY_STARTED
+            if self.recovery_completed:
+                return SenseCode.RECOVERY_ENDED
+            return SenseCode.OK
+        if message.object_id not in self._objects:
+            if message.operation == "W":
+                return self._query_write_admission(message.size)
+            return SenseCode.FAIL
+        if message.object_id not in self.array:
+            # Metadata-only object (e.g. partition object): always fine.
+            return SenseCode.OK
+        health = self.array.object_health(message.object_id)
+        if health is ObjectHealth.LOST:
+            return SenseCode.DATA_CORRUPTED
+        if health is ObjectHealth.DEGRADED and self.recovery_active:
+            return SenseCode.RECOVERY_STARTED
+        return SenseCode.OK
+
+    def _query_write_admission(self, size: int) -> SenseCode:
+        if self.redundancy_reserve_full:
+            return SenseCode.REDUNDANCY_FULL
+        if size > self.array.free_bytes:
+            return SenseCode.CACHE_FULL
+        return SenseCode.OK
+
+    def __repr__(self) -> str:
+        return f"OsdTarget(objects={len(self._objects)}, array={self.array!r})"

@@ -1,0 +1,88 @@
+"""iSCSI-like transport between the OSD initiator and target.
+
+The paper's prototype emulates OSD with "iSCSI protocol coupled with the
+current block-based devices" (§II-A): the initiator is the host side of an
+iSCSI session, the target the server side. :class:`IscsiChannel` models that
+session: commands and responses cross it as *serialized PDUs*
+(:mod:`repro.osd.wire`), and the link bills simulated transfer time with a
+``busy_until`` queue, so command traffic contends on the wire like data
+does.
+
+The channel is optional — `OsdInitiator` works in-process by default, which
+is what the experiment calibration uses. Wiring a channel in adds per-command
+network latency and an honest serialization boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.flash.latency import NETWORK_10GBE, ServiceTimeModel
+from repro.osd import wire
+from repro.osd.commands import OsdCommand
+from repro.osd.target import OsdResponse, OsdTarget
+from repro.sim.clock import SimClock
+
+__all__ = ["ChannelStats", "IscsiChannel"]
+
+
+@dataclass
+class ChannelStats:
+    """Traffic counters for one session."""
+
+    commands: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+
+
+class IscsiChannel:
+    """A simulated initiator→target session carrying PDU traffic."""
+
+    def __init__(
+        self,
+        target: OsdTarget,
+        clock: Optional[SimClock] = None,
+        model: ServiceTimeModel = NETWORK_10GBE,
+    ) -> None:
+        self.target = target
+        self.clock = clock or target.array.clock
+        self.model = model
+        self.busy_until = 0.0
+        self.stats = ChannelStats()
+
+    def submit(self, command: OsdCommand) -> OsdResponse:
+        """Ship a command PDU, execute it, ship the response PDU back.
+
+        The returned response's ``io.elapsed`` includes both transfer legs
+        plus the target-side execution time, so callers see end-to-end
+        latency.
+        """
+        request_pdu = wire.encode_command(command)
+        outbound = self._transfer(len(request_pdu), write=True)
+        decoded = wire.decode_command(request_pdu)
+        response = decoded.apply(self.target)
+        response_pdu = wire.encode_response(response)
+        inbound = self._transfer(len(response_pdu), write=False)
+        result = wire.decode_response(response_pdu)
+        result.io.elapsed += outbound + inbound
+        self.stats.commands += 1
+        self.stats.bytes_sent += len(request_pdu)
+        self.stats.bytes_received += len(response_pdu)
+        return result
+
+    def _transfer(self, num_bytes: int, write: bool) -> float:
+        service = (
+            self.model.write_time(num_bytes) if write else self.model.read_time(num_bytes)
+        )
+        start = self.clock.now
+        begin = max(start, self.busy_until)
+        completion = begin + service
+        self.busy_until = completion
+        return completion - start
+
+    def __repr__(self) -> str:
+        return (
+            f"IscsiChannel(commands={self.stats.commands}, "
+            f"sent={self.stats.bytes_sent}, received={self.stats.bytes_received})"
+        )

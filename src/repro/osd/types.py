@@ -1,0 +1,113 @@
+"""Object identifiers and metadata, after the T10 OSD-2 model.
+
+Table I of the paper (itself following OSD-2 and Linux exofs) defines the
+object taxonomy reproduced here:
+
+- the **root object** at PID 0x0 / OID 0x0 records global device information;
+- **partition objects** have PID >= 0x10000 and OID 0x0;
+- **collection** and **user objects** share their partition's PID and have
+  OID >= 0x10000;
+- exofs reserves OIDs 0x10000-0x10002 of partition 0x10000 for the super
+  block, device table, and root directory, and Reo reserves OID 0x10004 of
+  the same partition as the control-message object.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = [
+    "CONTROL_OBJECT",
+    "DEVICE_TABLE",
+    "FIRST_USER_OID",
+    "ObjectId",
+    "ObjectInfo",
+    "ObjectKind",
+    "PARTITION_BASE",
+    "PARTITION_ZERO",
+    "ROOT_DIRECTORY",
+    "ROOT_OBJECT",
+    "SUPER_BLOCK",
+]
+
+#: Lowest PID/OID value for partitions, collections, and user objects.
+PARTITION_BASE = 0x10000
+
+#: First OID available for regular user objects in exofs (0x10000-0x10004
+#: are reserved for metadata and the control object).
+FIRST_USER_OID = 0x10005
+
+
+class ObjectKind(enum.Enum):
+    """The four OSD object types (OSD-2 §4.2, paper Table I)."""
+
+    ROOT = "root"
+    PARTITION = "partition"
+    COLLECTION = "collection"
+    USER = "user"
+
+
+@dataclass(frozen=True, order=True)
+class ObjectId:
+    """A (partition id, object id) pair — the unique name of an OSD object."""
+
+    pid: int
+    oid: int
+
+    def __post_init__(self) -> None:
+        if self.pid < 0 or self.oid < 0:
+            raise ValueError("PID and OID must be non-negative")
+
+    def inferred_kind(self) -> ObjectKind:
+        """Best-effort kind from the numbering convention alone.
+
+        Collections and user objects are indistinguishable by ID; the target
+        records the kind declared at creation. IDs below
+        :data:`PARTITION_BASE` (other than the root) are also treated as user
+        objects for lenience.
+        """
+        if self.pid == 0 and self.oid == 0:
+            return ObjectKind.ROOT
+        if self.oid == 0:
+            return ObjectKind.PARTITION
+        return ObjectKind.USER
+
+    def __str__(self) -> str:
+        return f"{self.pid:#x}/{self.oid:#x}"
+
+
+#: The root object: global OSD information.
+ROOT_OBJECT = ObjectId(0x0, 0x0)
+#: The first (and, in exofs, only) partition.
+PARTITION_ZERO = ObjectId(PARTITION_BASE, 0x0)
+#: exofs super block object.
+SUPER_BLOCK = ObjectId(PARTITION_BASE, 0x10000)
+#: exofs device table object.
+DEVICE_TABLE = ObjectId(PARTITION_BASE, 0x10001)
+#: exofs root directory object.
+ROOT_DIRECTORY = ObjectId(PARTITION_BASE, 0x10002)
+#: Reo's reserved control-message object (paper §IV-C.2).
+CONTROL_OBJECT = ObjectId(PARTITION_BASE, 0x10004)
+
+#: Objects that exist from format time and are Class-0 system metadata.
+RESERVED_METADATA = (SUPER_BLOCK, DEVICE_TABLE, ROOT_DIRECTORY)
+
+
+@dataclass
+class ObjectInfo:
+    """Target-side record for one stored object."""
+
+    object_id: ObjectId
+    kind: ObjectKind
+    size: int = 0
+    #: Reo class id (0 metadata, 1 dirty, 2 hot clean, 3 cold clean).
+    class_id: int = 3
+    created_at: float = 0.0
+    #: Free-form OSD attributes page (application metadata).
+    attributes: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def is_metadata(self) -> bool:
+        return self.class_id == 0

@@ -1,0 +1,172 @@
+"""Wire format for OSD commands and responses.
+
+The real open-osd stack carries OSD service actions in SCSI CDBs over
+iSCSI. This module provides the simulation's equivalent: every command and
+response serializes to a PDU of
+
+- a 4-byte big-endian header length,
+- a JSON header (command kind, ids, attributes), and
+- an opaque binary data segment (write payloads, read results).
+
+Round-tripping through real bytes keeps the initiator/target boundary
+honest — nothing crosses it except what the wire format can carry — and
+gives the transport layer true payload sizes to bill.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Optional, Tuple
+
+from repro.errors import OsdError
+from repro.flash.array import ArrayIoResult
+from repro.osd import commands
+from repro.osd.sense import SenseCode
+from repro.osd.target import OsdResponse
+from repro.osd.types import ObjectId, ObjectKind
+
+__all__ = ["decode_command", "decode_response", "encode_command", "encode_response"]
+
+_LENGTH = struct.Struct(">I")
+
+
+def _pack(header: dict, data: bytes = b"") -> bytes:
+    header_bytes = json.dumps(header, sort_keys=True).encode("ascii")
+    return _LENGTH.pack(len(header_bytes)) + header_bytes + data
+
+
+def _unpack(pdu: bytes) -> Tuple[dict, bytes]:
+    if len(pdu) < _LENGTH.size:
+        raise OsdError("truncated PDU: missing length prefix")
+    (header_length,) = _LENGTH.unpack_from(pdu)
+    end = _LENGTH.size + header_length
+    if len(pdu) < end:
+        raise OsdError("truncated PDU: header shorter than declared")
+    try:
+        header = json.loads(pdu[_LENGTH.size : end].decode("ascii"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise OsdError(f"malformed PDU header: {exc}") from None
+    return header, pdu[end:]
+
+
+def _object_id_fields(object_id: ObjectId) -> dict:
+    return {"pid": object_id.pid, "oid": object_id.oid}
+
+
+def _object_id_from(header: dict) -> ObjectId:
+    try:
+        return ObjectId(int(header["pid"]), int(header["oid"]))
+    except (KeyError, ValueError) as exc:
+        raise OsdError(f"PDU missing object id: {exc}") from None
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+def encode_command(command: commands.OsdCommand) -> bytes:
+    """Serialize a command to its PDU."""
+    if isinstance(command, commands.CreatePartition):
+        return _pack({"op": "create_partition", "partition": command.pid})
+    if isinstance(command, commands.CreateObject):
+        header = {"op": "create", "kind": command.kind.value}
+        header.update(_object_id_fields(command.object_id))
+        return _pack(header)
+    if isinstance(command, commands.Write):
+        header = {"op": "write", "class_id": command.class_id}
+        header.update(_object_id_fields(command.object_id))
+        return _pack(header, command.payload)
+    if isinstance(command, commands.Update):
+        header = {"op": "update", "offset": command.offset}
+        header.update(_object_id_fields(command.object_id))
+        return _pack(header, command.payload)
+    if isinstance(command, commands.Read):
+        header = {"op": "read"}
+        header.update(_object_id_fields(command.object_id))
+        return _pack(header)
+    if isinstance(command, commands.Remove):
+        header = {"op": "remove"}
+        header.update(_object_id_fields(command.object_id))
+        return _pack(header)
+    if isinstance(command, commands.SetAttr):
+        header = {"op": "set_attr", "key": command.key, "value": command.value}
+        header.update(_object_id_fields(command.object_id))
+        return _pack(header)
+    if isinstance(command, commands.GetAttr):
+        header = {"op": "get_attr", "key": command.key}
+        header.update(_object_id_fields(command.object_id))
+        return _pack(header)
+    if isinstance(command, commands.ListPartition):
+        return _pack({"op": "list", "partition": command.pid})
+    raise OsdError(f"cannot encode command {command!r}")
+
+
+def decode_command(pdu: bytes) -> commands.OsdCommand:
+    """Parse a command PDU back into a command object."""
+    header, data = _unpack(pdu)
+    op = header.get("op")
+    if op == "create_partition":
+        return commands.CreatePartition(int(header["partition"]))
+    if op == "create":
+        return commands.CreateObject(
+            _object_id_from(header), ObjectKind(header.get("kind", "user"))
+        )
+    if op == "write":
+        class_id = header.get("class_id")
+        return commands.Write(
+            _object_id_from(header),
+            data,
+            class_id if class_id is None else int(class_id),
+        )
+    if op == "update":
+        return commands.Update(_object_id_from(header), int(header["offset"]), data)
+    if op == "read":
+        return commands.Read(_object_id_from(header))
+    if op == "remove":
+        return commands.Remove(_object_id_from(header))
+    if op == "set_attr":
+        return commands.SetAttr(
+            _object_id_from(header), str(header["key"]), str(header["value"])
+        )
+    if op == "get_attr":
+        return commands.GetAttr(_object_id_from(header), str(header["key"]))
+    if op == "list":
+        return commands.ListPartition(int(header["partition"]))
+    raise OsdError(f"unknown command op {op!r}")
+
+
+# ----------------------------------------------------------------------
+# Responses
+# ----------------------------------------------------------------------
+def encode_response(response: OsdResponse) -> bytes:
+    """Serialize a response to its PDU (sense + io summary + payload)."""
+    header = {
+        "sense": int(response.sense),
+        "elapsed": response.io.elapsed,
+        "chunks_read": response.io.chunks_read,
+        "chunks_written": response.io.chunks_written,
+        "bytes_read": response.io.bytes_read,
+        "bytes_written": response.io.bytes_written,
+        "degraded": response.io.degraded,
+        "has_payload": response.payload is not None,
+    }
+    return _pack(header, response.payload or b"")
+
+
+def decode_response(pdu: bytes) -> OsdResponse:
+    """Parse a response PDU."""
+    header, data = _unpack(pdu)
+    try:
+        sense = SenseCode(int(header["sense"]))
+    except (KeyError, ValueError) as exc:
+        raise OsdError(f"malformed response PDU: {exc}") from None
+    io = ArrayIoResult(
+        elapsed=float(header.get("elapsed", 0.0)),
+        chunks_read=int(header.get("chunks_read", 0)),
+        chunks_written=int(header.get("chunks_written", 0)),
+        bytes_read=int(header.get("bytes_read", 0)),
+        bytes_written=int(header.get("bytes_written", 0)),
+        degraded=bool(header.get("degraded", False)),
+    )
+    payload: Optional[bytes] = data if header.get("has_payload") else None
+    return OsdResponse(sense, io=io, payload=payload)

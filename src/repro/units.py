@@ -1,0 +1,81 @@
+"""Size and time units plus human-readable formatting helpers.
+
+The simulator works internally in bytes and seconds. These constants and
+helpers keep experiment configuration readable (``64 * KiB`` rather than
+``65536``) and reports legible.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KiB",
+    "MiB",
+    "GiB",
+    "KB",
+    "MB",
+    "GB",
+    "MICROSECOND",
+    "MILLISECOND",
+    "SECOND",
+    "format_bytes",
+    "format_duration",
+    "format_rate",
+]
+
+# Binary units (powers of two) — used for device geometry and chunk sizes.
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+# Decimal units (powers of ten) — used when quoting paper figures (MB/sec).
+KB = 1000
+MB = 1000 * KB
+GB = 1000 * MB
+
+MICROSECOND = 1e-6
+MILLISECOND = 1e-3
+SECOND = 1.0
+
+_BINARY_STEPS = [
+    (GiB, "GiB"),
+    (MiB, "MiB"),
+    (KiB, "KiB"),
+]
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Render a byte count with a binary-unit suffix.
+
+    >>> format_bytes(65536)
+    '64.0 KiB'
+    >>> format_bytes(100)
+    '100 B'
+    """
+    if num_bytes < 0:
+        return "-" + format_bytes(-num_bytes)
+    for step, suffix in _BINARY_STEPS:
+        if num_bytes >= step:
+            return f"{num_bytes / step:.1f} {suffix}"
+    return f"{int(num_bytes)} B"
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration with an appropriate unit.
+
+    >>> format_duration(0.0042)
+    '4.200 ms'
+    """
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds < MILLISECOND:
+        return f"{seconds / MICROSECOND:.1f} us"
+    if seconds < SECOND:
+        return f"{seconds / MILLISECOND:.3f} ms"
+    if seconds < 120:
+        return f"{seconds:.2f} s"
+    return f"{seconds / 60:.1f} min"
+
+
+def format_rate(bytes_per_second: float) -> str:
+    """Render a throughput in the paper's decimal MB/sec convention."""
+    return f"{bytes_per_second / MB:.1f} MB/sec"

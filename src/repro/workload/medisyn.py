@@ -1,0 +1,162 @@
+"""MediSyn-like workload generation (paper §VI-A).
+
+The paper synthesizes three read workloads with MediSyn — *weak*, *medium*,
+and *strong* locality — over a shared data set of 4,000 unique objects with
+a ~4.4 MB mean size (~17.04 GB total), issuing 25,616 / 51,057 / 89,723 read
+requests respectively, plus five write-intensive variants of the medium
+workload with write ratios 10-50% (§VI-D).
+
+This module reproduces those statistics: Zipfian object popularity with a
+locality-dependent exponent, lognormal object sizes, and an optional write
+ratio. A ``scale`` factor shrinks object sizes (not counts or ratios) so the
+same workload shapes run at laptop speed; every reported metric the paper
+plots depends on *ratios* (cache % of data set, parity % of flash), which
+scaling preserves.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.units import MB
+from repro.workload.distributions import LognormalSizeSampler, ZipfSampler
+from repro.workload.trace import Trace, TraceRecord
+
+__all__ = ["Locality", "MediSynConfig", "generate_workload"]
+
+
+class Locality(enum.Enum):
+    """The three locality profiles of the paper's read workloads."""
+
+    WEAK = "weak"
+    MEDIUM = "medium"
+    STRONG = "strong"
+
+    @property
+    def zipf_alpha(self) -> float:
+        """Zipf exponent producing the profile's reuse behaviour."""
+        return _ALPHAS[self]
+
+    @property
+    def paper_request_count(self) -> int:
+        """Requests the paper issues for this profile."""
+        return _REQUESTS[self]
+
+
+_ALPHAS = {
+    Locality.WEAK: 0.6,
+    Locality.MEDIUM: 0.9,
+    Locality.STRONG: 1.2,
+}
+
+#: §VI-A: 25,616 / 51,057 / 89,723 read requests.
+_REQUESTS = {
+    Locality.WEAK: 25_616,
+    Locality.MEDIUM: 51_057,
+    Locality.STRONG: 89_723,
+}
+
+
+@dataclass(frozen=True)
+class MediSynConfig:
+    """Parameters for one synthetic workload.
+
+    Attributes:
+        locality: which of the paper's three profiles to generate.
+        num_objects: unique objects in the data set (paper: 4,000).
+        mean_object_size: mean object size in bytes (paper: ~4.4 MB).
+        num_requests: requests to issue; None uses the paper's count for
+            the locality profile.
+        write_ratio: fraction of requests that are writes (paper §VI-D
+            sweeps 0.1-0.5; the read workloads use 0.0).
+        size_sigma: lognormal shape for object sizes.
+        seed: RNG seed; the same config generates the same trace.
+        scale: divides object sizes (only) for fast runs; 1.0 is
+            paper-faithful.
+    """
+
+    locality: Locality = Locality.MEDIUM
+    num_objects: int = 4_000
+    mean_object_size: float = 4.4 * MB
+    num_requests: Optional[int] = None
+    write_ratio: float = 0.0
+    size_sigma: float = 0.6
+    seed: int = 20190707
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.num_objects < 1:
+            raise WorkloadError("need at least one object")
+        if not 0.0 <= self.write_ratio <= 1.0:
+            raise WorkloadError("write ratio must be in [0, 1]")
+        if self.scale <= 0:
+            raise WorkloadError("scale must be positive")
+        if self.num_requests is not None and self.num_requests < 0:
+            raise WorkloadError("request count cannot be negative")
+
+    @property
+    def effective_requests(self) -> int:
+        if self.num_requests is not None:
+            return self.num_requests
+        return self.locality.paper_request_count
+
+    @property
+    def effective_mean_size(self) -> float:
+        return self.mean_object_size / self.scale
+
+    def trace_name(self) -> str:
+        suffix = f"-w{round(self.write_ratio * 100)}" if self.write_ratio else ""
+        return f"medisyn-{self.locality.value}{suffix}"
+
+
+def generate_workload(config: MediSynConfig) -> Trace:
+    """Generate a trace from a config; fully deterministic under the seed.
+
+    Popularity rank is decoupled from object size (a popular object is not
+    systematically large or small): ranks are assigned to objects through a
+    seeded shuffle.
+    """
+    rng = np.random.default_rng(config.seed)
+    sizes = LognormalSizeSampler(
+        mean_size=config.effective_mean_size,
+        sigma=config.size_sigma,
+        min_size=1,
+        seed=int(rng.integers(2**31)),
+    ).sample_many(config.num_objects)
+    names = [f"obj-{index:05d}" for index in range(config.num_objects)]
+    catalog: Dict[str, int] = {name: int(size) for name, size in zip(names, sizes)}
+
+    # Rank -> object mapping: a seeded permutation.
+    permutation = rng.permutation(config.num_objects)
+    zipf = ZipfSampler(
+        num_items=config.num_objects,
+        alpha=config.locality.zipf_alpha,
+        seed=int(rng.integers(2**31)),
+    )
+    count = config.effective_requests
+    ranks = zipf.sample_many(count)
+    write_draws = rng.random(count) < config.write_ratio
+    records = [
+        TraceRecord(name=names[permutation[rank]], is_write=bool(is_write))
+        for rank, is_write in zip(ranks, write_draws)
+    ]
+    return Trace(
+        name=config.trace_name(),
+        catalog=catalog,
+        records=records,
+        params={
+            "locality": config.locality.value,
+            "zipf_alpha": config.locality.zipf_alpha,
+            "num_objects": config.num_objects,
+            "mean_object_size": config.effective_mean_size,
+            "num_requests": count,
+            "write_ratio": config.write_ratio,
+            "seed": config.seed,
+            "scale": config.scale,
+        },
+    )

@@ -1,0 +1,99 @@
+"""Trace representation: a catalog of objects plus a request stream.
+
+A :class:`Trace` is what the experiment runner replays. Traces can be saved
+and reloaded as JSON-lines files so expensive generations are reusable and
+runs are exactly repeatable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List
+
+from repro.errors import WorkloadError
+
+__all__ = ["Trace", "TraceRecord"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One client request."""
+
+    name: str
+    is_write: bool = False
+
+
+@dataclass
+class Trace:
+    """A named workload: object catalog and the request sequence."""
+
+    name: str
+    catalog: Dict[str, int]
+    records: List[TraceRecord] = field(default_factory=list)
+    #: Free-form generation parameters, kept for reports.
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for record in self.records:
+            if record.name not in self.catalog:
+                raise WorkloadError(
+                    f"trace references unknown object {record.name!r}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    @property
+    def total_bytes(self) -> int:
+        """Size of the unique data set."""
+        return sum(self.catalog.values())
+
+    @property
+    def accessed_bytes(self) -> int:
+        """Total bytes moved if every request transfers its whole object."""
+        return sum(self.catalog[record.name] for record in self.records)
+
+    @property
+    def write_ratio(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(1 for record in self.records if record.is_write) / len(self.records)
+
+    def unique_objects_accessed(self) -> int:
+        return len({record.name for record in self.records})
+
+    # ------------------------------------------------------------------
+    # Serialization (JSON lines: one header line, then one line per record)
+    # ------------------------------------------------------------------
+    def save(self, path: "str | Path") -> None:
+        path = Path(path)
+        with path.open("w", encoding="ascii") as handle:
+            header = {"name": self.name, "catalog": self.catalog, "params": self.params}
+            handle.write(json.dumps(header, sort_keys=True) + "\n")
+            for record in self.records:
+                op = "W" if record.is_write else "R"
+                handle.write(f'["{op}","{record.name}"]\n')
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "Trace":
+        path = Path(path)
+        with path.open("r", encoding="ascii") as handle:
+            header_line = handle.readline()
+            if not header_line:
+                raise WorkloadError(f"{path} is empty")
+            header = json.loads(header_line)
+            records = []
+            for line in handle:
+                op, name = json.loads(line)
+                records.append(TraceRecord(name=name, is_write=op == "W"))
+        return cls(
+            name=header["name"],
+            catalog={str(k): int(v) for k, v in header["catalog"].items()},
+            records=records,
+            params=header.get("params", {}),
+        )

@@ -1,0 +1,122 @@
+"""Tests for the backend data store."""
+
+import pytest
+
+from repro.backend.store import BackendStore
+from repro.errors import ObjectNotFoundError
+from repro.flash.latency import ServiceTimeModel
+from repro.sim.clock import SimClock
+
+
+def make_store(model=None):
+    return BackendStore(clock=SimClock(), model=model)
+
+
+class TestCatalog:
+    def test_register_and_size(self):
+        store = make_store()
+        store.register("a", 1234)
+        assert "a" in store
+        assert store.size_of("a") == 1234
+        assert len(store) == 1
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            make_store().register("a", -1)
+
+    def test_unknown_object_raises(self):
+        with pytest.raises(ObjectNotFoundError):
+            make_store().read("missing")
+
+    def test_total_bytes(self):
+        store = make_store()
+        store.register("a", 100)
+        store.register("b", 200)
+        assert store.total_bytes == 300
+
+
+class TestContent:
+    def test_reads_are_deterministic(self):
+        store = make_store()
+        store.register("a", 4096)
+        first, _ = store.read("a")
+        second, _ = store.read("a")
+        assert first == second
+        assert len(first) == 4096
+
+    def test_different_objects_have_different_content(self):
+        store = make_store()
+        store.register("a", 1024)
+        store.register("b", 1024)
+        assert store.read("a")[0] != store.read("b")[0]
+
+    def test_expected_payload_matches_read(self):
+        store = make_store()
+        store.register("a", 512)
+        assert store.expected_payload("a") == store.read("a")[0]
+
+    def test_write_changes_content(self):
+        store = make_store()
+        store.register("a", 512)
+        before = store.read("a")[0]
+        store.write("a", b"\x01" * 512)
+        after = store.read("a")[0]
+        assert before != after
+        assert store.version_of("a") == 1
+
+    def test_versioned_write_round_trips(self):
+        store = make_store()
+        store.register("a", 256)
+        content = store.payload_for("a", 7)
+        store.write("a", content, version=7)
+        assert store.read("a")[0] == content
+
+    def test_write_creates_unregistered_object(self):
+        store = make_store()
+        store.write("new", b"xyz")
+        assert store.size_of("new") == 3
+
+    def test_write_can_resize(self):
+        store = make_store()
+        store.register("a", 100)
+        store.write("a", b"z" * 50)
+        assert store.size_of("a") == 50
+        assert len(store.read("a")[0]) == 50
+
+
+class TestLatency:
+    def test_read_latency_uses_model(self):
+        model = ServiceTimeModel(1.0, 2.0, 100.0, 100.0)
+        store = make_store(model=model)
+        store.register("a", 100)
+        _, elapsed = store.read("a")
+        assert elapsed == pytest.approx(1.0 + 1.0)
+
+    def test_requests_queue_behind_each_other(self):
+        # A single spindle: back-to-back requests serialize.
+        model = ServiceTimeModel(1.0, 1.0, 1e12, 1e12)
+        store = make_store(model=model)
+        store.register("a", 10)
+        _, first = store.read("a")
+        _, second = store.read("a")
+        assert first == pytest.approx(1.0)
+        assert second == pytest.approx(2.0)
+
+    def test_queue_drains_as_clock_advances(self):
+        model = ServiceTimeModel(1.0, 1.0, 1e12, 1e12)
+        store = make_store(model=model)
+        store.register("a", 10)
+        store.read("a")
+        store.clock.advance(5.0)
+        _, elapsed = store.read("a")
+        assert elapsed == pytest.approx(1.0)
+
+    def test_counters(self):
+        store = make_store()
+        store.register("a", 100)
+        store.read("a")
+        store.write("a", b"x" * 100)
+        assert store.reads == 1
+        assert store.writes == 1
+        assert store.bytes_read == 100
+        assert store.bytes_written == 100

@@ -1,0 +1,101 @@
+"""Tests for the background dirty flusher."""
+
+import pytest
+
+from repro.cache.flusher import DirtyFlusher, FlusherConfig
+from repro.core.classes import ObjectClass
+from repro.core.policy import reo_policy
+from repro.core.reo import ReoCache
+from repro.flash.latency import ZERO_COST
+
+from tests.conftest import register_uniform_objects
+
+
+def build_flushing_cache(high=0.2, low=0.1, cache_bytes=200_000):
+    return ReoCache.build(
+        policy=reo_policy(0.3),
+        cache_bytes=cache_bytes,
+        chunk_size=64,
+        device_model=ZERO_COST,
+        backend_model=ZERO_COST,
+        reclassify_interval=10**6,
+        flusher_config=FlusherConfig(high_watermark=high, low_watermark=low),
+    )
+
+
+class TestConfig:
+    def test_invalid_watermarks(self):
+        with pytest.raises(ValueError):
+            FlusherConfig(high_watermark=0.1, low_watermark=0.2)
+        with pytest.raises(ValueError):
+            FlusherConfig(high_watermark=1.5, low_watermark=0.1)
+        with pytest.raises(ValueError):
+            FlusherConfig(batch_size=0)
+
+
+class TestFlushing:
+    def test_below_watermark_is_noop(self):
+        cache = build_flushing_cache()
+        register_uniform_objects(cache, 30, 2_000)
+        cache.write("obj-0")
+        flusher = cache.manager.flusher
+        assert flusher.objects_flushed == 0
+        assert flusher.dirty_bytes == 2_000
+
+    def test_crossing_watermark_flushes_down(self):
+        cache = build_flushing_cache(high=0.05, low=0.02)
+        names = register_uniform_objects(cache, 30, 2_000)
+        for name in names[:10]:
+            cache.write(name)
+        flusher = cache.manager.flusher
+        assert flusher.objects_flushed > 0
+        assert flusher.dirty_bytes <= 0.05 * cache.manager.usable_capacity + 2_000
+
+    def test_flushed_objects_synced_and_clean(self):
+        cache = build_flushing_cache(high=0.05, low=0.02)
+        names = register_uniform_objects(cache, 30, 2_000)
+        for name in names[:10]:
+            cache.write(name)
+        flushed = [
+            name for name in names[:10]
+            if name in cache.manager and not cache.manager.get_cached(name).dirty
+        ]
+        assert flushed
+        for name in flushed:
+            assert cache.backend.version_of(name) >= 1
+            # No longer Class 1: replica space released.
+            assert cache.manager.get_cached(name).class_id != int(ObjectClass.DIRTY)
+
+    def test_flush_frees_replica_space(self):
+        no_flush = ReoCache.build(
+            policy=reo_policy(0.3), cache_bytes=200_000, chunk_size=64,
+            device_model=ZERO_COST, backend_model=ZERO_COST,
+            reclassify_interval=10**6,
+        )
+        flushing = build_flushing_cache(high=0.05, low=0.02)
+        for cache in (no_flush, flushing):
+            names = register_uniform_objects(cache, 30, 2_000)
+            for name in names[:10]:
+                cache.write(name)
+        assert flushing.array.redundancy_bytes < no_flush.array.redundancy_bytes
+
+    def test_coldest_dirty_flushed_first(self):
+        cache = build_flushing_cache(high=0.08, low=0.07)
+        names = register_uniform_objects(cache, 30, 2_000)
+        cache.write(names[0])  # coldest dirty
+        cache.write(names[1])
+        cache.manager.flusher.config = FlusherConfig(
+            high_watermark=0.01, low_watermark=0.009, batch_size=1
+        )
+        cache.write(names[2])  # triggers a single-flush step
+        assert not cache.manager.get_cached(names[0]).dirty
+        assert cache.manager.get_cached(names[1]).dirty
+
+    def test_dirty_lru_first_ordering(self):
+        cache = build_flushing_cache()
+        names = register_uniform_objects(cache, 10, 2_000)
+        cache.write(names[3])
+        cache.write(names[7])
+        cache.read(names[3])  # 3 becomes more recent than 7
+        flusher = cache.manager.flusher
+        assert flusher.dirty_lru_first() == [names[7], names[3]]

@@ -1,0 +1,229 @@
+"""Tests for the cache manager: hits, misses, write-back, eviction."""
+
+import pytest
+
+from repro.core.classes import ObjectClass
+from repro.core.policy import full_replication, reo_policy, uniform_parity
+from repro.flash.array import ObjectHealth
+
+from tests.conftest import build_cache, register_uniform_objects
+
+
+class TestReadPath:
+    def test_cold_miss_then_hit(self, small_cache):
+        first = small_cache.read("obj-0")
+        second = small_cache.read("obj-0")
+        assert not first.hit and first.from_backend
+        assert second.hit and not second.from_backend
+        assert small_cache.stats.misses == 1
+        assert small_cache.stats.hits == 1
+
+    def test_hit_returns_correct_content_size(self, small_cache):
+        result = small_cache.read("obj-3")
+        assert result.num_bytes == 2_000
+
+    def test_cached_content_matches_backend(self, small_cache):
+        small_cache.read("obj-1")
+        cached = small_cache.manager.get_cached("obj-1")
+        payload, response = small_cache.initiator.read(cached.object_id)
+        assert response.ok
+        assert payload == small_cache.backend.expected_payload("obj-1")
+
+    def test_lru_touch_on_hit(self, small_cache):
+        small_cache.read("obj-0")
+        small_cache.read("obj-1")
+        small_cache.read("obj-0")  # obj-0 becomes MRU again
+        lru_order = list(small_cache.manager._eviction)
+        assert lru_order.index("obj-1") < lru_order.index("obj-0")
+
+    def test_miss_latency_is_backend_latency(self):
+        from repro.flash.latency import ServiceTimeModel
+
+        backend_model = ServiceTimeModel(0.5, 0.5, 1e12, 1e12)
+        cache = build_cache(backend_model=backend_model)
+        register_uniform_objects(cache, 5, 1_000)
+        result = cache.read("obj-0")
+        assert result.latency == pytest.approx(0.5)
+
+
+class TestEviction:
+    def test_eviction_keeps_usage_below_capacity(self):
+        cache = build_cache(cache_bytes=50_000, policy=uniform_parity(0))
+        names = register_uniform_objects(cache, 100, 2_000)
+        for name in names:
+            cache.read(name)
+        assert cache.array.used_bytes <= cache.manager.usable_capacity
+        assert cache.stats.evictions > 0
+
+    def test_lru_victim_is_evicted(self):
+        cache = build_cache(cache_bytes=12_000, policy=uniform_parity(0))
+        names = register_uniform_objects(cache, 10, 2_000)
+        cache.read(names[0])
+        cache.read(names[1])
+        # Metadata takes a slice; filling with more objects evicts names[0] first.
+        for name in names[2:8]:
+            cache.read(name)
+        assert names[0] not in cache.manager
+
+    def test_oversized_object_bypasses_cache(self):
+        cache = build_cache(cache_bytes=10_000)
+        cache.register_objects({"huge": 50_000})
+        result = cache.read("huge")
+        assert not result.hit
+        assert "huge" not in cache.manager
+        assert cache.stats.admission_bypasses == 1
+
+    def test_repeated_reads_of_bypassed_object_always_miss(self):
+        cache = build_cache(cache_bytes=10_000)
+        cache.register_objects({"huge": 50_000})
+        cache.read("huge")
+        result = cache.read("huge")
+        assert not result.hit
+
+
+class TestWriteBack:
+    def test_write_marks_dirty_class_1(self, small_cache):
+        small_cache.write("obj-0")
+        cached = small_cache.manager.get_cached("obj-0")
+        assert cached.dirty
+        assert cached.class_id == int(ObjectClass.DIRTY)
+
+    def test_write_of_cached_object_rewrites(self, small_cache):
+        small_cache.read("obj-0")
+        before_version = small_cache.manager.get_cached("obj-0").version
+        small_cache.write("obj-0")
+        cached = small_cache.manager.get_cached("obj-0")
+        assert cached.version == before_version + 1
+        assert cached.dirty
+
+    def test_dirty_content_differs_from_backend(self, small_cache):
+        small_cache.read("obj-0")
+        clean_payload = small_cache.backend.expected_payload("obj-0")
+        small_cache.write("obj-0")
+        cached = small_cache.manager.get_cached("obj-0")
+        payload, _ = small_cache.initiator.read(cached.object_id)
+        assert payload != clean_payload
+
+    def test_flush_all_syncs_backend(self, small_cache):
+        small_cache.write("obj-0")
+        cached = small_cache.manager.get_cached("obj-0")
+        payload, _ = small_cache.initiator.read(cached.object_id)
+        flushed = small_cache.flush()
+        assert flushed == 1
+        assert small_cache.backend.expected_payload("obj-0") == payload
+        assert not small_cache.manager.get_cached("obj-0").dirty
+
+    def test_dirty_eviction_flushes_first(self):
+        cache = build_cache(cache_bytes=40_000, policy=reo_policy(0.4))
+        names = register_uniform_objects(cache, 30, 2_000)
+        cache.write(names[0])
+        dirty_payload = None
+        cached = cache.manager.get_cached(names[0])
+        dirty_payload, _ = cache.initiator.read(cached.object_id)
+        for name in names[1:]:
+            cache.read(name)
+        assert names[0] not in cache.manager  # evicted
+        assert cache.stats.flushes >= 1
+        assert cache.backend.expected_payload(names[0]) == dirty_payload
+
+    def test_dirty_replication_under_reo(self, small_cache):
+        small_cache.write("obj-0")
+        cached = small_cache.manager.get_cached("obj-0")
+        extent = small_cache.array.get_extent(cached.object_id)
+        assert extent.redundancy_bytes == 4 * extent.data_bytes
+
+    def test_write_survives_four_device_failures(self, small_cache):
+        small_cache.write("obj-0")
+        for device_id in range(4):
+            small_cache.fail_device(device_id)
+        cached = small_cache.manager.get_cached("obj-0")
+        payload, response = small_cache.initiator.read(cached.object_id)
+        assert response.ok
+        assert payload is not None
+
+    def test_oversized_dirty_write_goes_straight_to_backend(self):
+        cache = build_cache(cache_bytes=10_000)
+        cache.register_objects({"huge": 50_000})
+        before = cache.backend.version_of("huge")
+        cache.write("huge")
+        assert cache.backend.version_of("huge") == before + 1
+        assert "huge" not in cache.manager
+
+
+class TestFailureSemantics:
+    def test_lost_object_read_is_miss_without_degraded_admission(self, small_cache):
+        small_cache.read("obj-0")  # cold clean, 0-parity under Reo
+        small_cache.fail_device(0)
+        result = small_cache.read("obj-0")
+        assert not result.hit
+        assert result.from_backend
+        assert small_cache.stats.corruption_misses == 1
+        assert small_cache.stats.lost_objects >= 1
+        # Default policy: no clean admissions while the array is degraded.
+        assert "obj-0" not in small_cache.manager
+
+    def test_lost_object_refetch_admitted_when_allowed(self):
+        cache = build_cache()
+        cache.manager.admit_while_degraded = True
+        register_uniform_objects(cache, 10, 2_000)
+        cache.read("obj-0")
+        cache.fail_device(0)
+        result = cache.read("obj-0")
+        assert not result.hit
+        # The refetched copy lives on the surviving devices.
+        cached = cache.manager.get_cached("obj-0")
+        assert cache.array.object_health(cached.object_id) is ObjectHealth.HEALTHY
+
+    def test_admission_resumes_after_spare_insertion(self, small_cache):
+        small_cache.fail_device(0)
+        small_cache.read("obj-0")
+        assert "obj-0" not in small_cache.manager
+        small_cache.replace_device(0)
+        small_cache.read("obj-0")
+        assert "obj-0" in small_cache.manager
+
+    def test_write_to_lost_object_reinserts(self, small_cache):
+        small_cache.read("obj-0")
+        small_cache.fail_device(0)
+        result = small_cache.write("obj-0")
+        assert result.is_write
+        cached = small_cache.manager.get_cached("obj-0")
+        assert cached.dirty
+
+    def test_uniform_one_parity_survives_one_failure(self):
+        cache = build_cache(policy=uniform_parity(1))
+        register_uniform_objects(cache, 20, 2_000)
+        cache.read("obj-0")
+        cache.fail_device(2)
+        result = cache.read("obj-0")
+        assert result.hit
+        assert result.degraded
+
+    def test_full_replication_survives_four_failures(self):
+        cache = build_cache(policy=full_replication())
+        register_uniform_objects(cache, 5, 2_000)
+        cache.read("obj-0")
+        for device_id in range(1, 5):
+            cache.fail_device(device_id)
+        assert cache.read("obj-0").hit
+
+
+class TestStats:
+    def test_hit_ratio(self, small_cache):
+        small_cache.read("obj-0")
+        small_cache.read("obj-0")
+        small_cache.read("obj-1")
+        assert small_cache.stats.hit_ratio == pytest.approx(1 / 3)
+
+    def test_requests_counts_reads_and_writes(self, small_cache):
+        small_cache.read("obj-0")
+        small_cache.write("obj-1")
+        assert small_cache.stats.requests == 2
+        assert small_cache.stats.read_requests == 1
+        assert small_cache.stats.write_requests == 1
+
+    def test_stats_reset(self, small_cache):
+        small_cache.read("obj-0")
+        small_cache.stats.reset()
+        assert small_cache.stats.requests == 0
+        assert small_cache.stats.hit_ratio == 0.0

@@ -1,0 +1,52 @@
+"""Shared test fixtures and builders."""
+
+import pytest
+
+from repro.core.policy import reo_policy
+from repro.core.reo import ReoCache
+from repro.flash.latency import ZERO_COST
+
+
+def build_cache(
+    policy=None,
+    cache_bytes=100_000,
+    chunk_size=64,
+    num_devices=5,
+    reclassify_interval=50,
+    zero_cost=True,
+    backend_model=None,
+):
+    """A small, fast cache stack for logic-level tests.
+
+    ``zero_cost`` swaps the device model for free I/O so tests assert on
+    behaviour rather than timing.
+    """
+    kwargs = {}
+    if zero_cost:
+        kwargs["device_model"] = ZERO_COST
+        kwargs["backend_model"] = backend_model or ZERO_COST
+    elif backend_model is not None:
+        kwargs["backend_model"] = backend_model
+    return ReoCache.build(
+        policy=policy or reo_policy(0.20),
+        num_devices=num_devices,
+        cache_bytes=cache_bytes,
+        chunk_size=chunk_size,
+        reclassify_interval=reclassify_interval,
+        **kwargs,
+    )
+
+
+def register_uniform_objects(cache, count, size, prefix="obj"):
+    """Register ``count`` equal-size objects; returns their names."""
+    names = [f"{prefix}-{index}" for index in range(count)]
+    cache.register_objects({name: size for name in names})
+    return names
+
+
+@pytest.fixture
+def small_cache():
+    """A Reo-20% cache of 100 KB with 50 registered 2 KB objects."""
+    cache = build_cache()
+    register_uniform_objects(cache, 50, 2_000)
+    return cache

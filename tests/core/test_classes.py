@@ -1,0 +1,35 @@
+"""Tests for the Table-II classification rules."""
+
+from repro.core.classes import ObjectClass, classify
+
+
+class TestObjectClass:
+    def test_class_ids_match_paper(self):
+        assert ObjectClass.METADATA == 0
+        assert ObjectClass.DIRTY == 1
+        assert ObjectClass.HOT_CLEAN == 2
+        assert ObjectClass.COLD_CLEAN == 3
+
+    def test_ordering_is_importance(self):
+        assert ObjectClass.METADATA < ObjectClass.DIRTY < ObjectClass.HOT_CLEAN
+
+    def test_descriptions(self):
+        for klass in ObjectClass:
+            assert klass.description
+
+
+class TestClassify:
+    def test_metadata_wins_over_everything(self):
+        # Table II: read-freq and dirty are irrelevant for metadata.
+        assert classify(True, True, True) is ObjectClass.METADATA
+        assert classify(True, False, False) is ObjectClass.METADATA
+
+    def test_dirty_wins_over_hotness(self):
+        assert classify(False, True, True) is ObjectClass.DIRTY
+        assert classify(False, True, False) is ObjectClass.DIRTY
+
+    def test_hot_clean(self):
+        assert classify(False, False, True) is ObjectClass.HOT_CLEAN
+
+    def test_cold_clean(self):
+        assert classify(False, False, False) is ObjectClass.COLD_CLEAN

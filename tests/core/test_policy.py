@@ -1,0 +1,68 @@
+"""Tests for redundancy policies."""
+
+import pytest
+
+from repro.core.classes import ObjectClass
+from repro.core.policy import (
+    ReoPolicy,
+    UniformPolicy,
+    full_replication,
+    reo_policy,
+    uniform_parity,
+)
+from repro.flash.stripe import ParityScheme, ReplicationScheme
+
+
+class TestUniformPolicy:
+    def test_same_scheme_for_all_classes(self):
+        policy = uniform_parity(1)
+        schemes = {policy.scheme_for(class_id) for class_id in ObjectClass}
+        assert schemes == {ParityScheme(1)}
+
+    def test_names(self):
+        assert uniform_parity(0).name == "0-parity"
+        assert uniform_parity(2).name == "2-parity"
+        assert full_replication().name == "full-replication"
+
+    def test_not_differentiating(self):
+        assert not uniform_parity(1).differentiates
+
+    def test_no_reserve_fraction(self):
+        assert uniform_parity(1).reserve_fraction is None
+
+    def test_callable(self):
+        assert uniform_parity(2)(3) == ParityScheme(2)
+
+
+class TestReoPolicy:
+    def test_paper_class_map(self):
+        policy = reo_policy(0.2)
+        assert policy.scheme_for(ObjectClass.METADATA) == ReplicationScheme()
+        assert policy.scheme_for(ObjectClass.DIRTY) == ReplicationScheme()
+        assert policy.scheme_for(ObjectClass.HOT_CLEAN) == ParityScheme(2)
+        assert policy.scheme_for(ObjectClass.COLD_CLEAN) == ParityScheme(0)
+
+    def test_names(self):
+        assert reo_policy(0.1).name == "Reo-10%"
+        assert reo_policy(0.2).name == "Reo-20%"
+        assert reo_policy(0.4).name == "Reo-40%"
+
+    def test_differentiates(self):
+        assert reo_policy(0.1).differentiates
+
+    def test_invalid_reserve_fraction(self):
+        with pytest.raises(ValueError):
+            ReoPolicy(reserve_fraction=0.0)
+        with pytest.raises(ValueError):
+            ReoPolicy(reserve_fraction=1.5)
+
+    def test_invalid_hot_parity(self):
+        with pytest.raises(ValueError):
+            ReoPolicy(hot_parity=-1)
+
+    def test_custom_hot_parity(self):
+        policy = ReoPolicy(hot_parity=1)
+        assert policy.scheme_for(ObjectClass.HOT_CLEAN) == ParityScheme(1)
+
+    def test_policies_hashable(self):
+        assert len({reo_policy(0.1), reo_policy(0.1), reo_policy(0.2)}) == 2

@@ -1,0 +1,162 @@
+"""Tests for differentiated recovery: triage, ordering, interleaving."""
+
+import pytest
+
+from repro.core.classes import ObjectClass
+from repro.core.policy import reo_policy, uniform_parity
+from repro.flash.array import ObjectHealth
+
+from tests.conftest import build_cache, register_uniform_objects
+
+
+def warm(cache, names):
+    for name in names:
+        cache.read(name)
+
+
+class TestTriageAndRebuild:
+    def test_recovery_rebuilds_protected_objects(self):
+        cache = build_cache(policy=uniform_parity(1), cache_bytes=200_000)
+        names = register_uniform_objects(cache, 20, 2_000)
+        warm(cache, names)
+        cache.fail_device(0)
+        cache.replace_device(0)
+        plan = cache.recovery.start()
+        assert plan.pending > 0
+        assert not plan.lost
+        cache.recovery.run_to_completion()
+        for name in names:
+            cached = cache.manager.get_cached(name)
+            assert cache.array.object_health(cached.object_id) is ObjectHealth.HEALTHY
+
+    def test_lost_objects_are_purged(self):
+        cache = build_cache(policy=uniform_parity(0), cache_bytes=200_000)
+        names = register_uniform_objects(cache, 10, 2_000)
+        warm(cache, names)
+        cache.fail_device(0)
+        cache.replace_device(0)
+        plan = cache.recovery.start()
+        # Under a uniform 0-parity policy the exofs metadata objects are as
+        # unprotected as user data: 10 user + 3 metadata objects are lost.
+        assert len(plan.lost) == 13
+        assert plan.pending == 0
+        assert len(cache.manager) == 0
+        assert cache.stats.lost_objects == 10
+
+    def test_recovery_flag_lifecycle(self):
+        cache = build_cache(policy=uniform_parity(1), cache_bytes=200_000)
+        names = register_uniform_objects(cache, 10, 2_000)
+        warm(cache, names)
+        cache.fail_device(0)
+        cache.replace_device(0)
+        cache.recovery.start()
+        assert cache.target.recovery_active
+        cache.recovery.run_to_completion()
+        assert not cache.target.recovery_active
+        assert not cache.recovery.active
+
+    def test_empty_scan_means_inactive(self):
+        cache = build_cache(policy=uniform_parity(1))
+        register_uniform_objects(cache, 3, 2_000)
+        plan = cache.recovery.start()
+        assert plan.pending == 0
+        assert not cache.recovery.active
+
+    def test_step_returns_none_when_done(self):
+        cache = build_cache(policy=uniform_parity(1))
+        assert cache.recovery.step() is None
+
+
+class TestPriorityOrder:
+    def test_class_order_metadata_dirty_hot_cold(self):
+        cache = build_cache(policy=reo_policy(0.4), cache_bytes=400_000, reclassify_interval=5)
+        names = register_uniform_objects(cache, 20, 2_000)
+        # Make some objects hot via repeated reads, one dirty via a write.
+        warm(cache, names)
+        for _ in range(10):
+            cache.read(names[0])
+        cache.write(names[1])
+        cache.manager.reclassify()
+        cache.fail_device(0)
+        cache.replace_device(0)
+        plan = cache.recovery.start()
+        class_sequence = [
+            cache.target.get_info(object_id).class_id for object_id in plan.to_rebuild
+        ]
+        assert class_sequence == sorted(class_sequence)
+        # Metadata (class 0) rebuilds before everything else.
+        assert class_sequence[0] == int(ObjectClass.METADATA)
+
+    def test_hotter_objects_first_within_class(self):
+        cache = build_cache(policy=reo_policy(0.4), cache_bytes=400_000, reclassify_interval=10**6)
+        names = register_uniform_objects(cache, 10, 2_000)
+        warm(cache, names)
+        for _ in range(8):
+            cache.read(names[3])
+        for _ in range(4):
+            cache.read(names[7])
+        cache.manager.reclassify()
+        cache.fail_device(0)
+        cache.replace_device(0)
+        plan = cache.recovery.start()
+        rebuilt_names = [cache.manager.name_for(oid) for oid in plan.to_rebuild]
+        user_names = [n for n in rebuilt_names if n is not None]
+        if names[3] in user_names and names[7] in user_names:
+            assert user_names.index(names[3]) < user_names.index(names[7])
+
+
+class TestInterleaving:
+    def test_run_until_respects_deadline(self):
+        cache = build_cache(
+            policy=uniform_parity(1), cache_bytes=400_000, zero_cost=False
+        )
+        names = register_uniform_objects(cache, 40, 4_000)
+        warm(cache, names)
+        cache.fail_device(0)
+        cache.replace_device(0)
+        cache.recovery.start()
+        deadline = cache.clock.now + 1e-4
+        cache.recovery.run_until(deadline)
+        if cache.recovery.active:
+            # Stopped because the deadline hit, not because work ran out.
+            assert cache.recovery.pending > 0
+        # Clock may overshoot by at most one rebuild; it must have advanced.
+        assert cache.clock.now >= deadline or not cache.recovery.active
+
+    def test_second_failure_during_recovery(self):
+        cache = build_cache(policy=uniform_parity(1), cache_bytes=400_000)
+        names = register_uniform_objects(cache, 20, 2_000)
+        warm(cache, names)
+        cache.fail_device(0)
+        cache.replace_device(0)
+        cache.recovery.start()
+        cache.recovery.step()  # partially recovered
+        cache.fail_device(1)  # second failure mid-recovery
+        # Remaining un-rebuilt objects now have 2 missing chunks with 1 parity.
+        cache.recovery.run_to_completion()
+        assert cache.recovery.objects_lost > 0
+
+    def test_counters(self):
+        cache = build_cache(policy=uniform_parity(1), cache_bytes=200_000)
+        names = register_uniform_objects(cache, 10, 2_000)
+        warm(cache, names)
+        cache.fail_device(0)
+        cache.replace_device(0)
+        cache.recovery.start()
+        cache.recovery.run_to_completion()
+        assert cache.recovery.objects_rebuilt > 0
+        assert cache.recovery.chunks_rebuilt >= cache.recovery.objects_rebuilt
+        assert cache.stats.recovered_objects > 0
+
+
+class TestFacade:
+    def test_fail_and_recover_roundtrip(self):
+        cache = build_cache(policy=reo_policy(0.4), cache_bytes=200_000)
+        names = register_uniform_objects(cache, 10, 2_000)
+        warm(cache, names)
+        cache.write(names[0])
+        cache.fail_and_recover(2)
+        cached = cache.manager.get_cached(names[0])
+        payload, response = cache.initiator.read(cached.object_id)
+        assert response.ok
+        assert cache.array.object_health(cached.object_id) is ObjectHealth.HEALTHY

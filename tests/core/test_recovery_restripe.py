@@ -1,0 +1,81 @@
+"""Tests for restripe-based recovery (no spare available)."""
+
+from repro.core.policy import reo_policy, uniform_parity
+from repro.flash.array import ObjectHealth
+
+from tests.conftest import build_cache, register_uniform_objects
+
+
+def warm_with_hot_set(cache, names, hot_count=5, repeats=10):
+    for name in names:
+        cache.read(name)
+    for _ in range(repeats):
+        for name in names[:hot_count]:
+            cache.read(name)
+    cache.manager.reclassify()
+
+
+class TestRestripeRecovery:
+    def test_hot_objects_restriped_across_survivors(self):
+        cache = build_cache(policy=reo_policy(0.4), cache_bytes=400_000, reclassify_interval=10**6)
+        names = register_uniform_objects(cache, 20, 2_000)
+        warm_with_hot_set(cache, names)
+        cache.fail_device(0)
+        cache.recovery.start()
+        cache.recovery.run_to_completion()
+        # Every surviving protected object is healthy again on 4 devices.
+        for name in names[:5]:
+            if name in cache.manager:
+                cached = cache.manager.get_cached(name)
+                assert cache.array.object_health(cached.object_id) is ObjectHealth.HEALTHY
+
+    def test_restriped_objects_survive_next_failure(self):
+        cache = build_cache(policy=reo_policy(0.4), cache_bytes=400_000, reclassify_interval=10**6)
+        names = register_uniform_objects(cache, 20, 2_000)
+        warm_with_hot_set(cache, names)
+        for device_id in range(3):
+            cache.fail_device(device_id)
+            cache.recovery.start()
+            cache.recovery.run_to_completion()
+        # Hot objects were restriped after each failure; still readable.
+        hits = sum(1 for name in names[:5] if cache.read(name).hit)
+        assert hits >= 4
+
+    def test_recovery_evicts_cold_for_important_data(self):
+        # Small cache: restriping hot data onto fewer devices requires
+        # evicting the cold tail.
+        cache = build_cache(policy=reo_policy(0.4), cache_bytes=120_000, reclassify_interval=10**6)
+        names = register_uniform_objects(cache, 40, 2_000)
+        warm_with_hot_set(cache, names, hot_count=8, repeats=12)
+        evictions_before = cache.stats.evictions
+        cache.fail_device(0)
+        cache.fail_device(1)
+        cache.recovery.start()
+        cache.recovery.run_to_completion()
+        assert cache.recovery.objects_rebuilt > 0
+        # Either everything fit, or cold objects made way for hot ones.
+        assert cache.array.used_bytes <= cache.array.capacity_bytes
+
+    def test_metadata_restriped_first(self):
+        cache = build_cache(policy=reo_policy(0.2), cache_bytes=300_000)
+        names = register_uniform_objects(cache, 10, 2_000)
+        for name in names:
+            cache.read(name)
+        cache.fail_device(0)
+        plan = cache.recovery.start()
+        if plan.to_rebuild:
+            first = plan.to_rebuild[0]
+            assert cache.target.get_info(first).class_id == 0
+
+    def test_dirty_objects_recovered_without_spare(self):
+        cache = build_cache(policy=reo_policy(0.2), cache_bytes=300_000)
+        names = register_uniform_objects(cache, 10, 2_000)
+        cache.write(names[0])
+        cache.fail_device(0)
+        cache.recovery.start()
+        cache.recovery.run_to_completion()
+        cached = cache.manager.get_cached(names[0])
+        assert cache.array.object_health(cached.object_id) is ObjectHealth.HEALTHY
+        # Still replicated across the four survivors.
+        extent = cache.array.get_extent(cached.object_id)
+        assert extent.redundancy_bytes == 3 * extent.data_bytes

@@ -1,0 +1,41 @@
+"""Tests for the global recovery-status protocol (sense 0x65/0x66)."""
+
+from repro.core.policy import uniform_parity
+from repro.osd.sense import SenseCode
+
+from tests.conftest import build_cache, register_uniform_objects
+
+
+class TestRecoveryStatus:
+    def test_fresh_cache_reports_ok(self):
+        cache = build_cache()
+        assert cache.initiator.recovery_status() is SenseCode.OK
+
+    def test_active_recovery_reports_0x65(self):
+        cache = build_cache(policy=uniform_parity(1), cache_bytes=300_000)
+        names = register_uniform_objects(cache, 20, 2_000)
+        for name in names:
+            cache.read(name)
+        cache.fail_device(0)
+        cache.replace_device(0)
+        cache.recovery.start()
+        assert cache.initiator.recovery_status() is SenseCode.RECOVERY_STARTED
+        cache.recovery.step()  # partial progress, still active
+        if cache.recovery.active:
+            assert cache.initiator.recovery_status() is SenseCode.RECOVERY_STARTED
+
+    def test_completed_recovery_reports_0x66(self):
+        cache = build_cache(policy=uniform_parity(1), cache_bytes=300_000)
+        names = register_uniform_objects(cache, 10, 2_000)
+        for name in names:
+            cache.read(name)
+        cache.fail_device(0)
+        cache.replace_device(0)
+        cache.recovery.start()
+        cache.recovery.run_to_completion()
+        assert cache.initiator.recovery_status() is SenseCode.RECOVERY_ENDED
+
+    def test_empty_recovery_does_not_flip_status(self):
+        cache = build_cache()
+        cache.recovery.start()  # nothing to do
+        assert cache.initiator.recovery_status() is SenseCode.OK

@@ -1,0 +1,108 @@
+"""Tests for the ReoCache facade: construction knobs and conveniences."""
+
+import pytest
+
+from repro.core.policy import reo_policy, uniform_parity
+from repro.core.reo import ReoCache
+from repro.errors import ObjectNotFoundError
+from repro.flash.latency import ZERO_COST
+from repro.sim.clock import SimClock
+
+from tests.conftest import build_cache, register_uniform_objects
+
+
+class TestBuild:
+    def test_default_policy_is_reo_10(self):
+        cache = ReoCache.build(cache_bytes=10**6, device_model=ZERO_COST)
+        assert cache.policy.name == "Reo-10%"
+
+    def test_device_capacity_split(self):
+        cache = ReoCache.build(cache_bytes=10**6, num_devices=5, device_model=ZERO_COST)
+        assert len(cache.array.devices) == 5
+        assert cache.array.devices[0].capacity_bytes == 200_000
+
+    def test_shared_clock(self):
+        clock = SimClock()
+        cache = ReoCache.build(cache_bytes=10**6, clock=clock, device_model=ZERO_COST)
+        assert cache.clock is clock
+        assert cache.backend.clock is clock
+        assert cache.array.clock is clock
+
+    def test_uniform_policy_has_no_budget(self):
+        cache = ReoCache.build(
+            policy=uniform_parity(1), cache_bytes=10**6, device_model=ZERO_COST
+        )
+        assert cache.manager.budget is None
+
+    def test_reo_policy_has_budget(self):
+        cache = ReoCache.build(
+            policy=reo_policy(0.2), cache_bytes=10**6, device_model=ZERO_COST
+        )
+        assert cache.manager.budget is not None
+        assert cache.manager.budget.enabled
+
+    def test_volume_formatted(self):
+        from repro.osd.types import SUPER_BLOCK
+
+        cache = build_cache()
+        assert cache.target.exists(SUPER_BLOCK)
+
+    def test_repr(self):
+        assert "Reo-20%" in repr(build_cache())
+
+
+class TestConveniences:
+    def test_read_unregistered_object_raises(self):
+        cache = build_cache()
+        with pytest.raises(ObjectNotFoundError):
+            cache.read("never-registered")
+
+    def test_register_objects(self):
+        cache = build_cache()
+        cache.register_objects({"a": 100, "b": 200})
+        assert cache.backend.size_of("a") == 100
+        assert cache.read("b").num_bytes == 200
+
+    def test_hit_ratio_property(self):
+        cache = build_cache()
+        register_uniform_objects(cache, 3, 1_000)
+        cache.read("obj-0")
+        cache.read("obj-0")
+        assert cache.hit_ratio == pytest.approx(0.5)
+
+    def test_flush_returns_count(self):
+        cache = build_cache()
+        register_uniform_objects(cache, 5, 1_000)
+        cache.write("obj-0")
+        cache.write("obj-1")
+        assert cache.flush() == 2
+
+    def test_fail_and_recover_roundtrip(self):
+        cache = build_cache(policy=uniform_parity(1), cache_bytes=300_000)
+        names = register_uniform_objects(cache, 10, 2_000)
+        for name in names:
+            cache.read(name)
+        cache.fail_and_recover(3)
+        cache.stats.reset()
+        for name in names:
+            result = cache.read(name)
+            assert result.hit and not result.degraded
+
+    def test_scrub_facade_purges_unrecoverable(self):
+        cache = build_cache(policy=uniform_parity(0))
+        names = register_uniform_objects(cache, 3, 1_000)
+        for name in names:
+            cache.read(name)
+        cached = cache.manager.get_cached(names[0])
+        extent = cache.array.get_extent(cached.object_id)
+        chunk = extent.stripes[0].data_chunks()[0]
+        cache.array.devices[chunk.device_id].corrupt_chunk(chunk.address)
+        report = cache.scrub()
+        assert cached.object_id in report.unrecoverable_objects
+        assert names[0] not in cache.manager
+
+    def test_space_efficiency_property(self):
+        cache = build_cache(policy=uniform_parity(1))
+        register_uniform_objects(cache, 5, 2_000)
+        cache.read("obj-0")
+        assert 0.7 < cache.space_efficiency <= 0.85

@@ -1,0 +1,114 @@
+"""Tests for GF(256) matrices and generator constructions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.erasure.galois import GF256
+from repro.erasure.matrix import (
+    GFMatrix,
+    cauchy_matrix,
+    identity_matrix,
+    vandermonde_matrix,
+)
+from repro.errors import ErasureError
+
+
+class TestConstruction:
+    def test_rejects_non_2d(self):
+        with pytest.raises(ErasureError):
+            GFMatrix(np.zeros(3, dtype=np.uint8))
+
+    def test_shape_properties(self):
+        m = GFMatrix([[1, 2, 3], [4, 5, 6]])
+        assert (m.rows, m.cols) == (2, 3)
+
+    def test_equality(self):
+        assert GFMatrix([[1, 2]]) == GFMatrix([[1, 2]])
+        assert GFMatrix([[1, 2]]) != GFMatrix([[2, 1]])
+
+    def test_identity(self):
+        assert identity_matrix(4).is_identity()
+        assert not GFMatrix([[1, 1], [0, 1]]).is_identity()
+
+
+class TestMultiplication:
+    def test_identity_is_neutral(self):
+        m = GFMatrix([[7, 11], [13, 17]])
+        assert identity_matrix(2) @ m == m
+        assert m @ identity_matrix(2) == m
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ErasureError):
+            GFMatrix([[1, 2]]) @ GFMatrix([[1, 2]])
+
+    def test_known_product(self):
+        field = GF256.default
+        a = GFMatrix([[2, 3]])
+        b = GFMatrix([[5], [7]])
+        expected = field.add(field.mul(2, 5), field.mul(3, 7))
+        assert (a @ b)[0, 0] == expected
+
+
+class TestInversion:
+    def test_identity_inverse(self):
+        assert identity_matrix(3).invert().is_identity()
+
+    def test_inverse_roundtrip(self):
+        m = cauchy_matrix(4, 4)
+        assert (m @ m.invert()).is_identity()
+        assert (m.invert() @ m).is_identity()
+
+    def test_singular_raises(self):
+        with pytest.raises(ErasureError):
+            GFMatrix([[1, 1], [1, 1]]).invert()
+
+    def test_non_square_raises(self):
+        with pytest.raises(ErasureError):
+            GFMatrix([[1, 2, 3], [4, 5, 6]]).invert()
+
+    def test_inversion_with_row_swap(self):
+        # Leading zero forces a pivot swap.
+        m = GFMatrix([[0, 1], [1, 0]])
+        assert (m @ m.invert()).is_identity()
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=0, max_value=10_000))
+    def test_random_cauchy_submatrices_invert(self, size, seed):
+        # Any square row/column selection of a Cauchy matrix is invertible.
+        rng = np.random.default_rng(seed)
+        full = cauchy_matrix(8, 8)
+        rows = sorted(rng.choice(8, size=size, replace=False).tolist())
+        cols = sorted(rng.choice(8, size=size, replace=False).tolist())
+        sub = GFMatrix(full.array[np.ix_(rows, cols)])
+        assert (sub @ sub.invert()).is_identity()
+
+
+class TestGeneratorConstructions:
+    def test_vandermonde_first_column_is_ones(self):
+        v = vandermonde_matrix(4, 3)
+        assert all(v[i, 0] == 1 for i in range(4))
+
+    def test_vandermonde_powers(self):
+        field = GF256.default
+        v = vandermonde_matrix(3, 4)
+        for i in range(3):
+            for j in range(4):
+                assert v[i, j] == field.pow(i + 1, j)
+
+    def test_cauchy_shape(self):
+        c = cauchy_matrix(2, 5)
+        assert (c.rows, c.cols) == (2, 5)
+
+    def test_cauchy_no_zero_entries(self):
+        c = cauchy_matrix(4, 8)
+        assert np.all(c.array != 0)
+
+    def test_cauchy_size_limit(self):
+        with pytest.raises(ErasureError):
+            cauchy_matrix(200, 100)
+
+    def test_select_rows(self):
+        m = GFMatrix([[1, 2], [3, 4], [5, 6]])
+        assert m.select_rows([2, 0]) == GFMatrix([[5, 6], [1, 2]])

@@ -1,0 +1,218 @@
+"""Unit and property tests for the Reed-Solomon codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.erasure.rs import RSCodec, UpdatePlan
+from repro.errors import ErasureError, UnrecoverableDataError
+
+
+def make_fragments(k: int, length: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    return [rng.integers(0, 256, size=length, dtype=np.uint8).tobytes() for _ in range(k)]
+
+
+class TestConstruction:
+    def test_rejects_zero_data_fragments(self):
+        with pytest.raises(ErasureError):
+            RSCodec(0, 2)
+
+    def test_rejects_negative_parity(self):
+        with pytest.raises(ErasureError):
+            RSCodec(3, -1)
+
+    def test_rejects_oversized_code(self):
+        with pytest.raises(ErasureError):
+            RSCodec(200, 100)
+
+    def test_zero_parity_allowed(self):
+        codec = RSCodec(4, 0)
+        assert codec.encode(make_fragments(4, 16)) == []
+
+    def test_repr(self):
+        assert repr(RSCodec(3, 2)) == "RSCodec(k=3, m=2)"
+
+
+class TestEncodeDecode:
+    def test_parity_count(self):
+        codec = RSCodec(3, 2)
+        parity = codec.encode(make_fragments(3, 32))
+        assert len(parity) == 2
+        assert all(len(p) == 32 for p in parity)
+
+    def test_encode_stripe_layout(self):
+        codec = RSCodec(2, 1)
+        data = make_fragments(2, 8)
+        stripe = codec.encode_stripe(data)
+        assert stripe[:2] == data
+        assert len(stripe) == 3
+
+    def test_decode_all_present_fast_path(self):
+        codec = RSCodec(3, 2)
+        data = make_fragments(3, 64)
+        fragments = dict(enumerate(codec.encode_stripe(data)))
+        assert codec.decode(fragments) == data
+
+    def test_decode_with_data_erasures(self):
+        codec = RSCodec(3, 2)
+        data = make_fragments(3, 64, seed=1)
+        fragments = dict(enumerate(codec.encode_stripe(data)))
+        del fragments[0], fragments[2]
+        assert codec.decode(fragments) == data
+
+    def test_decode_from_parity_only_survivors(self):
+        codec = RSCodec(2, 2)
+        data = make_fragments(2, 64, seed=2)
+        fragments = dict(enumerate(codec.encode_stripe(data)))
+        survivors = {2: fragments[2], 3: fragments[3]}
+        assert codec.decode(survivors) == data
+
+    def test_too_many_erasures_raises(self):
+        codec = RSCodec(3, 1)
+        data = make_fragments(3, 16)
+        fragments = dict(enumerate(codec.encode_stripe(data)))
+        del fragments[0], fragments[1]
+        with pytest.raises(UnrecoverableDataError):
+            codec.decode(fragments)
+
+    def test_bad_fragment_index_raises(self):
+        codec = RSCodec(2, 1)
+        with pytest.raises(ErasureError):
+            codec.decode({5: b"xxxx", 0: b"xxxx"})
+
+    def test_unequal_fragment_sizes_raise(self):
+        codec = RSCodec(2, 1)
+        with pytest.raises(ErasureError):
+            codec.encode([b"aaaa", b"aa"])
+
+    def test_wrong_fragment_count_raises(self):
+        codec = RSCodec(3, 1)
+        with pytest.raises(ErasureError):
+            codec.encode(make_fragments(2, 8))
+
+
+class TestReconstruct:
+    def test_reconstruct_data_fragment(self):
+        codec = RSCodec(3, 2)
+        data = make_fragments(3, 32, seed=3)
+        stripe = codec.encode_stripe(data)
+        fragments = dict(enumerate(stripe))
+        del fragments[1]
+        rebuilt = codec.reconstruct(fragments, [1])
+        assert rebuilt == {1: data[1]}
+
+    def test_reconstruct_parity_fragment(self):
+        codec = RSCodec(3, 2)
+        data = make_fragments(3, 32, seed=4)
+        stripe = codec.encode_stripe(data)
+        fragments = dict(enumerate(stripe))
+        del fragments[4]
+        rebuilt = codec.reconstruct(fragments, [4])
+        assert rebuilt == {4: stripe[4]}
+
+    def test_reconstruct_mixed(self):
+        codec = RSCodec(3, 2)
+        data = make_fragments(3, 32, seed=5)
+        stripe = codec.encode_stripe(data)
+        fragments = {0: stripe[0], 2: stripe[2], 3: stripe[3]}
+        rebuilt = codec.reconstruct(fragments, [1, 4])
+        assert rebuilt == {1: stripe[1], 4: stripe[4]}
+
+    def test_reconstruct_bad_index(self):
+        codec = RSCodec(2, 1)
+        data = make_fragments(2, 8)
+        fragments = dict(enumerate(codec.encode_stripe(data)))
+        with pytest.raises(ErasureError):
+            codec.reconstruct(fragments, [9])
+
+
+class TestUpdatePlans:
+    def test_wide_stripe_prefers_delta(self):
+        # k=10, m=2: direct = 9 reads, delta = 3 reads.
+        assert RSCodec(10, 2).plan_update() == UpdatePlan("delta", 3)
+
+    def test_narrow_stripe_prefers_direct(self):
+        # k=2, m=2: direct = 1 read, delta = 3 reads.
+        assert RSCodec(2, 2).plan_update() == UpdatePlan("direct", 1)
+
+    def test_full_rewrite_is_direct(self):
+        # Rewriting all k fragments needs zero reads directly.
+        assert RSCodec(4, 2).plan_update(updated_fragments=4).reads == 0
+
+    def test_invalid_update_count(self):
+        with pytest.raises(ErasureError):
+            RSCodec(4, 2).plan_update(updated_fragments=0)
+
+    def test_delta_update_matches_reencode(self):
+        codec = RSCodec(4, 2)
+        data = make_fragments(4, 64, seed=6)
+        parity = codec.encode(data)
+        new_fragment = make_fragments(1, 64, seed=7)[0]
+        updated = codec.delta_update(parity, 2, data[2], new_fragment)
+        new_data = list(data)
+        new_data[2] = new_fragment
+        assert updated == codec.encode(new_data)
+
+    def test_delta_update_validates_index(self):
+        codec = RSCodec(2, 1)
+        data = make_fragments(2, 8)
+        parity = codec.encode(data)
+        with pytest.raises(ErasureError):
+            codec.delta_update(parity, 5, data[0], data[1])
+
+    def test_delta_update_validates_parity_count(self):
+        codec = RSCodec(2, 2)
+        data = make_fragments(2, 8)
+        with pytest.raises(ErasureError):
+            codec.delta_update([b"x" * 8], 0, data[0], data[1])
+
+
+@st.composite
+def stripe_and_erasures(draw):
+    k = draw(st.integers(min_value=1, max_value=6))
+    m = draw(st.integers(min_value=0, max_value=4))
+    length = draw(st.integers(min_value=1, max_value=128))
+    payload = draw(
+        st.lists(
+            st.binary(min_size=length, max_size=length),
+            min_size=k,
+            max_size=k,
+        )
+    )
+    erase_count = draw(st.integers(min_value=0, max_value=m))
+    erased = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=k + m - 1),
+            min_size=erase_count,
+            max_size=erase_count,
+            unique=True,
+        )
+    )
+    return k, m, payload, erased
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(stripe_and_erasures())
+    def test_roundtrip_under_tolerable_erasures(self, case):
+        k, m, payload, erased = case
+        codec = RSCodec(k, m)
+        fragments = dict(enumerate(codec.encode_stripe(payload)))
+        for index in erased:
+            del fragments[index]
+        assert codec.decode(fragments) == payload
+
+    @settings(max_examples=30, deadline=None)
+    @given(stripe_and_erasures())
+    def test_reconstructed_fragments_match_originals(self, case):
+        k, m, payload, erased = case
+        codec = RSCodec(k, m)
+        stripe = codec.encode_stripe(payload)
+        fragments = dict(enumerate(stripe))
+        for index in erased:
+            del fragments[index]
+        rebuilt = codec.reconstruct(fragments, erased)
+        for index in erased:
+            assert rebuilt[index] == stripe[index]

@@ -1,0 +1,66 @@
+"""Smoke-level tests of the experiment drivers (full runs live in benchmarks/)."""
+
+import pytest
+
+from repro.experiments.common import PROFILES
+from repro.experiments.failure import run_failure_resistance
+from repro.experiments.normal_run import run_normal_run_cell, run_normal_run_figure
+from repro.experiments.space_efficiency import run_space_efficiency_table
+from repro.experiments.writeback import run_writeback_figure
+from repro.workload.medisyn import Locality
+
+SMOKE = PROFILES["smoke"]
+
+
+class TestNormalRun:
+    def test_single_cell(self):
+        cell = run_normal_run_cell(Locality.MEDIUM, "1-parity", 8, SMOKE)
+        assert cell.policy == "1-parity"
+        assert cell.cache_percent == 8
+        assert 0 < cell.hit_ratio_percent < 100
+        assert cell.bandwidth_mb_per_sec > 0
+        assert cell.latency_ms > 0
+        assert cell.space_efficiency == pytest.approx(0.8, abs=0.03)
+
+    def test_figure_subset_and_format(self):
+        figure = run_normal_run_figure(
+            Locality.MEDIUM,
+            SMOKE,
+            cache_percents=(6, 10),
+            policy_keys=("0-parity", "Reo-20%"),
+        )
+        assert len(figure.cells) == 4
+        series = figure.series("hit_ratio_percent")
+        assert set(series) == {"0-parity", "Reo-20%"}
+        assert all(len(values) == 2 for values in series.values())
+        text = figure.format()
+        assert "Fig 6" in text and "Hit Ratio" in text and "Latency" in text
+
+
+class TestFailure:
+    def test_subset_windows(self):
+        figure = run_failure_resistance(SMOKE, policy_keys=("0-parity", "Reo-20%"))
+        assert figure.failed_devices == [0, 1, 2, 3, 4]
+        assert len(figure.hit_ratio_percent["0-parity"]) == 5
+        assert figure.hit_ratio_percent["0-parity"][1] == 0.0
+        assert figure.hit_ratio_percent["Reo-20%"][4] > 0.0
+        assert "Fig 8" in figure.format()
+
+
+class TestWriteback:
+    def test_subset(self):
+        figure = run_writeback_figure(
+            SMOKE, write_ratios=(20,), policy_keys=("full-replication", "Reo-10%")
+        )
+        full = figure.hit_ratio_percent["full-replication"][0]
+        reo = figure.hit_ratio_percent["Reo-10%"][0]
+        assert reo > full
+        assert "Fig 9" in figure.format()
+
+
+class TestSpaceEfficiency:
+    def test_single_policy(self):
+        table = run_space_efficiency_table(SMOKE, policy_keys=("Reo-10%",))
+        for locality in ("weak", "medium", "strong"):
+            assert 85.0 <= table.values["Reo-10%"][locality] <= 97.0
+        assert "paper Reo-10%" in table.format()

@@ -1,0 +1,387 @@
+"""Tests for the flash array: placement, degraded reads, rebuild, accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import (
+    ObjectExistsError,
+    ObjectNotFoundError,
+    StripeLayoutError,
+    UnrecoverableDataError,
+)
+from repro.flash.array import FlashArray, ObjectHealth
+from repro.flash.latency import ZERO_COST, ServiceTimeModel
+from repro.flash.stripe import ChunkKind, ParityScheme, ReplicationScheme
+
+
+def make_array(num_devices=5, capacity=10**6, chunk_size=64, model=ZERO_COST):
+    return FlashArray(
+        num_devices=num_devices,
+        device_capacity=capacity,
+        chunk_size=chunk_size,
+        model=model,
+    )
+
+
+def payload_of(size, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=size, dtype=np.uint8).tobytes()
+
+
+class TestWriteRead:
+    def test_roundtrip_parity(self):
+        array = make_array()
+        data = payload_of(1000)
+        array.write_object("a", data, ParityScheme(2))
+        read, result = array.read_object("a")
+        assert read == data
+        assert not result.degraded
+
+    def test_roundtrip_replication(self):
+        array = make_array()
+        data = payload_of(500, seed=1)
+        array.write_object("r", data, ReplicationScheme())
+        assert array.read_object("r")[0] == data
+
+    def test_roundtrip_zero_parity(self):
+        array = make_array()
+        data = payload_of(333, seed=2)
+        array.write_object("z", data, ParityScheme(0))
+        assert array.read_object("z")[0] == data
+
+    def test_empty_object(self):
+        array = make_array()
+        array.write_object("e", b"", ParityScheme(1))
+        assert array.read_object("e")[0] == b""
+
+    def test_single_byte_object(self):
+        array = make_array()
+        array.write_object("s", b"x", ParityScheme(2))
+        assert array.read_object("s")[0] == b"x"
+
+    def test_duplicate_write_raises(self):
+        array = make_array()
+        array.write_object("a", b"abc", ParityScheme(0))
+        with pytest.raises(ObjectExistsError):
+            array.write_object("a", b"def", ParityScheme(0))
+
+    def test_overwrite_flag(self):
+        array = make_array()
+        array.write_object("a", b"abc", ParityScheme(0))
+        array.write_object("a", payload_of(200, seed=3), ParityScheme(1), overwrite=True)
+        assert array.read_object("a")[0] == payload_of(200, seed=3)
+
+    def test_read_unknown_raises(self):
+        with pytest.raises(ObjectNotFoundError):
+            make_array().read_object("nope")
+
+    def test_infeasible_scheme_raises(self):
+        array = make_array(num_devices=2)
+        with pytest.raises(StripeLayoutError):
+            array.write_object("a", b"abc", ParityScheme(2))
+
+    def test_write_counts_chunks(self):
+        array = make_array(chunk_size=64)
+        # 3 data chunks per stripe with 2-parity on 5 devices; 192 bytes = 1 stripe.
+        result = array.write_object("a", payload_of(192), ParityScheme(2))
+        assert result.chunks_written == 5
+
+    def test_write_spreads_across_devices(self):
+        array = make_array()
+        array.write_object("a", payload_of(192 * 10), ParityScheme(2))
+        assert all(device.chunk_count == 10 for device in array.devices)
+
+
+class TestDegradedRead:
+    def test_one_failure_with_one_parity(self):
+        array = make_array()
+        data = payload_of(5000, seed=4)
+        array.write_object("a", data, ParityScheme(1))
+        array.fail_device(0)
+        read, result = array.read_object("a")
+        assert read == data
+        assert result.degraded
+
+    def test_two_failures_with_two_parity(self):
+        array = make_array()
+        data = payload_of(5000, seed=5)
+        array.write_object("a", data, ParityScheme(2))
+        array.fail_device(1)
+        array.fail_device(3)
+        assert array.read_object("a")[0] == data
+
+    def test_failure_beyond_parity_raises(self):
+        array = make_array()
+        array.write_object("a", payload_of(5000, seed=6), ParityScheme(1))
+        array.fail_device(0)
+        array.fail_device(1)
+        with pytest.raises(UnrecoverableDataError):
+            array.read_object("a")
+
+    def test_zero_parity_lost_on_any_failure(self):
+        array = make_array()
+        array.write_object("a", payload_of(5000, seed=7), ParityScheme(0))
+        array.fail_device(2)
+        with pytest.raises(UnrecoverableDataError):
+            array.read_object("a")
+
+    def test_replication_survives_all_but_one(self):
+        array = make_array()
+        data = payload_of(300, seed=8)
+        array.write_object("a", data, ReplicationScheme())
+        for device_id in range(4):
+            array.fail_device(device_id)
+        read, result = array.read_object("a")
+        assert read == data
+
+    def test_small_object_on_surviving_device_not_degraded(self):
+        # A one-chunk 0-parity object whose single chunk avoids the failure.
+        array = make_array()
+        array.write_object("a", b"tiny", ParityScheme(4))  # k=1: chunk on one device
+        # Find which device holds the data chunk and fail a different one.
+        extent = array.get_extent("a")
+        data_device = extent.stripes[0].data_chunks()[0].device_id
+        victim = (data_device + 1) % 5
+        array.fail_device(victim)
+        read, result = array.read_object("a")
+        assert read == b"tiny"
+
+
+class TestHealth:
+    def test_healthy(self):
+        array = make_array()
+        array.write_object("a", payload_of(1000), ParityScheme(1))
+        assert array.object_health("a") is ObjectHealth.HEALTHY
+
+    def test_degraded(self):
+        array = make_array()
+        array.write_object("a", payload_of(1000), ParityScheme(1))
+        array.fail_device(0)
+        assert array.object_health("a") is ObjectHealth.DEGRADED
+
+    def test_lost(self):
+        array = make_array()
+        array.write_object("a", payload_of(1000), ParityScheme(1))
+        array.fail_device(0)
+        array.fail_device(1)
+        assert array.object_health("a") is ObjectHealth.LOST
+        assert not array.is_readable("a")
+
+    def test_replicated_health(self):
+        array = make_array()
+        array.write_object("a", payload_of(100), ReplicationScheme())
+        for device_id in range(4):
+            array.fail_device(device_id)
+        assert array.object_health("a") is ObjectHealth.DEGRADED
+        array.fail_device(4)
+        assert array.object_health("a") is ObjectHealth.LOST
+
+
+class TestRebuild:
+    def test_rebuild_after_spare_insertion(self):
+        array = make_array()
+        data = payload_of(5000, seed=9)
+        array.write_object("a", data, ParityScheme(2))
+        array.fail_device(0)
+        array.replace_device(0)
+        assert array.missing_chunks("a")
+        result = array.rebuild_object("a")
+        assert result.chunks_written > 0
+        assert not array.missing_chunks("a")
+        assert array.object_health("a") is ObjectHealth.HEALTHY
+        read, read_result = array.read_object("a")
+        assert read == data
+        assert not read_result.degraded
+
+    def test_rebuild_replicated_object(self):
+        array = make_array()
+        data = payload_of(100, seed=10)
+        array.write_object("a", data, ReplicationScheme())
+        array.fail_device(3)
+        array.replace_device(3)
+        array.rebuild_object("a")
+        assert array.object_health("a") is ObjectHealth.HEALTHY
+
+    def test_rebuild_skips_still_failed_devices(self):
+        array = make_array()
+        array.write_object("a", payload_of(5000, seed=11), ParityScheme(2))
+        array.fail_device(0)
+        array.fail_device(1)
+        array.replace_device(0)
+        array.rebuild_object("a")
+        # Device 1 chunks remain missing, but object is now 1-failure safe again.
+        missing = array.missing_chunks("a")
+        assert all(chunk.device_id == 1 for chunk in missing)
+
+    def test_rebuild_lost_object_raises(self):
+        array = make_array()
+        array.write_object("a", payload_of(5000, seed=12), ParityScheme(0))
+        array.fail_device(0)
+        array.replace_device(0)
+        with pytest.raises(UnrecoverableDataError):
+            array.rebuild_object("a")
+
+    def test_replace_online_device_rejected(self):
+        from repro.errors import DeviceFailedError
+
+        array = make_array()
+        with pytest.raises(DeviceFailedError):
+            array.replace_device(0)
+
+
+class TestSpaceAccounting:
+    def test_zero_parity_efficiency_is_one(self):
+        array = make_array()
+        array.write_object("a", payload_of(64 * 5 * 4), ParityScheme(0))
+        assert array.space_efficiency == pytest.approx(1.0)
+
+    def test_one_parity_efficiency(self):
+        array = make_array()
+        array.write_object("a", payload_of(64 * 4 * 10), ParityScheme(1))
+        assert array.space_efficiency == pytest.approx(0.8)
+
+    def test_two_parity_efficiency(self):
+        array = make_array()
+        array.write_object("a", payload_of(64 * 3 * 10), ParityScheme(2))
+        assert array.space_efficiency == pytest.approx(0.6)
+
+    def test_full_replication_efficiency(self):
+        array = make_array()
+        array.write_object("a", payload_of(64 * 10), ReplicationScheme())
+        assert array.space_efficiency == pytest.approx(0.2)
+
+    def test_mixed_schemes(self):
+        array = make_array()
+        array.write_object("cold", payload_of(64 * 5 * 2), ParityScheme(0))
+        array.write_object("hot", payload_of(64 * 3 * 2, seed=1), ParityScheme(2))
+        expected = (640 + 384) / (640 + 640)
+        assert array.space_efficiency == pytest.approx(expected)
+
+    def test_delete_restores_accounting(self):
+        array = make_array()
+        array.write_object("a", payload_of(1000), ParityScheme(2))
+        array.delete_object("a")
+        assert array.logical_bytes == 0
+        assert array.data_bytes == 0
+        assert array.redundancy_bytes == 0
+        assert array.used_bytes == 0
+        assert array.space_efficiency == 1.0
+
+    def test_estimate_stored_bytes(self):
+        array = make_array()
+        assert array.estimate_stored_bytes(1000, ParityScheme(0)) == 1000
+        assert array.estimate_stored_bytes(900, ParityScheme(2)) == 1500
+        assert array.estimate_stored_bytes(100, ReplicationScheme()) == 500
+
+    def test_empty_array_efficiency(self):
+        assert make_array().space_efficiency == 1.0
+
+
+class TestTiming:
+    def test_parallel_chunks_cost_one_service_time(self):
+        model = ServiceTimeModel(0.0, 1.0, 1e12, 1e12)  # 1 s per write op
+        array = make_array(model=model, chunk_size=64)
+        # One stripe across 5 devices: writes proceed in parallel.
+        result = array.write_object("a", payload_of(192), ParityScheme(2))
+        assert result.elapsed == pytest.approx(1.0)
+
+    def test_sequential_stripes_queue_per_device(self):
+        model = ServiceTimeModel(0.0, 1.0, 1e12, 1e12)
+        array = make_array(model=model, chunk_size=64)
+        # Two stripes -> two chunks per device -> 2 s on the critical path.
+        result = array.write_object("a", payload_of(384), ParityScheme(2))
+        assert result.elapsed == pytest.approx(2.0)
+
+    def test_busy_device_delays_next_operation(self):
+        model = ServiceTimeModel(1.0, 1.0, 1e12, 1e12)
+        array = make_array(model=model, chunk_size=64)
+        array.write_object("a", payload_of(192), ParityScheme(2))
+        # The clock did not advance, so devices are still busy until t=1.
+        result = array.write_object("b", payload_of(192, seed=1), ParityScheme(2))
+        assert result.elapsed == pytest.approx(2.0)
+
+    def test_clock_advance_clears_queue(self):
+        model = ServiceTimeModel(1.0, 1.0, 1e12, 1e12)
+        array = make_array(model=model, chunk_size=64)
+        array.write_object("a", payload_of(192), ParityScheme(2))
+        array.clock.advance(10.0)
+        result = array.write_object("b", payload_of(192, seed=1), ParityScheme(2))
+        assert result.elapsed == pytest.approx(1.0)
+
+
+class TestAfterFailureWrites:
+    def test_new_writes_use_surviving_devices(self):
+        array = make_array()
+        array.fail_device(0)
+        data = payload_of(1000, seed=13)
+        array.write_object("a", data, ParityScheme(1))
+        assert array.read_object("a")[0] == data
+        extent = array.get_extent("a")
+        used = {chunk.device_id for stripe in extent.stripes for chunk in stripe.chunks}
+        assert 0 not in used
+
+    def test_single_survivor_replication(self):
+        array = make_array()
+        for device_id in range(4):
+            array.fail_device(device_id)
+        data = payload_of(100, seed=14)
+        array.write_object("a", data, ReplicationScheme())
+        assert array.read_object("a")[0] == data
+
+
+@st.composite
+def object_spec(draw):
+    size = draw(st.integers(min_value=0, max_value=2000))
+    scheme_kind = draw(st.sampled_from(["parity", "replication"]))
+    if scheme_kind == "parity":
+        scheme = ParityScheme(draw(st.integers(min_value=0, max_value=4)))
+    else:
+        scheme = ReplicationScheme()
+    failures = draw(st.lists(st.integers(min_value=0, max_value=4), unique=True, max_size=4))
+    return size, scheme, failures
+
+
+class TestProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(object_spec(), st.integers(min_value=0, max_value=2**31 - 1))
+    def test_read_after_tolerable_failures_roundtrips(self, spec, seed):
+        size, scheme, failures = spec
+        array = make_array()
+        data = payload_of(size, seed=seed)
+        array.write_object("x", data, scheme)
+        for device_id in failures:
+            array.fail_device(device_id)
+        tolerable = scheme.tolerable_failures(5)
+        if len(failures) <= tolerable or size == 0:
+            assert array.read_object("x")[0] == data
+        else:
+            # Either readable (small object missed the failed devices) or lost.
+            health = array.object_health("x")
+            if health is ObjectHealth.LOST:
+                with pytest.raises(UnrecoverableDataError):
+                    array.read_object("x")
+            else:
+                assert array.read_object("x")[0] == data
+
+    @settings(max_examples=30, deadline=None)
+    @given(object_spec())
+    def test_rebuild_restores_health(self, spec):
+        size, scheme, failures = spec
+        tolerable = scheme.tolerable_failures(5)
+        array = make_array()
+        data = payload_of(size, seed=42)
+        array.write_object("x", data, scheme)
+        for device_id in failures:
+            array.fail_device(device_id)
+        recoverable = (
+            len(failures) <= tolerable
+            or array.object_health("x") is not ObjectHealth.LOST
+        )
+        for device_id in failures:
+            array.replace_device(device_id)
+        if recoverable:
+            array.rebuild_object("x")
+            assert array.object_health("x") is ObjectHealth.HEALTHY
+            assert array.read_object("x")[0] == data

@@ -1,0 +1,159 @@
+"""Tests for silent-corruption detection, tolerant reads, and scrubbing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ChunkCorruptedError, ChunkMissingError, UnrecoverableDataError
+from repro.flash.array import FlashArray
+from repro.flash.device import FlashDevice
+from repro.flash.latency import ZERO_COST
+from repro.flash.stripe import ChunkKind, ParityScheme, ReplicationScheme
+
+
+def payload_of(size, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=size, dtype=np.uint8).tobytes()
+
+
+def make_array(capacity=10**6):
+    return FlashArray(num_devices=5, device_capacity=capacity, chunk_size=64, model=ZERO_COST)
+
+
+def corrupt_data_chunk(array, key, count=1):
+    """Corrupt ``count`` data chunks of an object, one per stripe."""
+    extent = array.get_extent(key)
+    corrupted = 0
+    for stripe in extent.stripes:
+        if corrupted == count:
+            break
+        chunk = stripe.data_chunks()[0]
+        array.devices[chunk.device_id].corrupt_chunk(chunk.address)
+        corrupted += 1
+    return corrupted
+
+
+class TestDeviceChecksums:
+    def test_read_detects_corruption(self):
+        device = FlashDevice(device_id=0, capacity_bytes=1024, model=ZERO_COST)
+        device.write_chunk((0, 0), b"hello world")
+        device.corrupt_chunk((0, 0))
+        with pytest.raises(ChunkCorruptedError):
+            device.read_chunk((0, 0))
+
+    def test_corrupt_missing_chunk_raises(self):
+        device = FlashDevice(device_id=0, capacity_bytes=1024, model=ZERO_COST)
+        with pytest.raises(ChunkMissingError):
+            device.corrupt_chunk((0, 0))
+
+    def test_rewrite_clears_corruption(self):
+        device = FlashDevice(device_id=0, capacity_bytes=1024, model=ZERO_COST)
+        device.write_chunk((0, 0), b"hello")
+        device.corrupt_chunk((0, 0))
+        device.write_chunk((0, 0), b"fresh")
+        assert device.read_chunk((0, 0))[0] == b"fresh"
+
+
+class TestCorruptionTolerantReads:
+    def test_parity_read_decodes_around_corruption(self):
+        array = make_array()
+        data = payload_of(1_000, seed=1)
+        array.write_object("a", data, ParityScheme(1))
+        corrupt_data_chunk(array, "a")
+        read, result = array.read_object("a")
+        assert read == data
+        assert result.degraded
+
+    def test_two_corruptions_with_two_parity(self):
+        array = make_array()
+        data = payload_of(192, seed=2)  # one stripe
+        array.write_object("a", data, ParityScheme(2))
+        extent = array.get_extent("a")
+        for chunk in extent.stripes[0].data_chunks()[:2]:
+            array.devices[chunk.device_id].corrupt_chunk(chunk.address)
+        assert array.read_object("a")[0] == data
+
+    def test_corruption_beyond_parity_unrecoverable(self):
+        array = make_array()
+        data = payload_of(192, seed=3)
+        array.write_object("a", data, ParityScheme(1))
+        extent = array.get_extent("a")
+        for chunk in extent.stripes[0].chunks[:2]:
+            array.devices[chunk.device_id].corrupt_chunk(chunk.address)
+        with pytest.raises(UnrecoverableDataError):
+            array.read_object("a")
+
+    def test_replica_read_skips_corrupted_copy(self):
+        array = make_array()
+        data = payload_of(64, seed=4)
+        array.write_object("a", data, ReplicationScheme())
+        extent = array.get_extent("a")
+        primary = extent.stripes[0].data_chunks()[0]
+        array.devices[primary.device_id].corrupt_chunk(primary.address)
+        read, result = array.read_object("a")
+        assert read == data
+        assert result.degraded
+
+    def test_corruption_plus_device_failure(self):
+        array = make_array()
+        data = payload_of(192, seed=5)
+        array.write_object("a", data, ParityScheme(2))
+        extent = array.get_extent("a")
+        stripe = extent.stripes[0]
+        array.fail_device(stripe.chunks[0].device_id)
+        surviving_data = [
+            c for c in stripe.data_chunks() if c.device_id != stripe.chunks[0].device_id
+        ]
+        array.devices[surviving_data[0].device_id].corrupt_chunk(surviving_data[0].address)
+        assert array.read_object("a")[0] == data
+
+
+class TestScrub:
+    def test_scrub_repairs_corruption(self):
+        array = make_array()
+        data = payload_of(1_000, seed=6)
+        array.write_object("a", data, ParityScheme(2))
+        corrupt_data_chunk(array, "a", count=2)
+        report = array.scrub()
+        assert report.chunks_repaired == 2
+        assert not report.unrecoverable_objects
+        # After repair, a plain read is clean (not degraded).
+        read, result = array.read_object("a")
+        assert read == data
+        assert not result.degraded
+
+    def test_scrub_repairs_replicas(self):
+        array = make_array()
+        data = payload_of(64, seed=7)
+        array.write_object("a", data, ReplicationScheme())
+        extent = array.get_extent("a")
+        for chunk in extent.stripes[0].chunks[:3]:
+            array.devices[chunk.device_id].corrupt_chunk(chunk.address)
+        report = array.scrub()
+        assert report.chunks_repaired == 3
+        read, result = array.read_object("a")
+        assert read == data
+        assert not result.degraded
+
+    def test_scrub_reports_unrecoverable(self):
+        array = make_array()
+        array.write_object("a", payload_of(192, seed=8), ParityScheme(0))
+        corrupt_data_chunk(array, "a")
+        report = array.scrub()
+        assert report.unrecoverable_objects == ["a"]
+        assert report.chunks_repaired == 0
+
+    def test_clean_scrub_is_a_noop(self):
+        array = make_array()
+        array.write_object("a", payload_of(500, seed=9), ParityScheme(1))
+        report = array.scrub()
+        assert report.chunks_repaired == 0
+        assert report.chunks_checked > 0
+        assert report.objects_checked == 1
+
+    def test_scrub_counts_io(self):
+        array = make_array()
+        array.write_object("a", payload_of(500, seed=10), ParityScheme(1))
+        corrupt_data_chunk(array, "a")
+        report = array.scrub()
+        assert report.io.chunks_read > 0
+        assert report.io.chunks_written == report.chunks_repaired

@@ -1,0 +1,136 @@
+"""Tests for the simulated flash device."""
+
+import pytest
+
+from repro.errors import ChunkMissingError, DeviceFailedError, DeviceFullError
+from repro.flash.device import DeviceState, FlashDevice
+from repro.flash.latency import ZERO_COST
+
+
+def make_device(capacity=1024, model=ZERO_COST, device_id=0):
+    return FlashDevice(device_id=device_id, capacity_bytes=capacity, model=model)
+
+
+class TestLifecycle:
+    def test_initial_state(self):
+        device = make_device()
+        assert device.is_online
+        assert device.used_bytes == 0
+        assert device.free_bytes == 1024
+        assert device.chunk_count == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            make_device(capacity=0)
+
+    def test_fail_blocks_io(self):
+        device = make_device()
+        device.write_chunk((0, 0), b"abc")
+        device.fail()
+        assert device.state is DeviceState.FAILED
+        with pytest.raises(DeviceFailedError):
+            device.read_chunk((0, 0))
+        with pytest.raises(DeviceFailedError):
+            device.write_chunk((0, 1), b"x")
+        with pytest.raises(DeviceFailedError):
+            device.delete_chunk((0, 0))
+
+    def test_failed_device_has_no_chunks_visible(self):
+        device = make_device()
+        device.write_chunk((0, 0), b"abc")
+        device.fail()
+        assert not device.has_chunk((0, 0))
+
+    def test_replace_gives_fresh_device(self):
+        device = make_device()
+        device.write_chunk((0, 0), b"abc")
+        device.fail()
+        device.replace()
+        assert device.is_online
+        assert device.used_bytes == 0
+        assert device.chunk_count == 0
+        assert device.generation == 1
+
+
+class TestIo:
+    def test_write_read_roundtrip(self):
+        device = make_device()
+        device.write_chunk((3, 1), b"hello")
+        payload, _elapsed = device.read_chunk((3, 1))
+        assert payload == b"hello"
+
+    def test_write_accounts_space(self):
+        device = make_device()
+        device.write_chunk((0, 0), b"abcde")
+        assert device.used_bytes == 5
+        assert device.free_bytes == 1019
+
+    def test_overwrite_replaces_and_reaccounts(self):
+        device = make_device()
+        device.write_chunk((0, 0), b"aaaa")
+        device.write_chunk((0, 0), b"bb")
+        assert device.used_bytes == 2
+        assert device.read_chunk((0, 0))[0] == b"bb"
+
+    def test_write_beyond_capacity_raises(self):
+        device = make_device(capacity=4)
+        with pytest.raises(DeviceFullError):
+            device.write_chunk((0, 0), b"abcde")
+        assert device.used_bytes == 0
+
+    def test_overwrite_fitting_via_replacement(self):
+        device = make_device(capacity=4)
+        device.write_chunk((0, 0), b"aaaa")
+        # Replacing a 4-byte chunk with another 4-byte chunk fits.
+        device.write_chunk((0, 0), b"bbbb")
+        assert device.used_bytes == 4
+
+    def test_read_missing_chunk_raises(self):
+        device = make_device()
+        with pytest.raises(ChunkMissingError):
+            device.read_chunk((9, 9))
+
+    def test_delete_chunk(self):
+        device = make_device()
+        device.write_chunk((1, 0), b"xyz")
+        device.delete_chunk((1, 0))
+        assert device.used_bytes == 0
+        assert not device.has_chunk((1, 0))
+
+    def test_delete_missing_raises(self):
+        device = make_device()
+        with pytest.raises(ChunkMissingError):
+            device.delete_chunk((1, 0))
+
+    def test_service_time_uses_model(self):
+        from repro.flash.latency import ServiceTimeModel
+
+        model = ServiceTimeModel(0.5, 0.25, 10.0, 10.0)
+        device = make_device(model=model)
+        elapsed = device.write_chunk((0, 0), b"abcde")
+        assert elapsed == pytest.approx(0.25 + 5 / 10.0)
+        _payload, elapsed = device.read_chunk((0, 0))
+        assert elapsed == pytest.approx(0.5 + 5 / 10.0)
+
+
+class TestStats:
+    def test_counters(self):
+        device = make_device()
+        device.write_chunk((0, 0), b"abc")
+        device.read_chunk((0, 0))
+        device.read_chunk((0, 0))
+        device.delete_chunk((0, 0))
+        assert device.stats.writes == 1
+        assert device.stats.reads == 2
+        assert device.stats.deletes == 1
+        assert device.stats.bytes_written == 3
+        assert device.stats.bytes_read == 6
+
+    def test_wear_counters_survive_reset(self):
+        device = make_device()
+        device.write_chunk((0, 0), b"abc")
+        device.write_chunk((0, 0), b"def")  # overwrite = program + erase
+        device.stats.reset()
+        assert device.stats.writes == 0
+        assert device.stats.programs == 2
+        assert device.stats.erases == 1

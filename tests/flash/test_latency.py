@@ -1,0 +1,46 @@
+"""Tests for service-time models."""
+
+import pytest
+
+from repro.flash.latency import (
+    HDD_7200RPM,
+    INTEL_540S_SSD,
+    NETWORK_10GBE,
+    ZERO_COST,
+    ServiceTimeModel,
+)
+from repro.units import MB
+
+
+class TestServiceTimeModel:
+    def test_read_time_linear_in_bytes(self):
+        model = ServiceTimeModel(0.001, 0.002, 100 * MB, 50 * MB)
+        assert model.read_time(0) == pytest.approx(0.001)
+        assert model.read_time(100 * MB) == pytest.approx(1.001)
+
+    def test_write_time(self):
+        model = ServiceTimeModel(0.001, 0.002, 100 * MB, 50 * MB)
+        assert model.write_time(50 * MB) == pytest.approx(1.002)
+
+    def test_rejects_negative_overhead(self):
+        with pytest.raises(ValueError):
+            ServiceTimeModel(-0.1, 0.0, 1.0, 1.0)
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError):
+            ServiceTimeModel(0.0, 0.0, 0.0, 1.0)
+
+    def test_zero_cost_model(self):
+        assert ZERO_COST.read_time(10**9) == 0.0
+        assert ZERO_COST.write_time(10**9) == 0.0
+
+    def test_combine_stacks_overheads_and_takes_min_bandwidth(self):
+        combined = HDD_7200RPM.combine(NETWORK_10GBE)
+        assert combined.read_overhead == pytest.approx(
+            HDD_7200RPM.read_overhead + NETWORK_10GBE.read_overhead
+        )
+        assert combined.read_bandwidth == HDD_7200RPM.read_bandwidth
+
+    def test_flash_much_faster_than_disk_to_first_byte(self):
+        # The relative ordering that drives every reproduced shape.
+        assert INTEL_540S_SSD.read_time(4096) < HDD_7200RPM.read_time(4096) / 10

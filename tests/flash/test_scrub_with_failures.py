@@ -1,0 +1,71 @@
+"""Tests for scrubbing arrays that also have failed devices."""
+
+import numpy as np
+import pytest
+
+from repro.flash.array import FlashArray
+from repro.flash.latency import ZERO_COST
+from repro.flash.stripe import ParityScheme, ReplicationScheme
+
+
+def payload_of(size, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=size, dtype=np.uint8).tobytes()
+
+
+def make_array():
+    return FlashArray(num_devices=5, device_capacity=10**6, chunk_size=64, model=ZERO_COST)
+
+
+class TestScrubWithFailures:
+    def test_scrub_ignores_failed_device_chunks(self):
+        array = make_array()
+        array.write_object("a", payload_of(1_000, seed=1), ParityScheme(2))
+        array.fail_device(0)
+        report = array.scrub()
+        # Chunks on the failed device are not checked (they are missing, not
+        # silently corrupt) and the object is not reported unrecoverable.
+        assert not report.unrecoverable_objects
+        assert report.chunks_repaired == 0
+
+    def test_scrub_repairs_corruption_despite_failure(self):
+        array = make_array()
+        data = payload_of(192, seed=2)  # one 3+2 stripe
+        array.write_object("a", data, ParityScheme(2))
+        stripe = array.get_extent("a").stripes[0]
+        array.fail_device(stripe.chunks[0].device_id)
+        survivor = next(
+            c for c in stripe.chunks if c.device_id != stripe.chunks[0].device_id
+        )
+        array.devices[survivor.device_id].corrupt_chunk(survivor.address)
+        report = array.scrub()
+        assert report.chunks_repaired == 1
+        # One fragment missing + repaired corruption: still fully readable.
+        assert array.read_object("a")[0] == data
+
+    def test_scrub_detects_beyond_tolerance_combination(self):
+        array = make_array()
+        data = payload_of(192, seed=3)
+        array.write_object("a", data, ParityScheme(1))  # tolerates one loss
+        stripe = array.get_extent("a").stripes[0]
+        array.fail_device(stripe.chunks[0].device_id)
+        survivor = next(
+            c for c in stripe.chunks if c.device_id != stripe.chunks[0].device_id
+        )
+        array.devices[survivor.device_id].corrupt_chunk(survivor.address)
+        report = array.scrub()
+        # Missing + corrupt on a 1-parity stripe: nothing left to decode from.
+        assert report.unrecoverable_objects == ["a"]
+
+    def test_scrub_replicated_with_failures(self):
+        array = make_array()
+        data = payload_of(64, seed=4)
+        array.write_object("a", data, ReplicationScheme())
+        stripe = array.get_extent("a").stripes[0]
+        for chunk in stripe.chunks[:3]:
+            array.fail_device(chunk.device_id)
+        survivor = stripe.chunks[3]
+        array.devices[survivor.device_id].corrupt_chunk(survivor.address)
+        report = array.scrub()
+        assert report.chunks_repaired == 1
+        assert array.read_object("a")[0] == data

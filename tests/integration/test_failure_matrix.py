@@ -1,0 +1,148 @@
+"""Systematic failure matrix: every scheme × every failure count.
+
+For each redundancy policy and each number of concurrently failed devices,
+assert exactly what must hold: objects within the scheme's tolerance stay
+readable with correct content; beyond it, parity-striped objects (which span
+every device) are lost; and the cache layer turns those losses into misses
+rather than errors.
+"""
+
+import pytest
+
+from repro.core.policy import full_replication, reo_policy, uniform_parity
+from repro.flash.array import ObjectHealth
+
+from tests.conftest import build_cache, register_uniform_objects
+
+#: (policy factory, tolerable concurrent failures for bulk data)
+SCHEMES = [
+    ("0-parity", lambda: uniform_parity(0), 0),
+    ("1-parity", lambda: uniform_parity(1), 1),
+    ("2-parity", lambda: uniform_parity(2), 2),
+    ("full-replication", full_replication, 4),
+]
+
+
+@pytest.mark.parametrize("name,policy_factory,tolerance", SCHEMES)
+@pytest.mark.parametrize("failures", [1, 2, 3, 4])
+class TestUniformFailureMatrix:
+    def test_readability_matches_tolerance(self, name, policy_factory, tolerance, failures):
+        cache = build_cache(policy=policy_factory(), cache_bytes=400_000)
+        names = register_uniform_objects(cache, 12, 2_000)
+        for object_name in names:
+            cache.read(object_name)
+        for device_id in range(failures):
+            cache.fail_device(device_id)
+        cache.stats.reset()
+        for object_name in names:
+            result = cache.read(object_name)
+            if failures <= tolerance:
+                assert result.hit, f"{name}: lost data within tolerance"
+                assert result.num_bytes == 2_000
+            else:
+                assert not result.hit, f"{name}: impossible survival"
+        if failures <= tolerance:
+            assert cache.stats.hit_ratio == 1.0
+            assert cache.stats.lost_objects == 0
+        else:
+            assert cache.stats.hit_ratio == 0.0
+            assert cache.stats.lost_objects == 12
+
+
+@pytest.mark.parametrize("failures", [1, 2, 3, 4])
+class TestReoFailureMatrix:
+    def test_per_class_tolerances(self, failures):
+        cache = build_cache(
+            policy=reo_policy(0.4), cache_bytes=400_000, reclassify_interval=10**6
+        )
+        names = register_uniform_objects(cache, 12, 2_000)
+        for object_name in names:
+            cache.read(object_name)
+        # Promote a hot subset, dirty one object.
+        for _ in range(10):
+            for object_name in names[:4]:
+                cache.read(object_name)
+        cache.manager.reclassify()
+        cache.write(names[4])  # dirty: full replication
+        hot = [n for n in names[:4] if cache.manager.get_cached(n).class_id == 2]
+        assert hot, "reclassification should promote the reread subset"
+        for device_id in range(failures):
+            cache.fail_device(device_id)
+
+        # Dirty data survives any four failures.
+        dirty_result = cache.read(names[4])
+        assert dirty_result.hit
+
+        # Hot clean data (2-parity) survives exactly up to two failures.
+        for object_name in hot:
+            result = cache.read(object_name)
+            assert result.hit == (failures <= 2)
+
+        # Metadata stays intact throughout.
+        from repro.osd.types import SUPER_BLOCK
+
+        assert cache.target.read_object(SUPER_BLOCK).ok
+
+
+class TestFailureDuringOperations:
+    def test_failure_between_read_and_reread(self):
+        cache = build_cache(policy=uniform_parity(1))
+        register_uniform_objects(cache, 5, 2_000)
+        cache.read("obj-0")
+        cache.fail_device(0)
+        first = cache.read("obj-0")
+        cache.fail_device(1)
+        second = cache.read("obj-0")
+        assert first.hit and first.degraded
+        assert not second.hit
+
+    def test_spare_and_refail_cycle(self):
+        cache = build_cache(policy=uniform_parity(1), cache_bytes=300_000)
+        names = register_uniform_objects(cache, 10, 2_000)
+        for object_name in names:
+            cache.read(object_name)
+        for cycle in range(3):
+            device_id = cycle % 5
+            cache.fail_device(device_id)
+            cache.replace_device(device_id)
+            cache.recovery.start()
+            cache.recovery.run_to_completion()
+        cache.stats.reset()
+        for object_name in names:
+            assert cache.read(object_name).hit
+        extents_healthy = all(
+            cache.array.object_health(cache.manager.get_cached(n).object_id)
+            is ObjectHealth.HEALTHY
+            for n in names
+        )
+        assert extents_healthy
+
+    def test_dirty_loss_beyond_tolerance_is_counted_not_hidden(self):
+        # The catastrophic case the paper opens with: losing the only valid
+        # copy. All five devices die; the dirty object cannot be flushed.
+        cache = build_cache(policy=reo_policy(0.2))
+        register_uniform_objects(cache, 3, 2_000)
+        cache.write("obj-0")
+        for device_id in range(5):
+            cache.fail_device(device_id)
+        flushed = cache.flush()
+        assert flushed == 0
+        assert cache.stats.lost_objects >= 1
+        # The backend never saw the update: version still 0.
+        assert cache.backend.version_of("obj-0") == 0
+
+    def test_all_devices_failing_is_total_loss_but_no_crash(self):
+        cache = build_cache(policy=reo_policy(0.2))
+        names = register_uniform_objects(cache, 5, 2_000)
+        for object_name in names:
+            cache.read(object_name)
+        cache.write(names[0])
+        for device_id in range(4):
+            cache.fail_device(device_id)
+        # One device left: dirty data still served.
+        assert cache.read(names[0]).hit
+        # The cache keeps answering (misses) with every read going backend.
+        cache.stats.reset()
+        for object_name in names[1:]:
+            result = cache.read(object_name)
+            assert result.num_bytes == 2_000

@@ -1,0 +1,74 @@
+"""Tests for the OSD command layer."""
+
+from repro.flash.array import FlashArray
+from repro.flash.latency import ZERO_COST
+from repro.osd import commands
+from repro.osd.sense import SenseCode
+from repro.osd.target import OsdTarget
+from repro.osd.types import PARTITION_BASE, ObjectId, ObjectKind
+
+
+def make_target():
+    array = FlashArray(num_devices=5, device_capacity=10**6, chunk_size=64, model=ZERO_COST)
+    target = OsdTarget(array)
+    target.create_partition(PARTITION_BASE)
+    return target
+
+
+USER_A = ObjectId(PARTITION_BASE, 0x10005)
+
+
+class TestCommands:
+    def test_create_partition(self):
+        array = FlashArray(num_devices=5, device_capacity=10**6, chunk_size=64, model=ZERO_COST)
+        target = OsdTarget(array)
+        assert commands.CreatePartition(PARTITION_BASE).apply(target).ok
+        assert commands.CreatePartition(PARTITION_BASE).apply(target).sense is SenseCode.FAIL
+
+    def test_create_object(self):
+        target = make_target()
+        assert commands.CreateObject(USER_A).apply(target).ok
+        assert target.get_info(USER_A).size == 0
+        assert commands.CreateObject(USER_A).apply(target).sense is SenseCode.FAIL
+
+    def test_create_collection(self):
+        target = make_target()
+        collection = ObjectId(PARTITION_BASE, 0x30000)
+        commands.CreateObject(collection, kind=ObjectKind.COLLECTION).apply(target)
+        assert target.get_info(collection).kind is ObjectKind.COLLECTION
+
+    def test_write_read_remove(self):
+        target = make_target()
+        assert commands.Write(USER_A, b"payload", class_id=2).apply(target).ok
+        response = commands.Read(USER_A).apply(target)
+        assert response.payload == b"payload"
+        assert commands.Remove(USER_A).apply(target).ok
+        assert commands.Read(USER_A).apply(target).sense is SenseCode.FAIL
+
+    def test_attributes(self):
+        target = make_target()
+        commands.Write(USER_A, b"x").apply(target)
+        assert commands.SetAttr(USER_A, "app", "medisyn").apply(target).ok
+        response = commands.GetAttr(USER_A, "app").apply(target)
+        assert response.payload == b"medisyn"
+
+    def test_get_missing_attribute(self):
+        target = make_target()
+        commands.Write(USER_A, b"x").apply(target)
+        assert commands.GetAttr(USER_A, "nope").apply(target).sense is SenseCode.FAIL
+
+    def test_attr_on_missing_object(self):
+        target = make_target()
+        assert commands.SetAttr(USER_A, "k", "v").apply(target).sense is SenseCode.FAIL
+        assert commands.GetAttr(USER_A, "k").apply(target).sense is SenseCode.FAIL
+
+    def test_list_partition(self):
+        target = make_target()
+        commands.Write(USER_A, b"x").apply(target)
+        response = commands.ListPartition(PARTITION_BASE).apply(target)
+        assert response.ok
+        assert str(USER_A) in response.payload.decode()
+
+    def test_list_unknown_partition(self):
+        target = make_target()
+        assert commands.ListPartition(0x99999).apply(target).sense is SenseCode.FAIL

@@ -1,0 +1,99 @@
+"""Tests for the #SETID# / #QUERY# control-message codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ControlMessageError
+from repro.osd.control import (
+    QueryMessage,
+    SetClassMessage,
+    parse_control_message,
+)
+from repro.osd.types import ObjectId
+
+
+class TestSetClassMessage:
+    def test_encode_format(self):
+        message = SetClassMessage(ObjectId(0x10000, 0x10005), 2)
+        assert message.encode() == b"#SETID#,0x10000,0x10005,2"
+
+    def test_roundtrip(self):
+        message = SetClassMessage(ObjectId(0x10000, 0x2FFFF), 1)
+        assert parse_control_message(message.encode()) == message
+
+    def test_message_is_small(self):
+        # The paper notes a message is only a few dozen bytes.
+        assert len(SetClassMessage(ObjectId(0x10000, 0x10005), 3).encode()) < 64
+
+
+class TestQueryMessage:
+    def test_encode_format(self):
+        message = QueryMessage(ObjectId(0x10000, 0x10005), "R", 0, 4096)
+        assert message.encode() == b"#QUERY#,0x10000,0x10005,R,0,4096"
+
+    def test_roundtrip(self):
+        message = QueryMessage(ObjectId(0x10000, 0x10006), "W", 128, 65536)
+        assert parse_control_message(message.encode()) == message
+
+    def test_invalid_operation_rejected(self):
+        with pytest.raises(ControlMessageError):
+            QueryMessage(ObjectId(1, 1), "X")
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ControlMessageError):
+            QueryMessage(ObjectId(1, 1), "R", offset=-1)
+
+
+class TestParsing:
+    def test_unknown_header(self):
+        with pytest.raises(ControlMessageError):
+            parse_control_message(b"#BOGUS#,1,2,3")
+
+    def test_empty_message(self):
+        with pytest.raises(ControlMessageError):
+            parse_control_message(b"")
+
+    def test_non_ascii(self):
+        with pytest.raises(ControlMessageError):
+            parse_control_message(b"\xff\xfe")
+
+    def test_setid_wrong_field_count(self):
+        with pytest.raises(ControlMessageError):
+            parse_control_message(b"#SETID#,0x1,0x2")
+
+    def test_query_wrong_field_count(self):
+        with pytest.raises(ControlMessageError):
+            parse_control_message(b"#QUERY#,0x1,0x2,R,0")
+
+    def test_malformed_pid(self):
+        with pytest.raises(ControlMessageError):
+            parse_control_message(b"#SETID#,zap,0x2,1")
+
+    def test_query_bad_operation(self):
+        with pytest.raises(ControlMessageError):
+            parse_control_message(b"#QUERY#,0x1,0x2,Z,0,0")
+
+    def test_decimal_ids_accepted(self):
+        message = parse_control_message(b"#SETID#,65536,65541,2")
+        assert message == SetClassMessage(ObjectId(0x10000, 0x10005), 2)
+
+    @given(
+        st.integers(min_value=0, max_value=2**32),
+        st.integers(min_value=0, max_value=2**32),
+        st.integers(min_value=0, max_value=3),
+    )
+    def test_setid_roundtrip_property(self, pid, oid, cid):
+        message = SetClassMessage(ObjectId(pid, oid), cid)
+        assert parse_control_message(message.encode()) == message
+
+    @given(
+        st.integers(min_value=0, max_value=2**32),
+        st.integers(min_value=0, max_value=2**32),
+        st.sampled_from(["R", "W"]),
+        st.integers(min_value=0, max_value=2**40),
+        st.integers(min_value=0, max_value=2**40),
+    )
+    def test_query_roundtrip_property(self, pid, oid, op, offset, size):
+        message = QueryMessage(ObjectId(pid, oid), op, offset, size)
+        assert parse_control_message(message.encode()) == message

@@ -1,0 +1,21 @@
+"""Tests for the sense-code vocabulary (paper Table III)."""
+
+from repro.osd.sense import SenseCode
+
+
+class TestSenseCode:
+    def test_table_iii_values(self):
+        assert SenseCode.OK == 0
+        assert SenseCode.FAIL == -1
+        assert SenseCode.DATA_CORRUPTED == 0x63
+        assert SenseCode.CACHE_FULL == 0x64
+        assert SenseCode.RECOVERY_STARTED == 0x65
+        assert SenseCode.RECOVERY_ENDED == 0x66
+        assert SenseCode.REDUNDANCY_FULL == 0x67
+
+    def test_every_code_has_description(self):
+        for code in SenseCode:
+            assert code.describe()
+
+    def test_int_round_trip(self):
+        assert SenseCode(0x63) is SenseCode.DATA_CORRUPTED

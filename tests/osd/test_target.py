@@ -1,0 +1,229 @@
+"""Tests for the OSD target: data path, classification, control object."""
+
+import pytest
+
+from repro.flash.array import FlashArray
+from repro.flash.latency import ZERO_COST
+from repro.flash.stripe import ParityScheme, ReplicationScheme
+from repro.osd.control import QueryMessage, SetClassMessage
+from repro.osd.sense import SenseCode
+from repro.osd.target import OsdTarget
+from repro.osd.types import CONTROL_OBJECT, PARTITION_BASE, ObjectId, ObjectKind
+
+
+def reo_like_policy(class_id: int):
+    """The paper's class -> scheme map (Table II + §IV-C.4)."""
+    if class_id in (0, 1):
+        return ReplicationScheme()
+    if class_id == 2:
+        return ParityScheme(2)
+    return ParityScheme(0)
+
+
+def make_target(policy=reo_like_policy, num_devices=5):
+    array = FlashArray(
+        num_devices=num_devices,
+        device_capacity=10**6,
+        chunk_size=64,
+        model=ZERO_COST,
+    )
+    target = OsdTarget(array, policy=policy)
+    target.create_partition(PARTITION_BASE)
+    return target
+
+
+USER_A = ObjectId(PARTITION_BASE, 0x10005)
+USER_B = ObjectId(PARTITION_BASE, 0x10006)
+
+
+class TestNamespace:
+    def test_create_partition_once(self):
+        target = make_target()
+        assert target.create_partition(PARTITION_BASE).sense is SenseCode.FAIL
+        assert target.has_partition(PARTITION_BASE)
+
+    def test_write_to_unknown_partition_fails(self):
+        target = make_target()
+        response = target.write_object(ObjectId(0x20000, 0x10005), b"x")
+        assert response.sense is SenseCode.FAIL
+
+    def test_list_partition(self):
+        target = make_target()
+        target.write_object(USER_B, b"b")
+        target.write_object(USER_A, b"a")
+        assert target.list_partition(PARTITION_BASE) == [USER_A, USER_B]
+
+    def test_object_info_recorded(self):
+        target = make_target()
+        target.write_object(USER_A, b"abc", class_id=2)
+        info = target.get_info(USER_A)
+        assert info.size == 3
+        assert info.class_id == 2
+        assert info.kind is ObjectKind.USER
+
+    def test_objects_in_class(self):
+        target = make_target()
+        target.write_object(USER_A, b"a", class_id=2)
+        target.write_object(USER_B, b"b", class_id=3)
+        assert [i.object_id for i in target.objects_in_class(2)] == [USER_A]
+
+
+class TestDataPath:
+    def test_write_read_roundtrip(self):
+        target = make_target()
+        payload = bytes(range(256)) * 4
+        assert target.write_object(USER_A, payload, class_id=3).ok
+        response = target.read_object(USER_A)
+        assert response.ok
+        assert response.payload == payload
+
+    def test_read_unknown_fails(self):
+        assert make_target().read_object(USER_A).sense is SenseCode.FAIL
+
+    def test_overwrite_updates_size(self):
+        target = make_target()
+        target.write_object(USER_A, b"aaaa", class_id=3)
+        target.write_object(USER_A, b"bb")
+        assert target.get_info(USER_A).size == 2
+        assert target.read_object(USER_A).payload == b"bb"
+
+    def test_overwrite_keeps_class_when_not_given(self):
+        target = make_target()
+        target.write_object(USER_A, b"aaaa", class_id=1)
+        target.write_object(USER_A, b"bb")
+        assert target.get_info(USER_A).class_id == 1
+
+    def test_remove(self):
+        target = make_target()
+        target.write_object(USER_A, b"abc")
+        assert target.remove_object(USER_A).ok
+        assert not target.exists(USER_A)
+        assert target.remove_object(USER_A).sense is SenseCode.FAIL
+
+    def test_class_determines_scheme(self):
+        target = make_target()
+        target.write_object(USER_A, b"x" * 640, class_id=3)  # 0-parity
+        target.write_object(USER_B, b"y" * 640, class_id=1)  # full replication
+        extent_a = target.array.get_extent(USER_A)
+        extent_b = target.array.get_extent(USER_B)
+        assert extent_a.redundancy_bytes == 0
+        assert extent_b.redundancy_bytes == 4 * extent_b.data_bytes
+
+    def test_corrupted_read_returns_sense_0x63(self):
+        target = make_target()
+        target.write_object(USER_A, b"z" * 640, class_id=3)
+        target.array.fail_device(0)
+        response = target.read_object(USER_A)
+        assert response.sense is SenseCode.DATA_CORRUPTED
+
+    def test_degraded_read_succeeds_for_protected_class(self):
+        target = make_target()
+        payload = b"z" * 640
+        target.write_object(USER_A, payload, class_id=2)  # 2-parity
+        target.array.fail_device(0)
+        target.array.fail_device(1)
+        response = target.read_object(USER_A)
+        assert response.ok
+        assert response.payload == payload
+
+
+class TestClassification:
+    def test_class_label_mirrored_on_attributes_page(self):
+        target = make_target()
+        target.write_object(USER_A, b"m" * 640, class_id=3)
+        assert target.get_info(USER_A).attributes["reo.class_id"] == "3"
+        target.set_class(USER_A, 2)
+        assert target.get_info(USER_A).attributes["reo.class_id"] == "2"
+
+    def test_set_class_reencodes(self):
+        target = make_target()
+        target.write_object(USER_A, b"m" * 640, class_id=3)
+        assert target.array.get_extent(USER_A).redundancy_bytes == 0
+        response = target.set_class(USER_A, 2)
+        assert response.ok
+        assert target.get_info(USER_A).class_id == 2
+        assert target.array.get_extent(USER_A).redundancy_bytes > 0
+
+    def test_set_class_same_scheme_is_cheap(self):
+        target = make_target()
+        target.write_object(USER_A, b"m" * 640, class_id=0)
+        response = target.set_class(USER_A, 1)  # both full replication
+        assert response.ok
+        assert response.io.chunks_written == 0
+
+    def test_set_class_unknown_object(self):
+        assert make_target().set_class(USER_A, 2).sense is SenseCode.FAIL
+
+    def test_set_class_on_lost_object(self):
+        target = make_target()
+        target.write_object(USER_A, b"m" * 640, class_id=3)
+        target.array.fail_device(0)
+        response = target.set_class(USER_A, 2)
+        assert response.sense is SenseCode.DATA_CORRUPTED
+
+    def test_reclassification_survives_failure_afterwards(self):
+        target = make_target()
+        payload = b"m" * 640
+        target.write_object(USER_A, payload, class_id=3)
+        target.set_class(USER_A, 2)
+        target.array.fail_device(0)
+        assert target.read_object(USER_A).payload == payload
+
+
+class TestControlObject:
+    def test_setid_message(self):
+        target = make_target()
+        target.write_object(USER_A, b"m" * 640, class_id=3)
+        message = SetClassMessage(USER_A, 2)
+        response = target.write_object(CONTROL_OBJECT, message.encode())
+        assert response.ok
+        assert target.get_info(USER_A).class_id == 2
+
+    def test_query_healthy_object(self):
+        target = make_target()
+        target.write_object(USER_A, b"m" * 640, class_id=2)
+        message = QueryMessage(USER_A, "R", 0, 640)
+        response = target.write_object(CONTROL_OBJECT, message.encode())
+        assert response.sense is SenseCode.OK
+
+    def test_query_lost_object(self):
+        target = make_target()
+        target.write_object(USER_A, b"m" * 640, class_id=3)
+        target.array.fail_device(0)
+        message = QueryMessage(USER_A, "R", 0, 640)
+        response = target.write_object(CONTROL_OBJECT, message.encode())
+        assert response.sense is SenseCode.DATA_CORRUPTED
+
+    def test_query_degraded_during_recovery(self):
+        target = make_target()
+        target.write_object(USER_A, b"m" * 640, class_id=2)
+        target.array.fail_device(0)
+        target.recovery_active = True
+        sense = target.query(QueryMessage(USER_A, "R", 0, 640))
+        assert sense is SenseCode.RECOVERY_STARTED
+
+    def test_query_write_admission_cache_full(self):
+        target = make_target()
+        sense = target.query(QueryMessage(USER_B, "W", 0, 10**9))
+        assert sense is SenseCode.CACHE_FULL
+
+    def test_query_write_admission_redundancy_full(self):
+        target = make_target()
+        target.redundancy_reserve_full = True
+        sense = target.query(QueryMessage(USER_B, "W", 0, 10))
+        assert sense is SenseCode.REDUNDANCY_FULL
+
+    def test_query_write_admission_ok(self):
+        target = make_target()
+        sense = target.query(QueryMessage(USER_B, "W", 0, 10))
+        assert sense is SenseCode.OK
+
+    def test_malformed_control_write_fails(self):
+        target = make_target()
+        response = target.write_object(CONTROL_OBJECT, b"#WAT#,1")
+        assert response.sense is SenseCode.FAIL
+
+    def test_query_unknown_object_read_fails(self):
+        target = make_target()
+        sense = target.query(QueryMessage(USER_A, "R", 0, 0))
+        assert sense is SenseCode.FAIL

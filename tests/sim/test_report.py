@@ -1,0 +1,36 @@
+"""Tests for the text report helpers."""
+
+from repro.sim.report import format_figure_series, format_table
+
+
+class TestFormatTable:
+    def test_contains_title_and_cells(self):
+        text = format_table("Title", ["a", "b"], [[1, 2.5], ["x", "y"]])
+        assert "Title" in text
+        assert "2.50" in text
+        assert "x" in text
+
+    def test_alignment_width(self):
+        text = format_table("T", ["col"], [["longvalue"]])
+        lines = text.splitlines()
+        assert lines[2].startswith("col")
+        assert "longvalue" in lines[-1]
+
+
+class TestFormatFigureSeries:
+    def test_series_layout(self):
+        text = format_figure_series(
+            "Fig X",
+            "Cache Size (%)",
+            [4, 6],
+            {"0-parity": [10.0, 20.0], "Reo-20%": [11.0, 21.0]},
+        )
+        lines = text.splitlines()
+        assert "Cache Size (%)" in lines[2]
+        assert "0-parity" in lines[2]
+        assert "Reo-20%" in lines[2]
+        assert "10.0" in text and "21.0" in text
+
+    def test_missing_values_dash(self):
+        text = format_figure_series("F", "x", [1, 2], {"s": [5.0]})
+        assert "-" in text.splitlines()[-1]

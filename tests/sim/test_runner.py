@@ -1,0 +1,114 @@
+"""Tests for the experiment runner."""
+
+import pytest
+
+from repro.core.policy import reo_policy, uniform_parity
+from repro.sim.runner import ExperimentRunner, FailureEvent
+from repro.workload.medisyn import Locality, MediSynConfig, generate_workload
+from repro.workload.trace import Trace, TraceRecord
+
+from tests.conftest import build_cache
+
+
+def small_trace(num_objects=20, num_requests=300, write_ratio=0.0, seed=3):
+    config = MediSynConfig(
+        locality=Locality.MEDIUM,
+        num_objects=num_objects,
+        num_requests=num_requests,
+        write_ratio=write_ratio,
+        mean_object_size=2_000,
+        seed=seed,
+    )
+    return generate_workload(config)
+
+
+class TestRunnerBasics:
+    def test_run_produces_metrics(self):
+        cache = build_cache(cache_bytes=200_000, zero_cost=False)
+        trace = small_trace()
+        result = ExperimentRunner(cache, trace).run()
+        assert result.metrics.requests == len(trace)
+        assert 0.0 < result.metrics.hit_ratio <= 1.0
+        assert result.metrics.bandwidth > 0
+        assert result.policy_name == "Reo-20%"
+        assert result.trace_name == trace.name
+
+    def test_clock_advances(self):
+        cache = build_cache(cache_bytes=200_000, zero_cost=False)
+        runner = ExperimentRunner(cache, small_trace())
+        runner.run()
+        assert cache.clock.now > 0
+
+    def test_writes_counted(self):
+        cache = build_cache(cache_bytes=200_000)
+        result = ExperimentRunner(cache, small_trace(write_ratio=0.4)).run()
+        assert result.metrics.writes > 0
+        assert result.stats["write_requests"] == result.metrics.writes
+
+    def test_invalid_args(self):
+        cache = build_cache()
+        trace = small_trace()
+        with pytest.raises(ValueError):
+            ExperimentRunner(cache, trace, recovery_share=1.0)
+        with pytest.raises(ValueError):
+            ExperimentRunner(cache, trace, warmup_fraction=1.0)
+
+
+class TestWarmup:
+    def test_warmup_fraction_excluded_from_metrics(self):
+        cache = build_cache(cache_bytes=200_000)
+        trace = small_trace(num_requests=200)
+        result = ExperimentRunner(cache, trace, warmup_fraction=0.5).run()
+        assert result.metrics.requests == 100
+
+    def test_prewarm_loads_whole_catalog(self):
+        cache = build_cache(cache_bytes=1_000_000)
+        trace = small_trace(num_objects=15, num_requests=10)
+        result = ExperimentRunner(cache, trace, prewarm=True).run()
+        # All objects fit, so every measured request hits.
+        assert result.metrics.hit_ratio == 1.0
+        assert result.stats["misses"] == 0
+
+    def test_prewarm_metrics_reset(self):
+        cache = build_cache(cache_bytes=1_000_000)
+        trace = small_trace(num_objects=15, num_requests=10)
+        runner = ExperimentRunner(cache, trace, prewarm=True)
+        result = runner.run()
+        assert result.metrics.requests == 10
+
+
+class TestFailureInjection:
+    def test_failure_without_spare_degrades(self):
+        cache = build_cache(policy=uniform_parity(0), cache_bytes=500_000)
+        trace = small_trace(num_requests=400)
+        failures = [FailureEvent(request_index=200, device_id=0, insert_spare=False)]
+        result = ExperimentRunner(cache, trace, failures=failures, prewarm=True).run()
+        windows = result.windows
+        assert len(windows) == 2
+        assert windows[0].metrics.hit_ratio > windows[1].metrics.hit_ratio
+
+    def test_failure_with_spare_triggers_recovery(self):
+        cache = build_cache(policy=uniform_parity(1), cache_bytes=500_000, zero_cost=False)
+        trace = small_trace(num_requests=400)
+        failures = [FailureEvent(request_index=100, device_id=1)]
+        result = ExperimentRunner(
+            cache, trace, failures=failures, prewarm=True, recovery_share=0.5
+        ).run()
+        assert cache.recovery.objects_rebuilt > 0
+        assert result.windows[1].metrics.hit_ratio > 0.9
+
+    def test_multiple_failures_marked(self):
+        cache = build_cache(policy=reo_policy(0.4), cache_bytes=500_000)
+        trace = small_trace(num_requests=600)
+        failures = [
+            FailureEvent(request_index=200, device_id=0, insert_spare=False),
+            FailureEvent(request_index=400, device_id=1, insert_spare=False),
+        ]
+        result = ExperimentRunner(cache, trace, failures=failures).run()
+        assert [w.label for w in result.windows] == ["start", "fail-0", "fail-1"]
+
+    def test_unregistered_catalog_is_registered(self):
+        cache = build_cache()
+        trace = Trace("t", {"fresh": 1000}, [TraceRecord("fresh")])
+        result = ExperimentRunner(cache, trace).run()
+        assert result.metrics.requests == 1

@@ -1,0 +1,80 @@
+"""Tests for the runner's closed-loop concurrency model."""
+
+import pytest
+
+from repro.core.policy import uniform_parity
+from repro.sim.runner import ExperimentRunner
+from repro.workload.medisyn import Locality, MediSynConfig, generate_workload
+
+from tests.conftest import build_cache
+
+
+def make_trace(num_requests=300, seed=5):
+    return generate_workload(
+        MediSynConfig(
+            locality=Locality.MEDIUM,
+            num_objects=20,
+            num_requests=num_requests,
+            mean_object_size=2_000,
+            seed=seed,
+        )
+    )
+
+
+class TestConcurrency:
+    def test_invalid_concurrency(self):
+        cache = build_cache()
+        with pytest.raises(ValueError):
+            ExperimentRunner(cache, make_trace(), concurrency=0)
+
+    def test_single_client_matches_sequential_semantics(self):
+        trace = make_trace()
+        cache_a = build_cache(cache_bytes=200_000, zero_cost=False)
+        result_a = ExperimentRunner(cache_a, trace).run()
+        cache_b = build_cache(cache_bytes=200_000, zero_cost=False)
+        result_b = ExperimentRunner(cache_b, trace, concurrency=1).run()
+        assert result_a.metrics.hit_ratio == result_b.metrics.hit_ratio
+        assert result_a.metrics.bandwidth == pytest.approx(result_b.metrics.bandwidth)
+
+    def test_more_clients_finish_sooner(self):
+        trace = make_trace()
+        times = {}
+        for clients in (1, 4):
+            cache = build_cache(cache_bytes=200_000, zero_cost=False)
+            ExperimentRunner(cache, trace, concurrency=clients).run()
+            times[clients] = cache.clock.now
+        assert times[4] < times[1]
+
+    def test_latency_grows_with_queueing(self):
+        trace = make_trace()
+        latency = {}
+        for clients in (1, 8):
+            cache = build_cache(cache_bytes=200_000, zero_cost=False)
+            result = ExperimentRunner(cache, trace, concurrency=clients).run()
+            latency[clients] = result.metrics.mean_latency
+        assert latency[8] > latency[1]
+
+    def test_hit_ratio_unaffected_by_concurrency(self):
+        trace = make_trace()
+        ratios = set()
+        for clients in (1, 2, 4):
+            cache = build_cache(cache_bytes=200_000)
+            result = ExperimentRunner(cache, trace, concurrency=clients).run()
+            ratios.add(round(result.metrics.hit_ratio, 3))
+        # Content decisions are identical; only timing differs.
+        assert len(ratios) == 1
+
+    def test_concurrent_run_with_failures(self):
+        from repro.sim.runner import FailureEvent
+
+        cache = build_cache(policy=uniform_parity(1), cache_bytes=300_000, zero_cost=False)
+        trace = make_trace(num_requests=400)
+        result = ExperimentRunner(
+            cache,
+            trace,
+            failures=[FailureEvent(request_index=200, device_id=0)],
+            concurrency=4,
+            prewarm=True,
+        ).run()
+        assert result.metrics.requests == 400
+        assert cache.recovery.objects_rebuilt > 0

@@ -1,0 +1,61 @@
+"""Tests for unit constants and formatting helpers."""
+
+import pytest
+
+from repro import units
+
+
+class TestConstants:
+    def test_binary_units(self):
+        assert units.KiB == 1024
+        assert units.MiB == 1024**2
+        assert units.GiB == 1024**3
+
+    def test_decimal_units(self):
+        assert units.KB == 1000
+        assert units.MB == 10**6
+        assert units.GB == 10**9
+
+    def test_time_units(self):
+        assert units.SECOND == 1.0
+        assert units.MILLISECOND == pytest.approx(1e-3)
+        assert units.MICROSECOND == pytest.approx(1e-6)
+
+
+class TestFormatBytes:
+    def test_bytes(self):
+        assert units.format_bytes(100) == "100 B"
+
+    def test_kib(self):
+        assert units.format_bytes(65536) == "64.0 KiB"
+
+    def test_mib(self):
+        assert units.format_bytes(3 * units.MiB) == "3.0 MiB"
+
+    def test_gib(self):
+        assert units.format_bytes(2.5 * units.GiB) == "2.5 GiB"
+
+    def test_negative(self):
+        assert units.format_bytes(-2048) == "-2.0 KiB"
+
+
+class TestFormatDuration:
+    def test_microseconds(self):
+        assert units.format_duration(5e-6) == "5.0 us"
+
+    def test_milliseconds(self):
+        assert units.format_duration(0.0042) == "4.200 ms"
+
+    def test_seconds(self):
+        assert units.format_duration(2.5) == "2.50 s"
+
+    def test_minutes(self):
+        assert units.format_duration(600) == "10.0 min"
+
+    def test_negative(self):
+        assert units.format_duration(-0.5).startswith("-")
+
+
+class TestFormatRate:
+    def test_mb_per_sec(self):
+        assert units.format_rate(437 * units.MB) == "437.0 MB/sec"

@@ -1,0 +1,134 @@
+"""Tests for trace analysis."""
+
+import pytest
+
+from repro.workload.analysis import footprint_curve, profile_trace, reuse_distances
+from repro.workload.medisyn import Locality, MediSynConfig, generate_workload
+from repro.workload.trace import Trace, TraceRecord
+
+
+def tiny_trace():
+    catalog = {"a": 100, "b": 100, "c": 100}
+    records = [TraceRecord(n) for n in ("a", "b", "a", "c", "a", "b")]
+    return Trace("tiny", catalog, records)
+
+
+class TestReuseDistances:
+    def test_known_sequence(self):
+        # a b a c a b -> reuses: a (dist 1), a (dist 1), b (dist 2)
+        assert sorted(reuse_distances(tiny_trace())) == [1, 1, 2]
+
+    def test_no_reuse(self):
+        trace = Trace("x", {"a": 1, "b": 1}, [TraceRecord("a"), TraceRecord("b")])
+        assert reuse_distances(trace) == []
+
+    def test_immediate_reuse_distance_zero(self):
+        trace = Trace("x", {"a": 1}, [TraceRecord("a"), TraceRecord("a")])
+        assert reuse_distances(trace) == [0]
+
+
+class TestFootprintCurve:
+    def test_full_cache_hits_everything_but_cold_misses(self):
+        trace = tiny_trace()
+        ((_, ratio),) = footprint_curve(trace, fractions=(1.0,))
+        # 6 requests, 3 cold misses -> ideal ratio 0.5.
+        assert ratio == pytest.approx(0.5)
+
+    def test_tiny_cache_prefers_hottest(self):
+        trace = tiny_trace()
+        ((_, ratio),) = footprint_curve(trace, fractions=(0.34,))
+        # One object fits: "a" with 3 accesses -> 2 hits of 6 requests.
+        assert ratio == pytest.approx(2 / 6)
+
+    def test_monotone_in_fraction(self):
+        config = MediSynConfig(
+            locality=Locality.MEDIUM, num_objects=200, num_requests=3_000, scale=1000
+        )
+        trace = generate_workload(config)
+        curve = footprint_curve(trace)
+        ratios = [ratio for _, ratio in curve]
+        assert ratios == sorted(ratios)
+
+    def test_empty_trace(self):
+        trace = Trace("e", {"a": 10}, [])
+        ((_, ratio),) = footprint_curve(trace, fractions=(0.5,))
+        assert ratio == 0.0
+
+
+class TestProfile:
+    def test_profile_fields(self):
+        profile = profile_trace(tiny_trace())
+        assert profile.requests == 6
+        assert profile.unique_objects == 3
+        assert profile.objects_accessed == 3
+        assert profile.total_bytes == 300
+        assert profile.accessed_bytes == 600
+        assert profile.median_reuse_distance == 1.0
+        assert profile.write_ratio == 0.0
+
+    def test_skew_reflects_locality(self):
+        weak = profile_trace(
+            generate_workload(
+                MediSynConfig(locality=Locality.WEAK, num_requests=5_000, scale=1000)
+            ),
+            with_reuse=False,
+        )
+        strong = profile_trace(
+            generate_workload(
+                MediSynConfig(locality=Locality.STRONG, num_requests=5_000, scale=1000)
+            ),
+            with_reuse=False,
+        )
+        assert strong.top_10pct_share > weak.top_10pct_share
+
+    def test_format_renders(self):
+        text = profile_trace(tiny_trace()).format()
+        assert "Workload profile: tiny" in text
+        assert "ideal hit ratio" in text
+
+    def test_no_reuse_flag(self):
+        profile = profile_trace(tiny_trace(), with_reuse=False)
+        assert profile.median_reuse_distance is None
+
+
+class TestZipfEstimation:
+    def test_recovers_generator_alpha(self):
+        from repro.workload.analysis import estimate_zipf_alpha
+
+        for locality, expected in (
+            (Locality.WEAK, 0.6),
+            (Locality.MEDIUM, 0.9),
+            (Locality.STRONG, 1.2),
+        ):
+            trace = generate_workload(
+                MediSynConfig(locality=locality, num_requests=40_000, scale=1000)
+            )
+            estimate = estimate_zipf_alpha(trace)
+            assert estimate == pytest.approx(expected, abs=0.2), locality
+
+    def test_degenerate_trace(self):
+        from repro.workload.analysis import estimate_zipf_alpha
+
+        trace = Trace("d", {"a": 1}, [TraceRecord("a")] * 5)
+        assert estimate_zipf_alpha(trace) == 0.0
+
+    def test_uniform_trace_near_zero(self):
+        from repro.workload.analysis import estimate_zipf_alpha
+
+        catalog = {f"k{i}": 1 for i in range(50)}
+        records = [TraceRecord(f"k{i % 50}") for i in range(5_000)]
+        trace = Trace("u", catalog, records)
+        assert estimate_zipf_alpha(trace) < 0.1
+
+
+class TestCli:
+    def test_generate_and_profile(self, tmp_path, capsys):
+        from repro.workload.__main__ import main
+
+        out = tmp_path / "t.jsonl"
+        assert main(["generate", "medium", str(out), "--objects", "50",
+                     "--requests", "200", "--scale", "1000"]) == 0
+        assert out.exists()
+        assert main(["profile", str(out)]) == 0
+        captured = capsys.readouterr().out
+        assert "Workload profile" in captured

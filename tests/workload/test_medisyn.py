@@ -1,0 +1,94 @@
+"""Tests for the MediSyn-like generator against the paper's statistics."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.units import MB
+from repro.workload.medisyn import Locality, MediSynConfig, generate_workload
+
+
+class TestConfig:
+    def test_paper_request_counts(self):
+        assert Locality.WEAK.paper_request_count == 25_616
+        assert Locality.MEDIUM.paper_request_count == 51_057
+        assert Locality.STRONG.paper_request_count == 89_723
+
+    def test_alpha_ordering(self):
+        assert (
+            Locality.WEAK.zipf_alpha
+            < Locality.MEDIUM.zipf_alpha
+            < Locality.STRONG.zipf_alpha
+        )
+
+    def test_invalid_configs(self):
+        with pytest.raises(WorkloadError):
+            MediSynConfig(num_objects=0)
+        with pytest.raises(WorkloadError):
+            MediSynConfig(write_ratio=1.5)
+        with pytest.raises(WorkloadError):
+            MediSynConfig(scale=0)
+
+    def test_trace_names(self):
+        assert MediSynConfig(locality=Locality.WEAK).trace_name() == "medisyn-weak"
+        assert (
+            MediSynConfig(locality=Locality.MEDIUM, write_ratio=0.3).trace_name()
+            == "medisyn-medium-w30"
+        )
+
+
+class TestGeneration:
+    def test_paper_data_set_statistics(self):
+        # 4,000 objects, ~4.4 MB mean, ~17 GB total (§VI-A).
+        config = MediSynConfig(locality=Locality.WEAK, num_requests=100)
+        trace = generate_workload(config)
+        assert len(trace.catalog) == 4_000
+        mean_size = trace.total_bytes / len(trace.catalog)
+        assert mean_size == pytest.approx(4.4 * MB, rel=0.1)
+        assert trace.total_bytes == pytest.approx(17.04e9, rel=0.1)
+
+    def test_request_counts_default_to_paper(self):
+        config = MediSynConfig(locality=Locality.MEDIUM, num_objects=100, scale=1000)
+        trace = generate_workload(config)
+        assert len(trace) == 51_057
+
+    def test_deterministic_under_seed(self):
+        config = MediSynConfig(num_objects=50, num_requests=500, scale=1000)
+        a = generate_workload(config)
+        b = generate_workload(config)
+        assert a.catalog == b.catalog
+        assert a.records == b.records
+
+    def test_different_seeds_differ(self):
+        base = dict(num_objects=50, num_requests=500, scale=1000)
+        a = generate_workload(MediSynConfig(seed=1, **base))
+        b = generate_workload(MediSynConfig(seed=2, **base))
+        assert a.records != b.records
+
+    def test_scale_shrinks_sizes_not_counts(self):
+        full = generate_workload(MediSynConfig(num_objects=200, num_requests=10))
+        scaled = generate_workload(MediSynConfig(num_objects=200, num_requests=10, scale=100))
+        assert len(scaled.catalog) == len(full.catalog)
+        assert scaled.total_bytes < full.total_bytes / 50
+
+    def test_write_ratio_respected(self):
+        config = MediSynConfig(
+            num_objects=100, num_requests=5_000, write_ratio=0.3, scale=1000
+        )
+        trace = generate_workload(config)
+        assert trace.write_ratio == pytest.approx(0.3, abs=0.03)
+
+    def test_stronger_locality_more_reuse(self):
+        weak = generate_workload(
+            MediSynConfig(locality=Locality.WEAK, num_requests=20_000, scale=1000)
+        )
+        strong = generate_workload(
+            MediSynConfig(locality=Locality.STRONG, num_requests=20_000, scale=1000)
+        )
+        # Stronger locality touches fewer unique objects for the same length.
+        assert strong.unique_objects_accessed() < weak.unique_objects_accessed()
+
+    def test_accessed_bytes_scale_with_requests(self):
+        # The paper's medium workload moves ~220 GB over 51,057 requests.
+        config = MediSynConfig(locality=Locality.MEDIUM)
+        trace = generate_workload(config)
+        assert trace.accessed_bytes == pytest.approx(220e9, rel=0.2)

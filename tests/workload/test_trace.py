@@ -1,0 +1,58 @@
+"""Tests for the trace container and serialization."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.trace import Trace, TraceRecord
+
+
+def make_trace():
+    return Trace(
+        name="t",
+        catalog={"a": 100, "b": 200},
+        records=[
+            TraceRecord("a"),
+            TraceRecord("b", is_write=True),
+            TraceRecord("a"),
+        ],
+        params={"seed": 1},
+    )
+
+
+class TestTrace:
+    def test_unknown_object_rejected(self):
+        with pytest.raises(WorkloadError):
+            Trace(name="bad", catalog={"a": 10}, records=[TraceRecord("zz")])
+
+    def test_len_and_iter(self):
+        trace = make_trace()
+        assert len(trace) == 3
+        assert [record.name for record in trace] == ["a", "b", "a"]
+
+    def test_total_and_accessed_bytes(self):
+        trace = make_trace()
+        assert trace.total_bytes == 300
+        assert trace.accessed_bytes == 100 + 200 + 100
+
+    def test_write_ratio(self):
+        assert make_trace().write_ratio == pytest.approx(1 / 3)
+        assert Trace("empty", {}, []).write_ratio == 0.0
+
+    def test_unique_objects(self):
+        assert make_trace().unique_objects_accessed() == 2
+
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = make_trace()
+        path = tmp_path / "trace.jsonl"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.name == trace.name
+        assert loaded.catalog == trace.catalog
+        assert loaded.records == trace.records
+        assert loaded.params == {"seed": 1}
+
+    def test_load_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(WorkloadError):
+            Trace.load(path)
