@@ -1,0 +1,114 @@
+"""Compare a BENCH_rs_codec.json run against the committed baseline.
+
+The erasure-kernel microbenchmark (``test_rs_codec_microbench.py``) writes
+machine-readable throughput numbers to ``results/BENCH_rs_codec.json``.
+This helper diffs such a run against ``BENCH_rs_codec.baseline.json`` and
+reports metrics whose ``new_mbps`` throughput dropped by more than the
+threshold (default 20%).
+
+Used two ways:
+
+- as a library by the ``bench_regression``-marked pytest check, which warns
+  by default and fails when ``REPRO_BENCH_STRICT=1``;
+- as a CLI::
+
+    PYTHONPATH=src python benchmarks/compare_bench.py           # report
+    PYTHONPATH=src python benchmarks/compare_bench.py --strict  # exit 1 on regression
+
+Absolute MB/s depends on the machine, which is why the default is a
+warning; within one machine (or CI runner class) a >20% drop on these
+microbenchmarks reliably means a kernel regression, not noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, NamedTuple
+
+DEFAULT_THRESHOLD = 0.20
+_BENCH_DIR = Path(__file__).parent
+DEFAULT_CURRENT = _BENCH_DIR / "results" / "BENCH_rs_codec.json"
+DEFAULT_BASELINE = _BENCH_DIR / "BENCH_rs_codec.baseline.json"
+
+__all__ = ["Regression", "load", "compare", "format_report", "main"]
+
+
+class Regression(NamedTuple):
+    """One metric whose throughput fell below the allowed fraction."""
+
+    metric: str
+    current_mbps: float
+    baseline_mbps: float
+
+    @property
+    def drop_fraction(self) -> float:
+        return 1.0 - self.current_mbps / self.baseline_mbps
+
+
+def load(path: "str | Path") -> Dict:
+    """Load one benchmark JSON report."""
+    return json.loads(Path(path).read_text())
+
+
+def compare(current: Dict, baseline: Dict, threshold: float = DEFAULT_THRESHOLD) -> List[Regression]:
+    """Metrics whose ``new_mbps`` dropped more than ``threshold`` vs baseline.
+
+    Metrics present in only one report are ignored — adding a new
+    measurement must not fail the comparison against an older baseline.
+    """
+    regressions: List[Regression] = []
+    current_metrics = current.get("metrics", {})
+    for name, base_entry in sorted(baseline.get("metrics", {}).items()):
+        entry = current_metrics.get(name)
+        if entry is None:
+            continue
+        base_mbps = base_entry.get("new_mbps")
+        cur_mbps = entry.get("new_mbps")
+        if not base_mbps or cur_mbps is None:
+            continue
+        if cur_mbps < base_mbps * (1.0 - threshold):
+            regressions.append(Regression(name, cur_mbps, base_mbps))
+    return regressions
+
+
+def format_report(regressions: List[Regression]) -> str:
+    lines = [f"{len(regressions)} erasure-kernel benchmark metric(s) regressed >20% vs baseline:"]
+    for regression in regressions:
+        lines.append(
+            f"  {regression.metric}: {regression.current_mbps:.1f} MB/s vs "
+            f"baseline {regression.baseline_mbps:.1f} MB/s "
+            f"(-{regression.drop_fraction:.0%})"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: "List[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", nargs="?", default=DEFAULT_CURRENT, type=Path)
+    parser.add_argument("baseline", nargs="?", default=DEFAULT_BASELINE, type=Path)
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="allowed fractional throughput drop (default 0.20)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 when any metric regressed (default: report only)",
+    )
+    args = parser.parse_args(argv)
+    for path in (args.current, args.baseline):
+        if not Path(path).exists():
+            print(f"missing benchmark file: {path}", file=sys.stderr)
+            return 2
+    regressions = compare(load(args.current), load(args.baseline), args.threshold)
+    if not regressions:
+        print("erasure-kernel benchmarks: no regression vs baseline")
+        return 0
+    print(format_report(regressions))
+    return 1 if args.strict else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -87,9 +87,10 @@ class RecoveryManager:
             object_id = info.object_id
             if object_id not in self.array:
                 continue
-            if not self.array.missing_chunks(object_id):
+            # One stripe walk per object: missing chunks and health together.
+            missing, health = self.array.triage_object(object_id)
+            if not missing:
                 continue
-            health = self.array.object_health(object_id)
             if health is ObjectHealth.LOST:
                 plan.lost.append(object_id)
             else:
@@ -125,6 +126,19 @@ class RecoveryManager:
     @property
     def pending(self) -> int:
         return len(self._queue)
+
+    @property
+    def decoder_cache_stats(self) -> "dict[str, int]":
+        """Decoder-matrix cache counters for the codecs recovery runs on.
+
+        The rebuild queue is ordered by class, and every object of a class
+        shares one redundancy scheme, hence one ``(k, m)`` codec. A device
+        failure presents the same survivor pattern for every stripe it
+        touched, so a class sweep inverts its decoder matrix once on the
+        first object and replays it from the LRU for the rest; the hit
+        counters here make that reuse observable.
+        """
+        return self.array.decoder_cache_stats()
 
     def step(self) -> Optional[ArrayIoResult]:
         """Reconstruct the next object; returns its I/O cost, or None when done.

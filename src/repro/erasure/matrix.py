@@ -9,7 +9,7 @@ internally for its parity rows).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -27,7 +27,9 @@ class GFMatrix:
     return new matrices.
     """
 
-    def __init__(self, data: "np.ndarray | Sequence[Sequence[int]]", field: GF256 = None) -> None:
+    def __init__(
+        self, data: "np.ndarray | Sequence[Sequence[int]]", field: Optional[GF256] = None
+    ) -> None:
         array = np.asarray(data, dtype=np.uint8)
         if array.ndim != 2:
             raise ErasureError(f"matrix must be 2-D, got shape {array.shape}")
@@ -75,14 +77,7 @@ class GFMatrix:
             raise ErasureError(
                 f"cannot multiply {self.rows}x{self.cols} by {other.rows}x{other.cols}"
             )
-        field = self._field
-        out = np.zeros((self.rows, other.cols), dtype=np.uint8)
-        for i in range(self.rows):
-            for j in range(self.cols):
-                coefficient = int(self._data[i, j])
-                if coefficient:
-                    field.addmul_bytes(out[i], coefficient, other._data[j])
-        return GFMatrix(out, field)
+        return GFMatrix(self._field.matvec_bytes(self._data, other._data), self._field)
 
     def __matmul__(self, other: "GFMatrix") -> "GFMatrix":
         return self.matmul(other)
@@ -92,37 +87,34 @@ class GFMatrix:
         return GFMatrix(self._data[list(indices)], self._field)
 
     def invert(self) -> "GFMatrix":
-        """Gauss-Jordan inversion; raises :class:`ErasureError` if singular."""
+        """Gauss-Jordan inversion; raises :class:`ErasureError` if singular.
+
+        Elimination works on whole uint8 rows: scaling a row and folding the
+        pivot row into another are each one gather through the full product
+        table plus an XOR, instead of the seed's per-element scalar loop.
+        """
         if self.rows != self.cols:
             raise ErasureError("only square matrices can be inverted")
         n = self.rows
         field = self._field
-        # Augmented [A | I] worked on in int32 for index arithmetic comfort.
-        work = self._data.astype(np.int32)
-        inverse = np.eye(n, dtype=np.int32)
+        table = field.mul_table
+        # Augmented [A | I]: eliminate on both halves in one (n, 2n) array.
+        work = np.hstack([self._data, np.eye(n, dtype=np.uint8)])
         for col in range(n):
-            pivot_row = None
-            for row in range(col, n):
-                if work[row, col] != 0:
-                    pivot_row = row
-                    break
-            if pivot_row is None:
+            pivots = np.nonzero(work[col:, col])[0]
+            if pivots.size == 0:
                 raise ErasureError("matrix is singular over GF(256)")
+            pivot_row = col + int(pivots[0])
             if pivot_row != col:
                 work[[col, pivot_row]] = work[[pivot_row, col]]
-                inverse[[col, pivot_row]] = inverse[[pivot_row, col]]
             pivot_inv = field.inv(int(work[col, col]))
-            for j in range(n):
-                work[col, j] = field.mul(int(work[col, j]), pivot_inv)
-                inverse[col, j] = field.mul(int(inverse[col, j]), pivot_inv)
-            for row in range(n):
-                if row == col or work[row, col] == 0:
-                    continue
-                factor = int(work[row, col])
-                for j in range(n):
-                    work[row, j] ^= field.mul(factor, int(work[col, j]))
-                    inverse[row, j] ^= field.mul(factor, int(inverse[col, j]))
-        return GFMatrix(inverse.astype(np.uint8), field)
+            if pivot_inv != 1:
+                work[col] = table[pivot_inv][work[col]]
+            factors = work[:, col].copy()
+            factors[col] = 0
+            for row in np.nonzero(factors)[0]:
+                work[row] ^= table[int(factors[row])][work[col]]
+        return GFMatrix(work[:, n:].copy(), field)
 
     def is_identity(self) -> bool:
         """True if this is the identity matrix."""
@@ -131,12 +123,12 @@ class GFMatrix:
         )
 
 
-def identity_matrix(n: int, field: GF256 = None) -> GFMatrix:
+def identity_matrix(n: int, field: Optional[GF256] = None) -> GFMatrix:
     """The ``n``-by-``n`` identity over GF(256)."""
     return GFMatrix(np.eye(n, dtype=np.uint8), field)
 
 
-def vandermonde_matrix(rows: int, cols: int, field: GF256 = None) -> GFMatrix:
+def vandermonde_matrix(rows: int, cols: int, field: Optional[GF256] = None) -> GFMatrix:
     """The classic Vandermonde construction ``V[i, j] = (i+1)^j``.
 
     This is the construction the paper cites for Reed-Solomon encoding. Note
@@ -152,7 +144,7 @@ def vandermonde_matrix(rows: int, cols: int, field: GF256 = None) -> GFMatrix:
     return GFMatrix(data, field)
 
 
-def cauchy_matrix(rows: int, cols: int, field: GF256 = None) -> GFMatrix:
+def cauchy_matrix(rows: int, cols: int, field: Optional[GF256] = None) -> GFMatrix:
     """A Cauchy matrix ``C[i, j] = 1 / (x_i + y_j)`` with disjoint x, y sets.
 
     Every square sub-matrix of a Cauchy matrix is invertible, which makes a

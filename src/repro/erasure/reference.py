@@ -1,0 +1,159 @@
+"""The seed erasure kernel, kept verbatim as a reference implementation.
+
+The fast kernel in :mod:`repro.erasure.galois` (full product table, fused
+matvec) and :mod:`repro.erasure.rs` (cached decoder matrices) replaced the
+original per-scalar masked log/exp path. That original is preserved here,
+bit for bit, for two jobs:
+
+- **property tests** — the fused kernel must be bit-identical to this one
+  on arbitrary matrices and payloads (``tests/erasure``);
+- **before/after benchmarks** — ``benchmarks/test_rs_codec_microbench.py``
+  times both kernels on the same inputs and records the speedup in
+  ``BENCH_rs_codec.json``.
+
+Nothing in the production path imports this module.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.erasure.galois import GF256
+from repro.errors import ErasureError
+
+__all__ = [
+    "mul_bytes_reference",
+    "addmul_bytes_reference",
+    "matvec_bytes_reference",
+    "invert_reference",
+    "encode_reference",
+    "decode_reference",
+    "delta_update_reference",
+]
+
+_FIELD_SIZE = 256
+
+
+def mul_bytes_reference(field: GF256, scalar: int, data: np.ndarray) -> np.ndarray:
+    """Seed ``mul_bytes``: zero mask, two log/exp lookups, fancy-index scatter."""
+    if not 0 <= scalar < _FIELD_SIZE:
+        raise ErasureError(f"scalar {scalar} outside GF(256)")
+    if scalar == 0:
+        return np.zeros_like(data)
+    if scalar == 1:
+        return data.copy()
+    exp, log = field.exp_table, field.log_table
+    log_scalar = int(log[scalar])
+    result = np.zeros_like(data)
+    nonzero = data != 0
+    result[nonzero] = exp[log[data[nonzero]] + log_scalar]
+    return result
+
+
+def addmul_bytes_reference(
+    field: GF256, accumulator: np.ndarray, scalar: int, data: np.ndarray
+) -> None:
+    """Seed ``addmul_bytes``: in-place ``accumulator ^= scalar * data``."""
+    if scalar == 0:
+        return
+    if scalar == 1:
+        np.bitwise_xor(accumulator, data, out=accumulator)
+        return
+    np.bitwise_xor(accumulator, mul_bytes_reference(field, scalar, data), out=accumulator)
+
+
+def matvec_bytes_reference(
+    field: GF256, matrix: np.ndarray, fragments: np.ndarray
+) -> np.ndarray:
+    """Seed ``matvec_bytes``: Python double loop of scalar addmuls."""
+    rows, cols = matrix.shape
+    if fragments.shape[0] != cols:
+        raise ErasureError(f"matrix expects {cols} fragments, got {fragments.shape[0]}")
+    out = np.zeros((rows, fragments.shape[1]), dtype=np.uint8)
+    for i in range(rows):
+        accumulator = out[i]
+        for j in range(cols):
+            addmul_bytes_reference(field, accumulator, int(matrix[i, j]), fragments[j])
+    return out
+
+
+def invert_reference(field: GF256, matrix: np.ndarray) -> np.ndarray:
+    """Seed Gauss-Jordan inversion: per-element scalar field ops in int32."""
+    if matrix.shape[0] != matrix.shape[1]:
+        raise ErasureError("only square matrices can be inverted")
+    n = matrix.shape[0]
+    work = matrix.astype(np.int32)
+    inverse = np.eye(n, dtype=np.int32)
+    for col in range(n):
+        pivot_row = None
+        for row in range(col, n):
+            if work[row, col] != 0:
+                pivot_row = row
+                break
+        if pivot_row is None:
+            raise ErasureError("matrix is singular over GF(256)")
+        if pivot_row != col:
+            work[[col, pivot_row]] = work[[pivot_row, col]]
+            inverse[[col, pivot_row]] = inverse[[pivot_row, col]]
+        pivot_inv = field.inv(int(work[col, col]))
+        for j in range(n):
+            work[col, j] = field.mul(int(work[col, j]), pivot_inv)
+            inverse[col, j] = field.mul(int(inverse[col, j]), pivot_inv)
+        for row in range(n):
+            if row == col or work[row, col] == 0:
+                continue
+            factor = int(work[row, col])
+            for j in range(n):
+                work[row, j] ^= field.mul(factor, int(work[col, j]))
+                inverse[row, j] ^= field.mul(factor, int(inverse[col, j]))
+    return inverse.astype(np.uint8)
+
+
+def _as_uint8(fragment: "bytes | bytearray | np.ndarray") -> np.ndarray:
+    if isinstance(fragment, np.ndarray):
+        return fragment
+    return np.frombuffer(bytes(fragment), dtype=np.uint8)
+
+
+def encode_reference(codec, data: Sequence["bytes | np.ndarray"]) -> List[bytes]:
+    """Seed ``RSCodec.encode``: stack fragments, scalar-loop matvec."""
+    arrays = [_as_uint8(fragment) for fragment in data]
+    if codec.m == 0:
+        return []
+    stacked = np.vstack(arrays)
+    parity = matvec_bytes_reference(codec.field, codec.parity_matrix, stacked)
+    return [parity[i].tobytes() for i in range(codec.m)]
+
+
+def decode_reference(codec, fragments: Mapping[int, "bytes | np.ndarray"]) -> List[bytes]:
+    """Seed ``RSCodec.decode``: re-invert the survivor submatrix every call."""
+    available = sorted(fragments)
+    if len(available) < codec.k:
+        raise ErasureError(f"need {codec.k} fragments, got {len(available)}")
+    if all(index in fragments for index in range(codec.k)):
+        return [bytes(_as_uint8(fragments[i]).tobytes()) for i in range(codec.k)]
+    chosen = available[: codec.k]
+    decoder = invert_reference(codec.field, codec.generator_matrix[chosen])
+    stacked = np.vstack([_as_uint8(fragments[index]) for index in chosen])
+    data = matvec_bytes_reference(codec.field, decoder, stacked)
+    return [data[i].tobytes() for i in range(codec.k)]
+
+
+def delta_update_reference(
+    codec,
+    old_parity: Sequence["bytes | np.ndarray"],
+    fragment_index: int,
+    old_data: "bytes | np.ndarray",
+    new_data: "bytes | np.ndarray",
+) -> List[bytes]:
+    """Seed ``RSCodec.delta_update``: per-row scalar addmul of the delta."""
+    delta = np.bitwise_xor(_as_uint8(old_data), _as_uint8(new_data))
+    updated: List[bytes] = []
+    for row in range(codec.m):
+        parity = _as_uint8(old_parity[row]).copy()
+        coefficient = int(codec.parity_matrix[row, fragment_index])
+        addmul_bytes_reference(codec.field, parity, coefficient, delta)
+        updated.append(parity.tobytes())
+    return updated

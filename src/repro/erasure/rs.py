@@ -7,6 +7,15 @@ on (§II-B). Parity rows come from a Cauchy matrix, whose every square
 sub-matrix is invertible, so decoding is always possible when at most ``m``
 fragments are erased.
 
+The hot paths run on the fused GF(256) kernel (:mod:`repro.erasure.galois`):
+encode and decode are each a single :meth:`GF256.matvec_bytes` over a
+``(k, length)`` fragment stack, and the ``*_arrays`` variants let callers
+(the flash array) move whole stripes without per-fragment byte rewrapping.
+Decoder matrices are memoized in an LRU keyed by the survivor-index tuple,
+so a device failure — which presents the same survivor pattern for every
+stripe it touched — inverts each submatrix exactly once and every
+subsequent degraded read or rebuild is a pure table-gather matvec.
+
 Both parity-update strategies discussed in the paper are implemented:
 
 - **direct parity update** — re-read the sibling data fragments and re-encode;
@@ -19,8 +28,9 @@ can pick the cheaper one, exactly as the paper says it does.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -28,16 +38,29 @@ from repro.erasure.galois import GF256
 from repro.erasure.matrix import GFMatrix, cauchy_matrix, identity_matrix
 from repro.errors import ErasureError, UnrecoverableDataError
 
-__all__ = ["RSCodec", "UpdatePlan"]
+__all__ = ["DecoderCacheInfo", "RSCodec", "UpdatePlan"]
+
+#: Distinct survivor patterns memoized per codec. Real failure scenarios
+#: produce a handful of patterns (one per failed-device combination), so
+#: this is generous; it only guards against pathological churn.
+_DECODER_CACHE_SIZE = 128
 
 
-def _as_array(fragment: "bytes | bytearray | np.ndarray") -> np.ndarray:
-    """View a fragment as a uint8 numpy array without copying when possible."""
+def _as_array(fragment: "bytes | bytearray | memoryview | np.ndarray") -> np.ndarray:
+    """View a fragment as a uint8 numpy array without copying.
+
+    ``bytes``/``bytearray``/``memoryview`` inputs are wrapped zero-copy via
+    ``np.frombuffer``; the view is marked read-only so a shared buffer can
+    never be scribbled on through the codec (callers copy before mutating).
+    """
     if isinstance(fragment, np.ndarray):
         if fragment.dtype != np.uint8:
             raise ErasureError("fragments must be uint8 arrays")
         return fragment
-    return np.frombuffer(bytes(fragment), dtype=np.uint8)
+    array = np.frombuffer(fragment, dtype=np.uint8)
+    if array.flags.writeable:
+        array.flags.writeable = False
+    return array
 
 
 @dataclass(frozen=True)
@@ -53,6 +76,16 @@ class UpdatePlan:
     reads: int
 
 
+@dataclass(frozen=True)
+class DecoderCacheInfo:
+    """Counters for one codec's memoized decoder matrices."""
+
+    hits: int
+    misses: int
+    size: int
+    maxsize: int
+
+
 class RSCodec:
     """Reed-Solomon codec over GF(256) for ``k`` data + ``m`` parity fragments.
 
@@ -64,7 +97,12 @@ class RSCodec:
     an empty parity list and any erasure is unrecoverable.
     """
 
-    def __init__(self, data_fragments: int, parity_fragments: int, field: GF256 = None) -> None:
+    def __init__(
+        self,
+        data_fragments: int,
+        parity_fragments: int,
+        field: Optional[GF256] = None,
+    ) -> None:
         if data_fragments < 1:
             raise ErasureError("need at least one data fragment")
         if parity_fragments < 0:
@@ -88,17 +126,64 @@ class RSCodec:
             ),
             self._field,
         )
+        # Memoized decoder matrices, keyed by the survivor-index tuple.
+        self._decoders: "OrderedDict[Tuple[int, ...], np.ndarray]" = OrderedDict()
+        self._decoder_hits = 0
+        self._decoder_misses = 0
+
+    # ------------------------------------------------------------------
+    # Introspection (also consumed by the reference kernel and benchmarks)
+    # ------------------------------------------------------------------
+    @property
+    def field(self) -> GF256:
+        """The GF(256) instance this codec computes in."""
+        return self._field
+
+    @property
+    def parity_matrix(self) -> np.ndarray:
+        """The ``(m, k)`` Cauchy parity rows (read-only by convention)."""
+        return self._parity_matrix.array
+
+    @property
+    def generator_matrix(self) -> np.ndarray:
+        """The full ``(n, k)`` systematic generator ``[I ; C]``."""
+        return self._generator.array
+
+    def decoder_cache_info(self) -> DecoderCacheInfo:
+        """Hit/miss counters for the memoized decoder matrices."""
+        return DecoderCacheInfo(
+            hits=self._decoder_hits,
+            misses=self._decoder_misses,
+            size=len(self._decoders),
+            maxsize=_DECODER_CACHE_SIZE,
+        )
+
+    def clear_decoder_cache(self) -> None:
+        """Drop memoized decoders (benchmarks use this to time cold decodes)."""
+        self._decoders.clear()
 
     # ------------------------------------------------------------------
     # Encoding
     # ------------------------------------------------------------------
+    def encode_arrays(self, stacked: np.ndarray) -> np.ndarray:
+        """Parity for a ``(k, length)`` fragment stack, as ``(m, length)``.
+
+        The array-native entry point: one fused matvec, no per-fragment
+        conversions. ``m = 0`` yields a ``(0, length)`` result.
+        """
+        if stacked.ndim != 2 or stacked.shape[0] != self.k:
+            raise ErasureError(
+                f"expected a ({self.k}, length) fragment stack, got shape {stacked.shape}"
+            )
+        return self._field.matvec_bytes(self._parity_matrix.array, stacked)
+
     def encode(self, data: Sequence["bytes | np.ndarray"]) -> List[bytes]:
         """Compute the ``m`` parity fragments for ``k`` data fragments."""
-        arrays = self._check_data(data)
+        self._check_data(data)
         if self.m == 0:
             return []
-        stacked = np.vstack(arrays)
-        parity = self._field.matvec_bytes(self._parity_matrix.array, stacked)
+        # Byte-string fragments feed the translate kernel directly, no stack.
+        parity = self._field.matvec_fragments(self._parity_matrix.array, list(data))
         return [parity[i].tobytes() for i in range(self.m)]
 
     def encode_stripe(self, data: Sequence["bytes | np.ndarray"]) -> List[bytes]:
@@ -109,12 +194,27 @@ class RSCodec:
     # ------------------------------------------------------------------
     # Decoding
     # ------------------------------------------------------------------
-    def decode(self, fragments: Mapping[int, "bytes | np.ndarray"]) -> List[bytes]:
-        """Recover the ``k`` data fragments from any ``k`` survivors.
+    def _decoder_for(self, chosen: Tuple[int, ...]) -> np.ndarray:
+        """The inverse of the survivor submatrix, memoized per survivor set."""
+        decoders = self._decoders
+        decoder = decoders.get(chosen)
+        if decoder is not None:
+            self._decoder_hits += 1
+            decoders.move_to_end(chosen)
+            return decoder
+        self._decoder_misses += 1
+        decoder = self._generator.select_rows(chosen).invert().array
+        decoder.flags.writeable = False
+        decoders[chosen] = decoder
+        if len(decoders) > _DECODER_CACHE_SIZE:
+            decoders.popitem(last=False)
+        return decoder
 
-        Args:
-            fragments: mapping from fragment index (``0 .. n-1``) to payload.
-                Indices ``< k`` are data fragments, the rest parity.
+    def decode_arrays(self, fragments: Mapping[int, "bytes | np.ndarray"]) -> np.ndarray:
+        """Recover the data as a contiguous ``(k, length)`` stack.
+
+        Array-native sibling of :meth:`decode`: the flash array reads whole
+        stripes through this and emits ``stack.tobytes()`` directly.
 
         Raises:
             UnrecoverableDataError: fewer than ``k`` fragments supplied.
@@ -128,13 +228,56 @@ class RSCodec:
             )
         # Fast path: all data fragments are present.
         if all(index in fragments for index in range(self.k)):
-            return [bytes(_as_array(fragments[i]).tobytes()) for i in range(self.k)]
-        chosen = available[: self.k]
-        sub_generator = self._generator.select_rows(chosen)
-        decoder = sub_generator.invert()
-        stacked = np.vstack([_as_array(fragments[index]) for index in chosen])
-        data = self._field.matvec_bytes(decoder.array, stacked)
+            return np.vstack([_as_array(fragments[i]) for i in range(self.k)])
+        chosen = tuple(available[: self.k])
+        decoder = self._decoder_for(chosen)
+        # Survivors go to the kernel as raw byte strings; the memoized
+        # decoder is near-identity for surviving data fragments, so those
+        # rows cost a copy and only erased rows pay translate passes.
+        return self._field.matvec_fragments(
+            decoder, [fragments[index] for index in chosen]
+        )
+
+    def decode(self, fragments: Mapping[int, "bytes | np.ndarray"]) -> List[bytes]:
+        """Recover the ``k`` data fragments from any ``k`` survivors.
+
+        Args:
+            fragments: mapping from fragment index (``0 .. n-1``) to payload.
+                Indices ``< k`` are data fragments, the rest parity.
+
+        Raises:
+            UnrecoverableDataError: fewer than ``k`` fragments supplied.
+        """
+        data = self.decode_arrays(fragments)
         return [data[i].tobytes() for i in range(self.k)]
+
+    def reconstruct_arrays(
+        self,
+        fragments: Mapping[int, "bytes | np.ndarray"],
+        missing: Sequence[int],
+    ) -> Dict[int, np.ndarray]:
+        """Rebuild missing fragments as arrays, computing only needed rows.
+
+        Data rows come straight out of the decoded stack; missing *parity*
+        rows are produced by one fused matvec over just those generator
+        rows instead of re-encoding the full parity set.
+        """
+        for index in missing:
+            if not 0 <= index < self.n:
+                raise ErasureError(f"fragment index {index} outside [0, {self.n})")
+        data = self.decode_arrays(fragments)
+        rebuilt: Dict[int, np.ndarray] = {}
+        parity_rows = sorted({index for index in missing if index >= self.k})
+        if parity_rows:
+            rows = self._field.matvec_bytes(
+                self._parity_matrix.array[[index - self.k for index in parity_rows]], data
+            )
+            for position, index in enumerate(parity_rows):
+                rebuilt[index] = rows[position]
+        for index in missing:
+            if index < self.k:
+                rebuilt[index] = data[index]
+        return rebuilt
 
     def reconstruct(
         self,
@@ -142,21 +285,10 @@ class RSCodec:
         missing: Sequence[int],
     ) -> Dict[int, bytes]:
         """Rebuild specific missing fragments (data or parity) by index."""
-        for index in missing:
-            if not 0 <= index < self.n:
-                raise ErasureError(f"fragment index {index} outside [0, {self.n})")
-        data = self.decode(fragments)
-        arrays = [_as_array(fragment) for fragment in data]
-        rebuilt: Dict[int, bytes] = {}
-        parity_cache: List[bytes] = []
-        for index in missing:
-            if index < self.k:
-                rebuilt[index] = data[index]
-            else:
-                if not parity_cache:
-                    parity_cache = self.encode(arrays)
-                rebuilt[index] = parity_cache[index - self.k]
-        return rebuilt
+        return {
+            index: row.tobytes()
+            for index, row in self.reconstruct_arrays(fragments, missing).items()
+        }
 
     # ------------------------------------------------------------------
     # Parity update strategies (paper §II-B)
@@ -186,20 +318,23 @@ class RSCodec:
     ) -> List[bytes]:
         """Delta parity update for a single rewritten data fragment.
 
-        ``P'_i = P_i + C[i, j] * (D'_j + D_j)`` for each parity row ``i``.
+        ``P'_i = P_i + C[i, j] * (D'_j + D_j)`` for each parity row ``i``,
+        computed for all rows at once: the coefficient column against the
+        delta is one ``(m, 1) x (1, length)`` fused matvec.
         """
         if not 0 <= fragment_index < self.k:
             raise ErasureError(f"data fragment index {fragment_index} outside [0, {self.k})")
         if len(old_parity) != self.m:
             raise ErasureError(f"expected {self.m} parity fragments, got {len(old_parity)}")
+        if self.m == 0:
+            return []
         delta = np.bitwise_xor(_as_array(old_data), _as_array(new_data))
-        updated: List[bytes] = []
-        for row in range(self.m):
-            parity = _as_array(old_parity[row]).copy()
-            coefficient = int(self._parity_matrix.array[row, fragment_index])
-            self._field.addmul_bytes(parity, coefficient, delta)
-            updated.append(parity.tobytes())
-        return updated
+        coefficients = self._parity_matrix.array[:, fragment_index : fragment_index + 1]
+        scaled = self._field.matvec_bytes(coefficients, delta[None, :])
+        return [
+            np.bitwise_xor(_as_array(old_parity[row]), scaled[row]).tobytes()
+            for row in range(self.m)
+        ]
 
     # ------------------------------------------------------------------
     # Internals

@@ -35,6 +35,7 @@ from repro.flash.stripe import (
     RedundancyScheme,
     ReplicationScheme,
     StripeDescriptor,
+    pack_fragments,
     split_payload,
 )
 from repro.sim.clock import SimClock
@@ -320,14 +321,19 @@ class FlashArray:
                 plan = scheme.plan(device_ids, stripe_id)
                 raw = payload[offset : offset + stripe_payload]
                 offset += stripe_payload
-                fragments = self._make_fragments(raw, data_per_stripe, chunk_length)
+                # One (k, chunk_length) stack per stripe: parity comes out
+                # of a single fused matvec, no per-fragment re-wrapping.
+                stack = pack_fragments(raw, data_per_stripe, chunk_length)
                 if is_replication:
-                    stripe_fragments = [fragments[0]] * len(plan)
+                    stripe_fragments = [stack[0].tobytes()] * len(plan)
                     parity_count = 0
                 else:
                     parity_count = len(plan) - data_per_stripe
                     codec = self._codec(data_per_stripe, parity_count)
-                    stripe_fragments = fragments + codec.encode(fragments)
+                    parity = codec.encode_arrays(stack)
+                    stripe_fragments = [
+                        stack[index].tobytes() for index in range(data_per_stripe)
+                    ] + [parity[row].tobytes() for row in range(parity_count)]
                 locations: List[ChunkLocation] = []
                 for slot in plan:
                     chunk_payload = stripe_fragments[slot.fragment_index]
@@ -442,8 +448,10 @@ class FlashArray:
             return b"".join(fragments[i] for i in range(k))[: stripe.payload_bytes]
         batch.result.degraded = True
         codec = self._codec(k, stripe.parity_count)
-        data = codec.decode(fragments)
-        return b"".join(data)[: stripe.payload_bytes]
+        # decode_arrays returns a contiguous (k, length) stack, so the
+        # stripe payload is its raw row-major bytes — one copy, no joins.
+        data = codec.decode_arrays(fragments)
+        return data.tobytes()[: stripe.payload_bytes]
 
     @staticmethod
     def _read_fragment(
@@ -632,6 +640,36 @@ class FlashArray:
     def is_readable(self, key: ObjectKey) -> bool:
         return self.object_health(key) is not ObjectHealth.LOST
 
+    def triage_object(self, key: ObjectKey) -> Tuple[List[ChunkLocation], ObjectHealth]:
+        """Missing chunks and health in one stripe walk.
+
+        The recovery scan needs both; calling :meth:`missing_chunks` and
+        :meth:`object_health` separately walks every stripe twice. A LOST
+        verdict returns immediately (the missing list may then be partial —
+        a lost object is purged, not rebuilt).
+        """
+        extent = self.get_extent(key)
+        by_id = {device.device_id: device for device in self.devices}
+        missing: List[ChunkLocation] = []
+        health = ObjectHealth.HEALTHY
+        for stripe in extent.stripes:
+            present = 0
+            for chunk in stripe.chunks:
+                if by_id[chunk.device_id].has_chunk(chunk.address):
+                    present += 1
+                else:
+                    missing.append(chunk)
+            if present == len(stripe.chunks):
+                continue
+            if stripe.replicated:
+                recoverable = present > 0
+            else:
+                recoverable = present >= stripe.data_count
+            if not recoverable:
+                return missing, ObjectHealth.LOST
+            health = ObjectHealth.DEGRADED
+        return missing, health
+
     # ------------------------------------------------------------------
     # Rebuild (recovery onto a replacement spare)
     # ------------------------------------------------------------------
@@ -697,9 +735,15 @@ class FlashArray:
                     f"{k} needed"
                 )
             codec = self._codec(k, stripe.parity_count)
-            rebuilt = codec.reconstruct(fragments, [chunk.fragment_index for chunk in missing])
+            rebuilt = codec.reconstruct_arrays(
+                fragments, [chunk.fragment_index for chunk in missing]
+            )
             for chunk in missing:
-                batch.write(by_id[chunk.device_id], chunk.address, rebuilt[chunk.fragment_index])
+                batch.write(
+                    by_id[chunk.device_id],
+                    chunk.address,
+                    rebuilt[chunk.fragment_index].tobytes(),
+                )
         result = batch.finish(self.devices)
         result.degraded = True
         return result
@@ -799,17 +843,20 @@ class FlashArray:
             self._codecs[(k, m)] = codec
             return codec
 
-    @staticmethod
-    def _make_fragments(raw: bytes, count: int, chunk_length: int) -> List[bytes]:
-        """Cut a stripe payload into ``count`` fragments of ``chunk_length``,
-        zero-padding the tail."""
-        fragments: List[bytes] = []
-        for index in range(count):
-            piece = raw[index * chunk_length : (index + 1) * chunk_length]
-            if len(piece) < chunk_length:
-                piece = piece + b"\x00" * (chunk_length - len(piece))
-            fragments.append(piece)
-        return fragments
+    def decoder_cache_stats(self) -> Dict[str, int]:
+        """Aggregate decoder-matrix cache counters across all codecs.
+
+        Codecs are shared per ``(k, m)`` geometry, so every degraded read
+        and rebuild that sees the same survivor pattern reuses one inverted
+        matrix; these counters make that observable (tests, recovery).
+        """
+        hits = misses = entries = 0
+        for codec in self._codecs.values():
+            info = codec.decoder_cache_info()
+            hits += info.hits
+            misses += info.misses
+            entries += info.size
+        return {"hits": hits, "misses": misses, "entries": entries}
 
     def __repr__(self) -> str:
         return (

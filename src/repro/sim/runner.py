@@ -156,7 +156,10 @@ class ExperimentRunner:
         if self.prewarm:
             self._prewarm()
         warmup_cutoff = int(len(self.trace) * self.warmup_fraction)
-        failure_queue = list(self.failures)
+        # self.failures is sorted by request index; an advancing cursor
+        # replaces the old pop(0) loop (O(n^2) on many events).
+        failure_cursor = 0
+        failure_count = len(self.failures)
         # Closed loop with N clients: a min-heap of client free times. Each
         # request is issued by the earliest-free client; the clock jumps to
         # the issue time, so overlapping requests contend through the
@@ -164,9 +167,12 @@ class ExperimentRunner:
         client_free = [clock.now] * self.concurrency
         heapq.heapify(client_free)
         for index, record in enumerate(self.trace):
-            while failure_queue and failure_queue[0].request_index <= index:
-                event = failure_queue.pop(0)
-                self._inject(event)
+            while (
+                failure_cursor < failure_count
+                and self.failures[failure_cursor].request_index <= index
+            ):
+                self._inject(self.failures[failure_cursor])
+                failure_cursor += 1
             if index == warmup_cutoff and warmup_cutoff > 0:
                 cache.stats.reset()
                 self.recorder.reset()
@@ -199,10 +205,10 @@ class ExperimentRunner:
 
     def _prewarm(self) -> None:
         """Read every object once, least-popular first, without recording."""
-        popularity: Dict[str, int] = {name: 0 for name in self.trace.catalog}
-        for record in self.trace:
-            popularity[record.name] += 1
-        ordering = sorted(self.trace.catalog, key=lambda name: popularity[name])
+        # Popularity is memoized on the trace (and may come precomputed from
+        # the generator), so prewarming never re-scans the request stream.
+        popularity = self.trace.popularity()
+        ordering = sorted(self.trace.catalog, key=lambda name: popularity.get(name, 0))
         for name in ordering:
             result = self.cache.read(name)
             self.cache.clock.advance(result.latency)

@@ -10,7 +10,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, List
+from typing import Dict, Iterator, List, Optional
 
 from repro.errors import WorkloadError
 
@@ -34,6 +34,10 @@ class Trace:
     records: List[TraceRecord] = field(default_factory=list)
     #: Free-form generation parameters, kept for reports.
     params: Dict[str, object] = field(default_factory=dict)
+    #: Memoized per-object access counts (see :meth:`popularity`).
+    _popularity: Optional[Dict[str, int]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         for record in self.records:
@@ -66,6 +70,25 @@ class Trace:
 
     def unique_objects_accessed(self) -> int:
         return len({record.name for record in self.records})
+
+    def popularity(self) -> Dict[str, int]:
+        """Access counts per catalog object (zero for never-accessed ones).
+
+        If the generator stored counts in ``params["popularity"]`` they are
+        used as-is; otherwise the request stream is scanned once and the
+        result memoized, so repeated consumers (e.g. cache prewarming) never
+        re-walk the trace. Mutating ``records`` afterwards is not supported.
+        """
+        if self._popularity is None:
+            stored = self.params.get("popularity")
+            if isinstance(stored, dict):
+                counts = {name: int(stored.get(name, 0)) for name in self.catalog}
+            else:
+                counts = {name: 0 for name in self.catalog}
+                for record in self.records:
+                    counts[record.name] += 1
+            self._popularity = counts
+        return self._popularity
 
     # ------------------------------------------------------------------
     # Serialization (JSON lines: one header line, then one line per record)

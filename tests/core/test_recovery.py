@@ -148,6 +148,23 @@ class TestInterleaving:
         assert cache.recovery.chunks_rebuilt >= cache.recovery.objects_rebuilt
         assert cache.stats.recovered_objects > 0
 
+    def test_recovery_sweep_reuses_decoder_matrices(self):
+        # One failed device presents the same survivor pattern to every
+        # stripe it touched, so the class sweep should invert each survivor
+        # submatrix once (a few misses, one per geometry/pattern) and serve
+        # the rest of the rebuild from the decoder cache.
+        cache = build_cache(policy=uniform_parity(1), cache_bytes=400_000)
+        names = register_uniform_objects(cache, 20, 2_000)
+        warm(cache, names)
+        cache.fail_device(0)
+        cache.replace_device(0)
+        cache.recovery.start()
+        cache.recovery.run_to_completion()
+        stats = cache.recovery.decoder_cache_stats
+        assert stats["misses"] >= 1
+        assert stats["hits"] > stats["misses"]
+        assert stats["entries"] <= stats["misses"]
+
 
 class TestFacade:
     def test_fail_and_recover_roundtrip(self):
