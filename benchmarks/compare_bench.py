@@ -1,23 +1,33 @@
-"""Compare a BENCH_rs_codec.json run against the committed baseline.
+"""Compare benchmark JSON runs against their committed baselines.
 
-The erasure-kernel microbenchmark (``test_rs_codec_microbench.py``) writes
-machine-readable throughput numbers to ``results/BENCH_rs_codec.json``.
-This helper diffs such a run against ``BENCH_rs_codec.baseline.json`` and
-reports metrics whose ``new_mbps`` throughput dropped by more than the
-threshold (default 20%).
+Two suites share this machinery:
+
+- the erasure-kernel microbenchmark (``test_rs_codec_microbench.py``) →
+  ``results/BENCH_rs_codec.json`` vs ``BENCH_rs_codec.baseline.json``;
+- the net service-layer sweep (``repro.experiments.concurrency --net`` /
+  ``test_net_service_bench.py``) → ``results/BENCH_net_service.json`` vs
+  ``BENCH_net_service.baseline.json``.
+
+A metric entry provides its value as ``new_mbps`` (throughput) or
+``value``, plus an optional ``higher_is_better`` flag (default true).
+Throughput metrics regress when they *drop* more than the threshold;
+latency-style metrics (``higher_is_better: false``) regress when they
+*rise* more than the threshold.
 
 Used two ways:
 
-- as a library by the ``bench_regression``-marked pytest check, which warns
-  by default and fails when ``REPRO_BENCH_STRICT=1``;
+- as a library by the ``bench_regression``-marked pytest checks, which warn
+  by default and fail when ``REPRO_BENCH_STRICT=1``;
 - as a CLI::
 
-    PYTHONPATH=src python benchmarks/compare_bench.py           # report
-    PYTHONPATH=src python benchmarks/compare_bench.py --strict  # exit 1 on regression
+    PYTHONPATH=src python benchmarks/compare_bench.py            # all suites
+    PYTHONPATH=src python benchmarks/compare_bench.py --strict   # exit 1 on regression
+    PYTHONPATH=src python benchmarks/compare_bench.py CURRENT BASELINE
 
-Absolute MB/s depends on the machine, which is why the default is a
-warning; within one machine (or CI runner class) a >20% drop on these
-microbenchmarks reliably means a kernel regression, not noise.
+Absolute numbers depend on the machine, which is why the default is a
+warning and the committed baselines are conservative; within one machine
+(or CI runner class) a >20% move on these benchmarks reliably means a real
+regression, not noise.
 """
 
 from __future__ import annotations
@@ -26,26 +36,52 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Dict, List, NamedTuple
+from typing import Dict, List, NamedTuple, Optional, Tuple
 
 DEFAULT_THRESHOLD = 0.20
 _BENCH_DIR = Path(__file__).parent
-DEFAULT_CURRENT = _BENCH_DIR / "results" / "BENCH_rs_codec.json"
-DEFAULT_BASELINE = _BENCH_DIR / "BENCH_rs_codec.baseline.json"
 
-__all__ = ["Regression", "load", "compare", "format_report", "main"]
+#: suite name -> (current results file, committed baseline file)
+SUITES: Dict[str, Tuple[Path, Path]] = {
+    "rs_codec": (
+        _BENCH_DIR / "results" / "BENCH_rs_codec.json",
+        _BENCH_DIR / "BENCH_rs_codec.baseline.json",
+    ),
+    "net_service": (
+        _BENCH_DIR / "results" / "BENCH_net_service.json",
+        _BENCH_DIR / "BENCH_net_service.baseline.json",
+    ),
+}
+
+# Back-compat aliases (pre-net layout importers).
+DEFAULT_CURRENT, DEFAULT_BASELINE = SUITES["rs_codec"]
+
+__all__ = ["Regression", "SUITES", "load", "compare", "format_report", "main"]
 
 
 class Regression(NamedTuple):
-    """One metric whose throughput fell below the allowed fraction."""
+    """One metric that moved past the allowed threshold, the wrong way."""
 
     metric: str
-    current_mbps: float
-    baseline_mbps: float
+    current: float
+    baseline: float
+    higher_is_better: bool = True
 
     @property
-    def drop_fraction(self) -> float:
-        return 1.0 - self.current_mbps / self.baseline_mbps
+    def change_fraction(self) -> float:
+        """Relative change in the harmful direction (always positive)."""
+        if self.higher_is_better:
+            return 1.0 - self.current / self.baseline
+        return self.current / self.baseline - 1.0
+
+    # Back-compat names used by the original rs-codec report.
+    @property
+    def current_mbps(self) -> float:
+        return self.current
+
+    @property
+    def baseline_mbps(self) -> float:
+        return self.baseline
 
 
 def load(path: "str | Path") -> Dict:
@@ -53,8 +89,13 @@ def load(path: "str | Path") -> Dict:
     return json.loads(Path(path).read_text())
 
 
+def _metric_value(entry: Dict) -> Optional[float]:
+    value = entry.get("new_mbps", entry.get("value"))
+    return None if value is None else float(value)
+
+
 def compare(current: Dict, baseline: Dict, threshold: float = DEFAULT_THRESHOLD) -> List[Regression]:
-    """Metrics whose ``new_mbps`` dropped more than ``threshold`` vs baseline.
+    """Metrics that moved past ``threshold`` in the harmful direction.
 
     Metrics present in only one report are ignored — adding a new
     measurement must not fail the comparison against an older baseline.
@@ -65,49 +106,89 @@ def compare(current: Dict, baseline: Dict, threshold: float = DEFAULT_THRESHOLD)
         entry = current_metrics.get(name)
         if entry is None:
             continue
-        base_mbps = base_entry.get("new_mbps")
-        cur_mbps = entry.get("new_mbps")
-        if not base_mbps or cur_mbps is None:
+        base_value = _metric_value(base_entry)
+        cur_value = _metric_value(entry)
+        if not base_value or cur_value is None:
             continue
-        if cur_mbps < base_mbps * (1.0 - threshold):
-            regressions.append(Regression(name, cur_mbps, base_mbps))
+        higher_is_better = bool(base_entry.get("higher_is_better", True))
+        if higher_is_better:
+            regressed = cur_value < base_value * (1.0 - threshold)
+        else:
+            regressed = cur_value > base_value * (1.0 + threshold)
+        if regressed:
+            regressions.append(Regression(name, cur_value, base_value, higher_is_better))
     return regressions
 
 
 def format_report(regressions: List[Regression]) -> str:
-    lines = [f"{len(regressions)} erasure-kernel benchmark metric(s) regressed >20% vs baseline:"]
+    lines = [f"{len(regressions)} benchmark metric(s) regressed >20% vs baseline:"]
     for regression in regressions:
+        direction = "-" if regression.higher_is_better else "+"
         lines.append(
-            f"  {regression.metric}: {regression.current_mbps:.1f} MB/s vs "
-            f"baseline {regression.baseline_mbps:.1f} MB/s "
-            f"(-{regression.drop_fraction:.0%})"
+            f"  {regression.metric}: {regression.current:.2f} vs "
+            f"baseline {regression.baseline:.2f} "
+            f"({direction}{regression.change_fraction:.0%})"
         )
     return "\n".join(lines)
 
 
+def _compare_files(
+    current: Path, baseline: Path, threshold: float
+) -> Optional[List[Regression]]:
+    """Compare one pair of files; None when either file is missing."""
+    if not current.exists() or not baseline.exists():
+        return None
+    return compare(load(current), load(baseline), threshold)
+
+
 def main(argv: "List[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("current", nargs="?", default=DEFAULT_CURRENT, type=Path)
-    parser.add_argument("baseline", nargs="?", default=DEFAULT_BASELINE, type=Path)
+    parser.add_argument("current", nargs="?", default=None, type=Path)
+    parser.add_argument("baseline", nargs="?", default=None, type=Path)
+    parser.add_argument(
+        "--suite", choices=sorted(SUITES), default=None,
+        help="compare just this suite's default files",
+    )
     parser.add_argument(
         "--threshold", type=float, default=DEFAULT_THRESHOLD,
-        help="allowed fractional throughput drop (default 0.20)",
+        help="allowed fractional change (default 0.20)",
     )
     parser.add_argument(
         "--strict", action="store_true",
         help="exit 1 when any metric regressed (default: report only)",
     )
     args = parser.parse_args(argv)
-    for path in (args.current, args.baseline):
-        if not Path(path).exists():
-            print(f"missing benchmark file: {path}", file=sys.stderr)
-            return 2
-    regressions = compare(load(args.current), load(args.baseline), args.threshold)
-    if not regressions:
-        print("erasure-kernel benchmarks: no regression vs baseline")
-        return 0
-    print(format_report(regressions))
-    return 1 if args.strict else 0
+
+    if args.current is not None:
+        baseline = args.baseline if args.baseline is not None else DEFAULT_BASELINE
+        pairs = {"explicit": (Path(args.current), Path(baseline))}
+        for path in pairs["explicit"]:
+            if not path.exists():
+                print(f"missing benchmark file: {path}", file=sys.stderr)
+                return 2
+    elif args.suite is not None:
+        pairs = {args.suite: SUITES[args.suite]}
+    else:
+        pairs = SUITES
+
+    failed = False
+    compared_any = False
+    for name, (current, baseline) in pairs.items():
+        regressions = _compare_files(current, baseline, args.threshold)
+        if regressions is None:
+            print(f"{name}: skipped (missing {current} or {baseline})")
+            continue
+        compared_any = True
+        if regressions:
+            failed = True
+            print(f"{name}:")
+            print(format_report(regressions))
+        else:
+            print(f"{name}: no regression vs baseline")
+    if not compared_any:
+        print("no benchmark runs found to compare", file=sys.stderr)
+        return 2
+    return 1 if failed and args.strict else 0
 
 
 if __name__ == "__main__":

@@ -26,6 +26,7 @@ __all__ = [
     "ChunkCorruptedError",
     "StripeLayoutError",
     "OsdError",
+    "WireError",
     "ObjectNotFoundError",
     "ObjectExistsError",
     "ObjectCorruptedError",
@@ -78,6 +79,17 @@ class StripeLayoutError(FlashError):
 
 class OsdError(ReproError):
     """Base class for object-storage errors."""
+
+
+class WireError(OsdError):
+    """Raised when a PDU cannot be parsed: truncation, garbage, or a frame
+    exceeding the protocol size limits.
+
+    Transport code catches this separately from other :class:`OsdError`
+    subclasses to distinguish protocol corruption (close the connection, the
+    byte stream is unsynchronized) from target-side failures (reported as
+    sense codes on a healthy stream).
+    """
 
 
 class ObjectNotFoundError(OsdError):

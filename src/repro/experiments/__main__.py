@@ -29,7 +29,10 @@ from repro.experiments.endurance import (
     run_parity_placement_wear,
     run_write_amplification_sweep,
 )
-from repro.experiments.concurrency import run_concurrency_sweep
+from repro.experiments.concurrency import (
+    run_concurrency_sweep,
+    run_net_service_sweep,
+)
 from repro.experiments.recovery_timeline import run_recovery_timeline
 from repro.experiments.warmup import run_warmup_experiment
 from repro.experiments.common import active_profile
@@ -55,6 +58,13 @@ def _ablations_text() -> str:
     )
 
 
+def _net_service_text() -> str:
+    """Run the real-socket service sweep and persist its BENCH json."""
+    sweep = run_net_service_sweep()
+    sweep.write_bench_json()
+    return sweep.format()
+
+
 ARTEFACTS = {
     "fig5": lambda: run_normal_run_figure(Locality.WEAK).format(),
     "fig6": lambda: run_normal_run_figure(Locality.MEDIUM).format(),
@@ -64,6 +74,7 @@ ARTEFACTS = {
     "space-table": lambda: run_space_efficiency_table().format(),
     "recovery-timeline": lambda: run_recovery_timeline().format(),
     "concurrency": lambda: run_concurrency_sweep().format(),
+    "net-service": lambda: _net_service_text(),
     "warmup": lambda: run_warmup_experiment().format(),
     "ablations": _ablations_text,
     "endurance": lambda: (

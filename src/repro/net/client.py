@@ -1,0 +1,313 @@
+"""The async OSD initiator: pooled, pipelined, timeout- and retry-aware.
+
+:class:`AsyncOsdClient` is the socket-side counterpart of
+:class:`~repro.osd.initiator.OsdInitiator`: the same command surface (write
+/ read / update / remove / control messages), but executed against a
+:class:`~repro.net.server.OsdServer` over TCP.
+
+Reliability model:
+
+- **Connection pool** — ``pool_size`` sockets, round-robin dispatch,
+  transparent reconnect of dead connections on the next request.
+- **Pipelining** — each connection keeps an in-flight table keyed by the
+  PDU sequence id, so many requests overlap on one socket and responses
+  may return out of order.
+- **Timeouts** — every request carries a deadline; a late response is
+  abandoned (and ignored if it eventually arrives).
+- **Retry** — idempotent commands (see :mod:`repro.net.retry`) are retried
+  with exponential backoff + jitter after timeouts, connection failures,
+  and ``SERVER_TIMEOUT`` sense data. ``SERVER_BUSY`` means the server
+  *did not execute* the command, so busy replies are retried for every
+  command type. Non-idempotent commands surface the failure instead —
+  replaying them could turn an executed-but-unacknowledged success into a
+  phantom error.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import OsdError, WireError
+from repro.flash.array import ArrayIoResult
+from repro.net.retry import RetryPolicy, is_idempotent
+from repro.net.stats import parse_stats_payload
+from repro.osd import commands, wire
+from repro.osd.control import QueryMessage, SetClassMessage
+from repro.osd.sense import SenseCode
+from repro.osd.target import OsdResponse
+from repro.osd.transport import FRAME_PREFIX_BYTES, frame_length, frame_pdu
+from repro.osd.types import CONTROL_OBJECT, ObjectId, ROOT_OBJECT
+
+__all__ = ["AsyncOsdClient", "ClientStats", "OsdServiceError"]
+
+
+class OsdServiceError(OsdError):
+    """A command could not be completed within the client's retry budget."""
+
+
+class _ConnectionLostError(OsdServiceError):
+    """The socket died while requests were in flight (internal, retryable)."""
+
+
+@dataclass
+class ClientStats:
+    """Client-side reliability counters."""
+
+    requests: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    connection_errors: int = 0
+    busy_replies: int = 0
+    server_timeouts: int = 0
+    exhausted: int = 0
+
+
+class _Connection:
+    """One pooled socket with a pipelined in-flight table."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        max_pdu_bytes: int,
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.max_pdu_bytes = max_pdu_bytes
+        self.pending: Dict[int, asyncio.Future] = {}
+        self.closed = False
+        self.reader_task = asyncio.ensure_future(self._read_loop())
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                prefix = await self.reader.readexactly(FRAME_PREFIX_BYTES)
+                length = frame_length(prefix, self.max_pdu_bytes)
+                pdu = await self.reader.readexactly(length)
+                seq, response = wire.decode_response_pdu(pdu)
+                future = self.pending.pop(seq, None) if seq is not None else None
+                if future is not None and not future.done():
+                    future.set_result(response)
+                # else: a response we stopped waiting for (late after a
+                # timeout) or an unsolicited error reply — drop it.
+        except (asyncio.IncompleteReadError, ConnectionError, OSError, WireError):
+            self._fail_pending()
+
+    def _fail_pending(self) -> None:
+        self.closed = True
+        for future in self.pending.values():
+            if not future.done():
+                future.set_exception(
+                    _ConnectionLostError("connection lost with requests in flight")
+                )
+        self.pending.clear()
+        if not self.writer.is_closing():
+            self.writer.close()
+
+    async def request(
+        self, command: commands.OsdCommand, seq: int, retry: int
+    ) -> OsdResponse:
+        if self.closed:
+            raise _ConnectionLostError("connection already closed")
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self.pending[seq] = future
+        try:
+            pdu = wire.encode_command(command, seq=seq, retry=retry)
+            self.writer.write(frame_pdu(pdu, max_bytes=self.max_pdu_bytes))
+            await self.writer.drain()
+            return await future
+        except (ConnectionError, OSError) as exc:
+            self._fail_pending()
+            raise _ConnectionLostError(str(exc)) from exc
+        finally:
+            self.pending.pop(seq, None)
+
+    async def close(self) -> None:
+        self.closed = True
+        self.reader_task.cancel()
+        try:
+            await self.reader_task
+        except (asyncio.CancelledError, Exception):
+            pass
+        if not self.writer.is_closing():
+            self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+class AsyncOsdClient:
+    """Client-side handle to one networked OSD server."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        pool_size: int = 4,
+        timeout: float = 2.0,
+        retry: Optional[RetryPolicy] = None,
+        max_pdu_bytes: int = wire.MAX_PDU_BYTES,
+    ) -> None:
+        if pool_size < 1:
+            raise ValueError("pool_size must be >= 1")
+        self.host = host
+        self.port = port
+        self.pool_size = pool_size
+        self.timeout = timeout
+        self.retry = retry or RetryPolicy()
+        self.max_pdu_bytes = max_pdu_bytes
+        self.stats = ClientStats()
+        self._pool: List[Optional[_Connection]] = [None] * pool_size
+        self._dispatch = itertools.count()
+        self._seq = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Pool management
+    # ------------------------------------------------------------------
+    async def connect(self) -> None:
+        """Open the whole pool eagerly (optional; submit reconnects lazily)."""
+        for slot in range(self.pool_size):
+            await self._connection(slot)
+
+    async def _connection(self, slot: int) -> _Connection:
+        conn = self._pool[slot]
+        if conn is None or conn.closed:
+            reader, writer = await asyncio.open_connection(self.host, self.port)
+            conn = _Connection(reader, writer, self.max_pdu_bytes)
+            self._pool[slot] = conn
+        return conn
+
+    async def aclose(self) -> None:
+        for conn in self._pool:
+            if conn is not None:
+                await conn.close()
+        self._pool = [None] * self.pool_size
+
+    async def __aenter__(self) -> "AsyncOsdClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.aclose()
+
+    # ------------------------------------------------------------------
+    # Core submission path
+    # ------------------------------------------------------------------
+    async def submit(
+        self, command: commands.OsdCommand, timeout: Optional[float] = None
+    ) -> OsdResponse:
+        """Execute one command with pipelining, timeout, and retry."""
+        self.stats.requests += 1
+        timeout = self.timeout if timeout is None else timeout
+        delays = list(self.retry.delays())
+        attempts = self.retry.max_attempts
+        failure: Optional[BaseException] = None
+        for attempt in range(attempts):
+            if attempt:
+                self.stats.retries += 1
+                await asyncio.sleep(delays[attempt - 1])
+            try:
+                response = await self._attempt(command, attempt, timeout)
+            except asyncio.TimeoutError as exc:
+                self.stats.timeouts += 1
+                failure = OsdServiceError(
+                    f"command timed out after {timeout}s: {command!r}"
+                )
+                failure.__cause__ = exc
+                if not is_idempotent(command):
+                    break
+                continue
+            except (_ConnectionLostError, ConnectionError, OSError) as exc:
+                self.stats.connection_errors += 1
+                failure = OsdServiceError(f"connection failed: {exc}")
+                failure.__cause__ = exc
+                if not is_idempotent(command):
+                    break
+                continue
+            if response.sense is SenseCode.SERVER_BUSY:
+                # The server refused without executing: always retryable.
+                self.stats.busy_replies += 1
+                failure = OsdServiceError("server busy after all retries")
+                continue
+            if response.sense is SenseCode.SERVER_TIMEOUT:
+                self.stats.server_timeouts += 1
+                failure = OsdServiceError("server timed out serving the command")
+                if not is_idempotent(command):
+                    break
+                continue
+            return response
+        self.stats.exhausted += 1
+        assert failure is not None
+        raise failure
+
+    async def _attempt(
+        self, command: commands.OsdCommand, attempt: int, timeout: float
+    ) -> OsdResponse:
+        slot = next(self._dispatch) % self.pool_size
+        conn = await self._connection(slot)
+        seq = next(self._seq)
+        return await asyncio.wait_for(
+            conn.request(command, seq, retry=attempt), timeout
+        )
+
+    # ------------------------------------------------------------------
+    # Initiator-style command surface
+    # ------------------------------------------------------------------
+    async def create_partition(self, pid: int) -> OsdResponse:
+        return await self.submit(commands.CreatePartition(pid))
+
+    async def write(
+        self, object_id: ObjectId, payload: bytes, class_id: Optional[int] = None
+    ) -> OsdResponse:
+        return await self.submit(commands.Write(object_id, payload, class_id))
+
+    async def read(self, object_id: ObjectId) -> Tuple[Optional[bytes], OsdResponse]:
+        response = await self.submit(commands.Read(object_id))
+        return response.payload, response
+
+    async def update(self, object_id: ObjectId, offset: int, data: bytes) -> OsdResponse:
+        return await self.submit(commands.Update(object_id, offset, data))
+
+    async def remove(self, object_id: ObjectId) -> OsdResponse:
+        return await self.submit(commands.Remove(object_id))
+
+    async def set_class(self, object_id: ObjectId, class_id: int) -> OsdResponse:
+        message = SetClassMessage(object_id, class_id)
+        return await self.submit(commands.Write(CONTROL_OBJECT, message.encode()))
+
+    async def query(
+        self,
+        object_id: ObjectId,
+        operation: str = "R",
+        offset: int = 0,
+        size: int = 0,
+    ) -> Tuple[SenseCode, ArrayIoResult]:
+        message = QueryMessage(object_id, operation, offset, size)
+        response = await self.submit(commands.Write(CONTROL_OBJECT, message.encode()))
+        return response.sense, response.io
+
+    async def recovery_status(self) -> SenseCode:
+        sense, _ = await self.query(ROOT_OBJECT)
+        return sense
+
+    async def service_stats(self) -> Dict[str, object]:
+        """Fetch the server's ServiceStats snapshot via the stats endpoint."""
+        from repro.osd.types import SERVICE_STATS_OBJECT
+
+        message = QueryMessage(SERVICE_STATS_OBJECT, "R")
+        response = await self.submit(commands.Write(CONTROL_OBJECT, message.encode()))
+        if not response.ok:
+            raise OsdServiceError(f"stats query failed with sense {response.sense!r}")
+        return parse_stats_payload(response.payload)
+
+    def __repr__(self) -> str:
+        open_count = sum(1 for c in self._pool if c is not None and not c.closed)
+        return (
+            f"AsyncOsdClient({self.host}:{self.port}, pool={open_count}/"
+            f"{self.pool_size}, requests={self.stats.requests})"
+        )

@@ -1,0 +1,73 @@
+"""Retry policy for the async initiator: exponential backoff with jitter.
+
+Only *idempotent* commands are retried. Re-sending a command whose first
+attempt may have already executed is safe exactly when executing it twice
+leaves the target in the same state and returns the same answer:
+
+- ``Read``/``GetAttr``/``ListPartition`` never mutate anything;
+- ``Write`` is a whole-object overwrite, ``Update`` rewrites the same byte
+  range with the same bytes, ``SetAttr`` stores the same value — replaying
+  any of them converges to the identical state;
+- ``CreatePartition``/``CreateObject``/``Remove`` are NOT idempotent: a
+  replay after a success that the client never saw answers ``FAIL``
+  (already exists / already gone), which would surface a phantom error.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.osd import commands
+
+__all__ = ["IDEMPOTENT_COMMANDS", "RetryPolicy", "is_idempotent"]
+
+IDEMPOTENT_COMMANDS = (
+    commands.Read,
+    commands.Write,
+    commands.Update,
+    commands.SetAttr,
+    commands.GetAttr,
+    commands.ListPartition,
+)
+
+
+def is_idempotent(command: commands.OsdCommand) -> bool:
+    """True when re-sending ``command`` after an ambiguous failure is safe."""
+    return isinstance(command, IDEMPOTENT_COMMANDS)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with full jitter.
+
+    Attempt ``n`` (0-based) sleeps ``min(max_delay, base_delay *
+    multiplier**n)`` scaled by a uniform jitter in ``[1 - jitter, 1]`` —
+    jitter spreads synchronized retry storms from many clients hitting one
+    overloaded server.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.02
+    multiplier: float = 2.0
+    max_delay: float = 1.0
+    jitter: float = 0.5
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be within [0, 1]")
+
+    def delays(self) -> Iterator[float]:
+        """Backoff delays between attempts (``max_attempts - 1`` of them)."""
+        rng = random.Random(self.seed)
+        for attempt in range(self.max_attempts - 1):
+            delay = min(self.max_delay, self.base_delay * self.multiplier**attempt)
+            yield delay * (1.0 - self.jitter * rng.random())
+
+
+#: Retry disabled: one attempt, surface the first failure.
+NO_RETRY = RetryPolicy(max_attempts=1)

@@ -1,0 +1,333 @@
+"""The asyncio OSD server: a real-socket serving tier for one target.
+
+``python -m repro.net.server`` starts one on localhost against a fresh
+in-memory flash array; library users embed :class:`OsdServer` directly.
+
+Protocol: each TCP connection carries framed PDUs
+(:func:`repro.osd.transport.frame_pdu`): a 4-byte length prefix, then a
+command PDU (:mod:`repro.osd.wire`). Requests carry a ``seq`` id; the
+response echoes it, so a connection is fully pipelined — many commands in
+flight, responses in completion order.
+
+Robustness model:
+
+- **Size guards** — the frame length prefix is validated before the body is
+  buffered; oversized or unparseable frames kill the connection (the byte
+  stream is unsynchronized). A malformed PDU *inside* a valid frame gets a
+  structured ``FAIL`` reply and the connection lives on.
+- **Backpressure** — a per-connection semaphore bounds in-flight commands;
+  when full, the server simply stops reading that socket, pushing back
+  through TCP. An optional global cap answers ``SERVER_BUSY`` sense data
+  instead of executing, so overload is visible to clients as a retryable
+  status, not a dropped connection.
+- **Graceful shutdown** — stop accepting, drain in-flight commands up to a
+  deadline, then close connections.
+- **Stats endpoint** — a ``#QUERY#`` control write naming
+  :data:`~repro.osd.types.SERVICE_STATS_OBJECT` is answered by the server
+  with a JSON :class:`~repro.net.stats.ServiceStats` snapshot (connections,
+  in-flight depth, retries seen, timeouts, p50/p99 service latency).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Awaitable, Callable, Optional, Set
+
+from repro.errors import ControlMessageError, OsdError, WireError
+from repro.net.stats import ServiceStats
+from repro.osd import wire
+from repro.osd.commands import OsdCommand, Write
+from repro.osd.control import QueryMessage, parse_control_message
+from repro.osd.sense import SenseCode
+from repro.osd.target import OsdResponse, OsdTarget
+from repro.osd.transport import FRAME_PREFIX_BYTES, frame_length, frame_pdu
+from repro.osd.types import CONTROL_OBJECT, SERVICE_STATS_OBJECT
+
+__all__ = ["FaultHook", "OsdServer"]
+
+#: Test/chaos hook called after a command executes, before its response is
+#: sent. May sleep to delay the response past the client's timeout. Return
+#: ``None`` for normal service, ``"drop"`` to sever the connection without
+#: replying (executed but unacknowledged — the ambiguous case that makes
+#: non-idempotent retries unsafe), or ``"timeout"`` to answer
+#: ``SERVER_TIMEOUT`` sense data instead of the real response. Faults land
+#: *after* execution so an abandoned attempt can never execute late and
+#: clobber a newer write.
+FaultHook = Callable[[OsdCommand, Optional[int]], Awaitable[Optional[str]]]
+
+
+class _Connection:
+    """Server-side state for one client socket."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        max_in_flight: int,
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.semaphore = asyncio.Semaphore(max_in_flight)
+        self.tasks: Set[asyncio.Task] = set()
+        self.dropped = False
+
+    def send(self, pdu: bytes) -> None:
+        """Queue one framed PDU; a single ``write`` keeps frames atomic."""
+        if self.dropped or self.writer.is_closing():
+            return
+        self.writer.write(frame_pdu(pdu))
+
+    def drop(self) -> None:
+        """Sever the connection immediately (fault injection / fatal error)."""
+        self.dropped = True
+        if not self.writer.is_closing():
+            self.writer.close()
+
+
+class OsdServer:
+    """Serves one :class:`~repro.osd.target.OsdTarget` over TCP."""
+
+    def __init__(
+        self,
+        target: OsdTarget,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_in_flight: int = 32,
+        max_total_in_flight: Optional[int] = None,
+        max_pdu_bytes: int = wire.MAX_PDU_BYTES,
+        drain_timeout: float = 5.0,
+        fault_hook: Optional[FaultHook] = None,
+    ) -> None:
+        self.target = target
+        self.host = host
+        self.port = port
+        self.max_in_flight = max_in_flight
+        self.max_total_in_flight = max_total_in_flight
+        self.max_pdu_bytes = max_pdu_bytes
+        self.drain_timeout = drain_timeout
+        self.fault_hook = fault_hook
+        self.stats = ServiceStats()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: Set[_Connection] = set()
+        self._draining = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting; resolves the actual port for port 0."""
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def shutdown(self) -> None:
+        """Graceful stop: stop accepting, drain in-flight, then close."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        pending = [task for conn in self._connections for task in conn.tasks]
+        if pending:
+            await asyncio.wait(pending, timeout=self.drain_timeout)
+        for conn in list(self._connections):
+            conn.drop()
+        # Let the per-connection handlers observe the closed sockets and
+        # unregister themselves before we return.
+        await asyncio.sleep(0)
+
+    async def __aenter__(self) -> "OsdServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.shutdown()
+
+    # ------------------------------------------------------------------
+    # Per-connection serving
+    # ------------------------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _Connection(reader, writer, self.max_in_flight)
+        self._connections.add(conn)
+        self.stats.connections_total += 1
+        self.stats.connections_active += 1
+        try:
+            await self._read_loop(conn)
+            # Connection-level EOF: finish what was already accepted.
+            if conn.tasks:
+                await asyncio.wait(set(conn.tasks), timeout=self.drain_timeout)
+        finally:
+            for task in conn.tasks:
+                task.cancel()
+            conn.drop()
+            self._connections.discard(conn)
+            self.stats.connections_active -= 1
+
+    async def _read_loop(self, conn: _Connection) -> None:
+        while not self._draining and not conn.dropped:
+            try:
+                prefix = await conn.reader.readexactly(FRAME_PREFIX_BYTES)
+                length = frame_length(prefix, self.max_pdu_bytes)
+                pdu = await conn.reader.readexactly(length)
+            except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                return  # client went away
+            except WireError:
+                # Oversized/poisoned frame: the stream cannot be resynced.
+                self.stats.wire_errors += 1
+                return
+            try:
+                seq, retry, command = wire.decode_command_pdu(pdu)
+            except WireError:
+                # The frame boundary held, so the stream is still good:
+                # answer a structured failure and keep serving.
+                self.stats.wire_errors += 1
+                conn.send(wire.encode_response(
+                    OsdResponse(SenseCode.FAIL), seq=self._salvage_seq(pdu)
+                ))
+                continue
+            if retry:
+                self.stats.retries_seen += 1
+            if (
+                self.max_total_in_flight is not None
+                and self.stats.in_flight >= self.max_total_in_flight
+            ):
+                self.stats.busy_rejections += 1
+                conn.send(wire.encode_response(
+                    OsdResponse(SenseCode.SERVER_BUSY), seq=seq
+                ))
+                continue
+            # Backpressure: stop reading this socket while the connection is
+            # at its in-flight bound.
+            await conn.semaphore.acquire()
+            task = asyncio.ensure_future(self._serve_command(conn, seq, command))
+            conn.tasks.add(task)
+            task.add_done_callback(conn.tasks.discard)
+
+    @staticmethod
+    def _salvage_seq(pdu: bytes) -> Optional[int]:
+        """Best-effort sequence id of a PDU whose command failed to decode."""
+        try:
+            header, _ = wire._unpack(pdu)
+            seq = header.get("seq")
+            return int(seq) if seq is not None else None
+        except (WireError, TypeError, ValueError):
+            return None
+
+    async def _serve_command(
+        self, conn: _Connection, seq: Optional[int], command: OsdCommand
+    ) -> None:
+        self.stats.begin_command()
+        started = time.perf_counter()
+        ok = False
+        try:
+            response = self._execute(command)
+            if self.fault_hook is not None:
+                action = await self.fault_hook(command, seq)
+                if action == "drop":
+                    conn.drop()
+                    return
+                if action == "timeout":
+                    self.stats.timeouts += 1
+                    conn.send(wire.encode_response(
+                        OsdResponse(SenseCode.SERVER_TIMEOUT), seq=seq
+                    ))
+                    return
+            ok = response.ok
+            conn.send(wire.encode_response(response, seq=seq))
+            try:
+                await conn.writer.drain()
+            except (ConnectionError, OSError):
+                conn.drop()
+        finally:
+            conn.semaphore.release()
+            self.stats.end_command(time.perf_counter() - started, ok)
+
+    def _execute(self, command: OsdCommand) -> OsdResponse:
+        stats_reply = self._intercept_stats_query(command)
+        if stats_reply is not None:
+            return stats_reply
+        try:
+            return command.apply(self.target)
+        except OsdError:
+            return OsdResponse(SenseCode.FAIL)
+
+    def _intercept_stats_query(self, command: OsdCommand) -> Optional[OsdResponse]:
+        """Answer ``#QUERY#`` writes naming the service-stats object."""
+        if not isinstance(command, Write) or command.object_id != CONTROL_OBJECT:
+            return None
+        try:
+            message = parse_control_message(command.payload)
+        except ControlMessageError:
+            return None  # let the target report the malformed control write
+        if isinstance(message, QueryMessage) and message.object_id == SERVICE_STATS_OBJECT:
+            return OsdResponse(SenseCode.OK, payload=self.stats.to_json())
+        return None
+
+    def __repr__(self) -> str:
+        state = "draining" if self._draining else "serving"
+        return (
+            f"OsdServer({self.host}:{self.port}, {state}, "
+            f"connections={self.stats.connections_active}, "
+            f"in_flight={self.stats.in_flight})"
+        )
+
+
+# ----------------------------------------------------------------------
+# CLI: python -m repro.net.server
+# ----------------------------------------------------------------------
+def _build_target(num_devices: int, device_mb: int, chunk_kb: int, parity: int) -> OsdTarget:
+    from repro.flash.array import FlashArray
+    from repro.flash.stripe import ParityScheme
+    from repro.osd.types import PARTITION_BASE
+
+    array = FlashArray(
+        num_devices=num_devices,
+        device_capacity=device_mb * 1024 * 1024,
+        chunk_size=chunk_kb * 1024,
+    )
+    target = OsdTarget(array, policy=lambda _cid: ParityScheme(parity))
+    target.create_partition(PARTITION_BASE)
+    return target
+
+
+def main(argv: Optional[list] = None) -> int:
+    """Run a standalone OSD server until interrupted."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.net.server",
+        description="Serve an in-memory OSD target over TCP.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7003)
+    parser.add_argument("--devices", type=int, default=5)
+    parser.add_argument("--device-mb", type=int, default=64)
+    parser.add_argument("--chunk-kb", type=int, default=64)
+    parser.add_argument("--parity", type=int, default=1)
+    parser.add_argument("--max-in-flight", type=int, default=32)
+    args = parser.parse_args(argv)
+
+    async def _serve() -> None:
+        target = _build_target(args.devices, args.device_mb, args.chunk_kb, args.parity)
+        server = OsdServer(
+            target, args.host, args.port, max_in_flight=args.max_in_flight
+        )
+        await server.start()
+        print(f"osd server listening on {server.host}:{server.port} (Ctrl-C to stop)")
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await server.shutdown()
+            print("osd server drained and closed")
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,112 @@
+"""Service-side counters and latency percentiles for the OSD server.
+
+The server aggregates these and answers ``#QUERY#`` control writes naming
+:data:`~repro.osd.types.SERVICE_STATS_OBJECT` with a JSON snapshot —
+mirroring the paper's OID 0x10004 control-object semantics, but answered by
+the service layer itself rather than the target.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class LatencyReservoir:
+    """Bounded sample of recent service times for percentile estimates.
+
+    Keeps the last ``capacity`` observations (a sliding window rather than a
+    decaying reservoir: the stats endpoint is about *current* service
+    quality, and a window of a few thousand commands smooths noise without
+    remembering cold-start latencies forever).
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.count = 0
+        self.total = 0.0
+        self._window: List[float] = []
+        self._cursor = 0
+
+    def record(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if len(self._window) < self.capacity:
+            self._window.append(seconds)
+        else:
+            self._window[self._cursor] = seconds
+            self._cursor = (self._cursor + 1) % self.capacity
+
+    def percentile(self, fraction: float) -> float:
+        """Latency at ``fraction`` (0..1) of the current window; 0 if empty."""
+        if not self._window:
+            return 0.0
+        ordered = sorted(self._window)
+        index = min(len(ordered) - 1, int(fraction * len(ordered)))
+        return ordered[index]
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate counters for one server's lifetime."""
+
+    connections_total: int = 0
+    connections_active: int = 0
+    in_flight: int = 0
+    max_in_flight: int = 0
+    commands: int = 0
+    sense_errors: int = 0
+    wire_errors: int = 0
+    busy_rejections: int = 0
+    timeouts: int = 0
+    retries_seen: int = 0
+    latency: LatencyReservoir = field(default_factory=LatencyReservoir)
+
+    def begin_command(self) -> None:
+        self.in_flight += 1
+        self.max_in_flight = max(self.max_in_flight, self.in_flight)
+
+    def end_command(self, seconds: float, ok: bool) -> None:
+        self.in_flight -= 1
+        self.commands += 1
+        if not ok:
+            self.sense_errors += 1
+        self.latency.record(seconds)
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-serializable view served by the stats endpoint."""
+        return {
+            "connections_total": self.connections_total,
+            "connections_active": self.connections_active,
+            "in_flight": self.in_flight,
+            "max_in_flight": self.max_in_flight,
+            "commands": self.commands,
+            "sense_errors": self.sense_errors,
+            "wire_errors": self.wire_errors,
+            "busy_rejections": self.busy_rejections,
+            "timeouts": self.timeouts,
+            "retries_seen": self.retries_seen,
+            "latency": {
+                "count": self.latency.count,
+                "mean_ms": self.latency.mean * 1e3,
+                "p50_ms": self.latency.percentile(0.50) * 1e3,
+                "p99_ms": self.latency.percentile(0.99) * 1e3,
+            },
+        }
+
+    def to_json(self) -> bytes:
+        return json.dumps(self.snapshot(), sort_keys=True).encode("ascii")
+
+
+def parse_stats_payload(payload: Optional[bytes]) -> Dict[str, object]:
+    """Decode a stats-endpoint response payload."""
+    if not payload:
+        raise ValueError("empty stats payload")
+    return json.loads(payload.decode("ascii"))

@@ -28,6 +28,17 @@ class SenseCode(enum.IntEnum):
     #: The allocated space for data redundancy is full.
     REDUNDANCY_FULL = 0x67
 
+    # -- Service-layer extension (repro.net) -------------------------------
+    # The paper's Table III stops at 0x67; the networked service tier keeps
+    # its error channel in the same vocabulary rather than inventing a second
+    # mechanism, so overload and deadline misses surface to initiators as
+    # sense data on a healthy connection instead of dropped sockets.
+
+    #: The server is at its in-flight capacity; retry after backoff.
+    SERVER_BUSY = 0x68
+    #: The server abandoned the command past its service deadline.
+    SERVER_TIMEOUT = 0x69
+
     def describe(self) -> str:
         """The paper's textual description of this code."""
         return _DESCRIPTIONS[self]
@@ -41,4 +52,6 @@ _DESCRIPTIONS = {
     SenseCode.RECOVERY_STARTED: "Recovery starts",
     SenseCode.RECOVERY_ENDED: "Recovery ends",
     SenseCode.REDUNDANCY_FULL: "The allocated space for data redundancy is full",
+    SenseCode.SERVER_BUSY: "The server is overloaded; retry after backoff",
+    SenseCode.SERVER_TIMEOUT: "The server timed out serving the command",
 }

@@ -11,27 +11,108 @@ does.
 The channel is optional — `OsdInitiator` works in-process by default, which
 is what the experiment calibration uses. Wiring a channel in adds per-command
 network latency and an honest serialization boundary.
+
+This module also owns the *stream framing* shared by every transport that
+carries PDUs over a byte stream (this simulated channel and the real
+sockets in :mod:`repro.net`): each PDU travels as a 4-byte big-endian
+length prefix followed by the PDU bytes. The PDU's internal header length
+does not bound its data segment, so the outer frame is what lets a stream
+receiver know where one PDU ends and the next begins.
 """
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterator, Optional
 
+from repro.errors import OsdError, WireError
 from repro.flash.latency import NETWORK_10GBE, ServiceTimeModel
 from repro.osd import wire
 from repro.osd.commands import OsdCommand
 from repro.osd.target import OsdResponse, OsdTarget
 from repro.sim.clock import SimClock
 
-__all__ = ["ChannelStats", "IscsiChannel"]
+__all__ = [
+    "ChannelStats",
+    "FRAME_PREFIX_BYTES",
+    "FrameDecoder",
+    "IscsiChannel",
+    "frame_pdu",
+    "frame_length",
+]
+
+_FRAME = struct.Struct(">I")
+
+#: Size of the outer length prefix every framed PDU carries.
+FRAME_PREFIX_BYTES = _FRAME.size
+
+
+def frame_pdu(pdu: bytes, max_bytes: int = wire.MAX_PDU_BYTES) -> bytes:
+    """Wrap a PDU for a byte stream: 4-byte big-endian length + PDU."""
+    if len(pdu) > max_bytes:
+        raise WireError(
+            f"refusing to frame a {len(pdu)}-byte PDU (limit {max_bytes})"
+        )
+    return _FRAME.pack(len(pdu)) + pdu
+
+
+def frame_length(prefix: bytes, max_bytes: int = wire.MAX_PDU_BYTES) -> int:
+    """Validate and decode one frame's length prefix."""
+    if len(prefix) < FRAME_PREFIX_BYTES:
+        raise WireError("truncated frame: missing length prefix")
+    (length,) = _FRAME.unpack_from(prefix)
+    if length > max_bytes:
+        raise WireError(
+            f"declared frame of {length} bytes exceeds the {max_bytes}-byte limit"
+        )
+    return length
+
+
+class FrameDecoder:
+    """Incremental stream-to-frame reassembler.
+
+    Feed arbitrary byte chunks in; iterate complete PDUs out. Oversized
+    frames raise :class:`~repro.errors.WireError` immediately — as soon as
+    the poisoned length prefix arrives, before buffering the body.
+    """
+
+    def __init__(self, max_bytes: int = wire.MAX_PDU_BYTES) -> None:
+        self.max_bytes = max_bytes
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> None:
+        self._buffer.extend(data)
+
+    @property
+    def buffered_bytes(self) -> int:
+        return len(self._buffer)
+
+    def frames(self) -> Iterator[bytes]:
+        """Yield every complete PDU currently buffered."""
+        while len(self._buffer) >= FRAME_PREFIX_BYTES:
+            length = frame_length(bytes(self._buffer[:FRAME_PREFIX_BYTES]), self.max_bytes)
+            end = FRAME_PREFIX_BYTES + length
+            if len(self._buffer) < end:
+                return
+            frame = bytes(self._buffer[FRAME_PREFIX_BYTES:end])
+            del self._buffer[:end]
+            yield frame
 
 
 @dataclass
 class ChannelStats:
-    """Traffic counters for one session."""
+    """Traffic counters for one session.
+
+    ``commands`` counts every submission attempt; ``failures`` the subset
+    that died before a response PDU came back (malformed/oversized PDUs,
+    target-side exceptions); ``sense_errors`` the subset that completed the
+    round trip but reported a non-OK sense code.
+    """
 
     commands: int = 0
+    failures: int = 0
+    sense_errors: int = 0
     bytes_sent: int = 0
     bytes_received: int = 0
 
@@ -56,19 +137,26 @@ class IscsiChannel:
 
         The returned response's ``io.elapsed`` includes both transfer legs
         plus the target-side execution time, so callers see end-to-end
-        latency.
+        latency. Failed submissions (wire or target exceptions) are counted
+        in :attr:`ChannelStats.failures` before the exception propagates.
         """
-        request_pdu = wire.encode_command(command)
-        outbound = self._transfer(len(request_pdu), write=True)
-        decoded = wire.decode_command(request_pdu)
-        response = decoded.apply(self.target)
-        response_pdu = wire.encode_response(response)
-        inbound = self._transfer(len(response_pdu), write=False)
-        result = wire.decode_response(response_pdu)
-        result.io.elapsed += outbound + inbound
         self.stats.commands += 1
-        self.stats.bytes_sent += len(request_pdu)
-        self.stats.bytes_received += len(response_pdu)
+        try:
+            request_frame = frame_pdu(wire.encode_command(command))
+            outbound = self._transfer(len(request_frame), write=True)
+            decoded = wire.decode_command(request_frame[FRAME_PREFIX_BYTES:])
+            response = decoded.apply(self.target)
+            response_frame = frame_pdu(wire.encode_response(response))
+            inbound = self._transfer(len(response_frame), write=False)
+            result = wire.decode_response(response_frame[FRAME_PREFIX_BYTES:])
+        except OsdError:
+            self.stats.failures += 1
+            raise
+        result.io.elapsed += outbound + inbound
+        if not result.ok:
+            self.stats.sense_errors += 1
+        self.stats.bytes_sent += len(request_frame)
+        self.stats.bytes_received += len(response_frame)
         return result
 
     def _transfer(self, num_bytes: int, write: bool) -> float:

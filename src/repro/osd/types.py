@@ -29,14 +29,15 @@ __all__ = [
     "PARTITION_ZERO",
     "ROOT_DIRECTORY",
     "ROOT_OBJECT",
+    "SERVICE_STATS_OBJECT",
     "SUPER_BLOCK",
 ]
 
 #: Lowest PID/OID value for partitions, collections, and user objects.
 PARTITION_BASE = 0x10000
 
-#: First OID available for regular user objects in exofs (0x10000-0x10004
-#: are reserved for metadata and the control object).
+#: First OID available for regular user objects (0x10000-0x10004 are
+#: reserved by exofs/Reo and 0x10006 by the repro.net service layer).
 FIRST_USER_OID = 0x10005
 
 
@@ -90,6 +91,10 @@ DEVICE_TABLE = ObjectId(PARTITION_BASE, 0x10001)
 ROOT_DIRECTORY = ObjectId(PARTITION_BASE, 0x10002)
 #: Reo's reserved control-message object (paper §IV-C.2).
 CONTROL_OBJECT = ObjectId(PARTITION_BASE, 0x10004)
+#: The service layer's stats endpoint: a ``#QUERY#`` control write naming
+#: this id is answered by the server itself (mirroring OID 0x10004
+#: semantics) with a JSON :class:`~repro.net.stats.ServiceStats` payload.
+SERVICE_STATS_OBJECT = ObjectId(PARTITION_BASE, 0x10006)
 
 #: Objects that exist from format time and are Class-0 system metadata.
 RESERVED_METADATA = (SUPER_BLOCK, DEVICE_TABLE, ROOT_DIRECTORY)

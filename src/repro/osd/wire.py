@@ -11,43 +11,103 @@ response serializes to a PDU of
 Round-tripping through real bytes keeps the initiator/target boundary
 honest — nothing crosses it except what the wire format can carry — and
 gives the transport layer true payload sizes to bill.
+
+Hardening (service-layer PR): headers and whole PDUs have explicit size
+limits, headers must decode to a JSON object, and every protocol-level
+failure raises :class:`~repro.errors.WireError` (an :class:`OsdError`
+subclass) so transports can tell stream corruption from target errors.
+PDU headers optionally carry a ``seq`` sequence id, which lets a pipelined
+connection match out-of-order responses to their requests.
 """
 
 from __future__ import annotations
 
 import json
 import struct
-from typing import Optional, Tuple
+from typing import NamedTuple, Optional, Tuple
 
-from repro.errors import OsdError
+from repro.errors import WireError
 from repro.flash.array import ArrayIoResult
 from repro.osd import commands
 from repro.osd.sense import SenseCode
 from repro.osd.target import OsdResponse
 from repro.osd.types import ObjectId, ObjectKind
 
-__all__ = ["decode_command", "decode_response", "encode_command", "encode_response"]
+__all__ = [
+    "CommandPdu",
+    "MAX_HEADER_BYTES",
+    "MAX_PDU_BYTES",
+    "decode_command",
+    "decode_command_pdu",
+    "decode_response",
+    "decode_response_pdu",
+    "encode_command",
+    "encode_response",
+]
 
 _LENGTH = struct.Struct(">I")
 
+#: Hard ceiling on the JSON header segment. Headers are a handful of short
+#: fields; anything bigger is corruption or an attack, not a command.
+MAX_HEADER_BYTES = 64 * 1024
 
-def _pack(header: dict, data: bytes = b"") -> bytes:
+#: Hard ceiling on a whole PDU (header + data segment). Caps both what an
+#: encoder will produce and what a decoder/server will buffer per request.
+MAX_PDU_BYTES = 64 * 1024 * 1024
+
+
+def _pack(header: dict, data: bytes = b"", seq: Optional[int] = None) -> bytes:
+    if seq is not None:
+        header = dict(header, seq=int(seq))
     header_bytes = json.dumps(header, sort_keys=True).encode("ascii")
-    return _LENGTH.pack(len(header_bytes)) + header_bytes + data
+    if len(header_bytes) > MAX_HEADER_BYTES:
+        raise WireError(
+            f"PDU header of {len(header_bytes)} bytes exceeds the "
+            f"{MAX_HEADER_BYTES}-byte limit"
+        )
+    pdu = _LENGTH.pack(len(header_bytes)) + header_bytes + data
+    if len(pdu) > MAX_PDU_BYTES:
+        raise WireError(
+            f"PDU of {len(pdu)} bytes exceeds the {MAX_PDU_BYTES}-byte limit"
+        )
+    return pdu
 
 
 def _unpack(pdu: bytes) -> Tuple[dict, bytes]:
+    if len(pdu) > MAX_PDU_BYTES:
+        raise WireError(
+            f"PDU of {len(pdu)} bytes exceeds the {MAX_PDU_BYTES}-byte limit"
+        )
     if len(pdu) < _LENGTH.size:
-        raise OsdError("truncated PDU: missing length prefix")
+        raise WireError("truncated PDU: missing length prefix")
     (header_length,) = _LENGTH.unpack_from(pdu)
+    if header_length > MAX_HEADER_BYTES:
+        raise WireError(
+            f"declared header of {header_length} bytes exceeds the "
+            f"{MAX_HEADER_BYTES}-byte limit"
+        )
     end = _LENGTH.size + header_length
     if len(pdu) < end:
-        raise OsdError("truncated PDU: header shorter than declared")
+        raise WireError("truncated PDU: header shorter than declared")
     try:
         header = json.loads(pdu[_LENGTH.size : end].decode("ascii"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise OsdError(f"malformed PDU header: {exc}") from None
+        raise WireError(f"malformed PDU header: {exc}") from None
+    if not isinstance(header, dict):
+        raise WireError(
+            f"PDU header must be a JSON object, got {type(header).__name__}"
+        )
     return header, pdu[end:]
+
+
+def _seq_of(header: dict) -> Optional[int]:
+    seq = header.get("seq")
+    if seq is None:
+        return None
+    try:
+        return int(seq)
+    except (TypeError, ValueError):
+        raise WireError(f"malformed sequence id {seq!r}") from None
 
 
 def _object_id_fields(object_id: ObjectId) -> dict:
@@ -57,53 +117,88 @@ def _object_id_fields(object_id: ObjectId) -> dict:
 def _object_id_from(header: dict) -> ObjectId:
     try:
         return ObjectId(int(header["pid"]), int(header["oid"]))
-    except (KeyError, ValueError) as exc:
-        raise OsdError(f"PDU missing object id: {exc}") from None
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireError(f"PDU missing object id: {exc}") from None
 
 
 # ----------------------------------------------------------------------
 # Commands
 # ----------------------------------------------------------------------
-def encode_command(command: commands.OsdCommand) -> bytes:
-    """Serialize a command to its PDU."""
+def encode_command(
+    command: commands.OsdCommand,
+    seq: Optional[int] = None,
+    retry: int = 0,
+) -> bytes:
+    """Serialize a command to its PDU.
+
+    Args:
+        command: the command to serialize.
+        seq: optional sequence id for pipelined connections; echoed back on
+            the matching response so it can be demultiplexed.
+        retry: retransmission attempt number (0 = first send). Lets the
+            server count retried commands in its service stats.
+    """
+    header: Optional[dict] = None
+    data = b""
     if isinstance(command, commands.CreatePartition):
-        return _pack({"op": "create_partition", "partition": command.pid})
-    if isinstance(command, commands.CreateObject):
+        header = {"op": "create_partition", "partition": command.pid}
+    elif isinstance(command, commands.CreateObject):
         header = {"op": "create", "kind": command.kind.value}
         header.update(_object_id_fields(command.object_id))
-        return _pack(header)
-    if isinstance(command, commands.Write):
+    elif isinstance(command, commands.Write):
         header = {"op": "write", "class_id": command.class_id}
         header.update(_object_id_fields(command.object_id))
-        return _pack(header, command.payload)
-    if isinstance(command, commands.Update):
+        data = command.payload
+    elif isinstance(command, commands.Update):
         header = {"op": "update", "offset": command.offset}
         header.update(_object_id_fields(command.object_id))
-        return _pack(header, command.payload)
-    if isinstance(command, commands.Read):
+        data = command.payload
+    elif isinstance(command, commands.Read):
         header = {"op": "read"}
         header.update(_object_id_fields(command.object_id))
-        return _pack(header)
-    if isinstance(command, commands.Remove):
+    elif isinstance(command, commands.Remove):
         header = {"op": "remove"}
         header.update(_object_id_fields(command.object_id))
-        return _pack(header)
-    if isinstance(command, commands.SetAttr):
+    elif isinstance(command, commands.SetAttr):
         header = {"op": "set_attr", "key": command.key, "value": command.value}
         header.update(_object_id_fields(command.object_id))
-        return _pack(header)
-    if isinstance(command, commands.GetAttr):
+    elif isinstance(command, commands.GetAttr):
         header = {"op": "get_attr", "key": command.key}
         header.update(_object_id_fields(command.object_id))
-        return _pack(header)
-    if isinstance(command, commands.ListPartition):
-        return _pack({"op": "list", "partition": command.pid})
-    raise OsdError(f"cannot encode command {command!r}")
+    elif isinstance(command, commands.ListPartition):
+        header = {"op": "list", "partition": command.pid}
+    if header is None:
+        raise WireError(f"cannot encode command {command!r}")
+    if retry:
+        header["retry"] = int(retry)
+    return _pack(header, data, seq=seq)
 
 
 def decode_command(pdu: bytes) -> commands.OsdCommand:
     """Parse a command PDU back into a command object."""
+    return decode_command_pdu(pdu).command
+
+
+class CommandPdu(NamedTuple):
+    """Decoded command envelope."""
+
+    seq: Optional[int]
+    retry: int
+    command: commands.OsdCommand
+
+
+def decode_command_pdu(pdu: bytes) -> CommandPdu:
+    """Parse a command PDU into its ``(seq, retry, command)`` envelope."""
     header, data = _unpack(pdu)
+    seq = _seq_of(header)
+    try:
+        retry = int(header.get("retry", 0))
+        return CommandPdu(seq, retry, _command_from(header, data))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireError(f"malformed command PDU: {exc!r}") from None
+
+
+def _command_from(header: dict, data: bytes) -> commands.OsdCommand:
     op = header.get("op")
     if op == "create_partition":
         return commands.CreatePartition(int(header["partition"]))
@@ -132,14 +227,18 @@ def decode_command(pdu: bytes) -> commands.OsdCommand:
         return commands.GetAttr(_object_id_from(header), str(header["key"]))
     if op == "list":
         return commands.ListPartition(int(header["partition"]))
-    raise OsdError(f"unknown command op {op!r}")
+    raise WireError(f"unknown command op {op!r}")
 
 
 # ----------------------------------------------------------------------
 # Responses
 # ----------------------------------------------------------------------
-def encode_response(response: OsdResponse) -> bytes:
-    """Serialize a response to its PDU (sense + io summary + payload)."""
+def encode_response(response: OsdResponse, seq: Optional[int] = None) -> bytes:
+    """Serialize a response to its PDU (sense + io summary + payload).
+
+    ``seq`` echoes the request's sequence id so pipelined connections can
+    match out-of-order responses to in-flight requests.
+    """
     header = {
         "sense": int(response.sense),
         "elapsed": response.io.elapsed,
@@ -150,23 +249,29 @@ def encode_response(response: OsdResponse) -> bytes:
         "degraded": response.io.degraded,
         "has_payload": response.payload is not None,
     }
-    return _pack(header, response.payload or b"")
+    return _pack(header, response.payload or b"", seq=seq)
 
 
 def decode_response(pdu: bytes) -> OsdResponse:
     """Parse a response PDU."""
+    return decode_response_pdu(pdu)[1]
+
+
+def decode_response_pdu(pdu: bytes) -> Tuple[Optional[int], OsdResponse]:
+    """Parse a response PDU; returns ``(sequence id or None, response)``."""
     header, data = _unpack(pdu)
+    seq = _seq_of(header)
     try:
         sense = SenseCode(int(header["sense"]))
-    except (KeyError, ValueError) as exc:
-        raise OsdError(f"malformed response PDU: {exc}") from None
-    io = ArrayIoResult(
-        elapsed=float(header.get("elapsed", 0.0)),
-        chunks_read=int(header.get("chunks_read", 0)),
-        chunks_written=int(header.get("chunks_written", 0)),
-        bytes_read=int(header.get("bytes_read", 0)),
-        bytes_written=int(header.get("bytes_written", 0)),
-        degraded=bool(header.get("degraded", False)),
-    )
+        io = ArrayIoResult(
+            elapsed=float(header.get("elapsed", 0.0)),
+            chunks_read=int(header.get("chunks_read", 0)),
+            chunks_written=int(header.get("chunks_written", 0)),
+            bytes_read=int(header.get("bytes_read", 0)),
+            bytes_written=int(header.get("bytes_written", 0)),
+            degraded=bool(header.get("degraded", False)),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireError(f"malformed response PDU: {exc}") from None
     payload: Optional[bytes] = data if header.get("has_payload") else None
-    return OsdResponse(sense, io=io, payload=payload)
+    return seq, OsdResponse(sense, io=io, payload=payload)

@@ -1,0 +1,37 @@
+"""Fixtures for the socket-layer tests.
+
+Every test in this package is marked ``net`` (see ``pyproject.toml``) and
+runs under a SIGALRM watchdog, so a wedged event loop or a half-open socket
+fails the test instead of hanging the whole tier-1 run. Override the
+default budget per test with ``@pytest.mark.net(timeout=N)``.
+"""
+
+import signal
+
+import pytest
+
+DEFAULT_TIMEOUT_SECONDS = 30
+
+
+@pytest.fixture(autouse=True)
+def net_watchdog(request):
+    """Hard per-test timeout for ``net``-marked tests (SIGALRM, Unix only)."""
+    marker = request.node.get_closest_marker("net")
+    if marker is None or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+    seconds = int(marker.kwargs.get("timeout", DEFAULT_TIMEOUT_SECONDS))
+
+    def _expired(_signum, _frame):
+        pytest.fail(
+            f"net test exceeded its {seconds}s watchdog — "
+            "probable hang in the socket layer"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)

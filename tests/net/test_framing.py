@@ -1,0 +1,67 @@
+"""Stream framing: reassembly under arbitrary chunking, size guards."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import WireError
+from repro.osd.transport import (
+    FRAME_PREFIX_BYTES,
+    FrameDecoder,
+    frame_length,
+    frame_pdu,
+)
+
+pytestmark = pytest.mark.net
+
+
+def chunked(data, cuts):
+    """Split ``data`` at the (sorted, deduplicated) cut offsets."""
+    offsets = sorted({min(cut, len(data)) for cut in cuts})
+    pieces = []
+    previous = 0
+    for offset in offsets:
+        pieces.append(data[previous:offset])
+        previous = offset
+    pieces.append(data[previous:])
+    return pieces
+
+
+class TestFrameDecoder:
+    @given(
+        pdus=st.lists(st.binary(max_size=200), max_size=8),
+        cuts=st.lists(st.integers(min_value=0, max_value=2000), max_size=12),
+    )
+    def test_reassembles_any_chunking(self, pdus, cuts):
+        stream = b"".join(frame_pdu(pdu) for pdu in pdus)
+        decoder = FrameDecoder()
+        received = []
+        for piece in chunked(stream, cuts):
+            decoder.feed(piece)
+            received.extend(decoder.frames())
+        assert received == pdus
+        assert decoder.buffered_bytes == 0
+
+    def test_partial_frame_stays_buffered(self):
+        decoder = FrameDecoder()
+        frame = frame_pdu(b"hello world")
+        decoder.feed(frame[:-3])
+        assert list(decoder.frames()) == []
+        decoder.feed(frame[-3:])
+        assert list(decoder.frames()) == [b"hello world"]
+
+    def test_oversized_frame_rejected_at_the_prefix(self):
+        decoder = FrameDecoder(max_bytes=64)
+        decoder.feed(frame_pdu(b"x" * 65, max_bytes=1024))
+        with pytest.raises(WireError, match="limit"):
+            list(decoder.frames())
+
+    def test_frame_pdu_refuses_oversize(self):
+        with pytest.raises(WireError, match="refusing"):
+            frame_pdu(b"x" * 65, max_bytes=64)
+
+    def test_frame_length_validates_prefix(self):
+        with pytest.raises(WireError, match="truncated"):
+            frame_length(b"\x00")
+        assert frame_length(b"\x00\x00\x00\x2a") == 42
+        assert FRAME_PREFIX_BYTES == 4

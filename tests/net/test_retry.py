@@ -1,0 +1,70 @@
+"""Retry policy: backoff bounds, jitter determinism, idempotency rules."""
+
+import pytest
+
+from repro.net.retry import NO_RETRY, RetryPolicy, is_idempotent
+from repro.osd import commands
+from repro.osd.types import PARTITION_BASE, ObjectId
+
+pytestmark = pytest.mark.net
+
+OID = ObjectId(PARTITION_BASE, 0x10005)
+
+
+class TestRetryPolicy:
+    def test_delay_count_is_attempts_minus_one(self):
+        policy = RetryPolicy(max_attempts=4, jitter=0.0)
+        assert len(list(policy.delays())) == 3
+
+    def test_exponential_growth_capped(self):
+        policy = RetryPolicy(
+            max_attempts=8, base_delay=0.1, multiplier=2.0, max_delay=0.5, jitter=0.0
+        )
+        delays = list(policy.delays())
+        assert delays[0] == pytest.approx(0.1)
+        assert delays[1] == pytest.approx(0.2)
+        assert delays[2] == pytest.approx(0.4)
+        assert all(delay <= 0.5 for delay in delays)
+        assert delays[-1] == pytest.approx(0.5)
+
+    def test_jitter_stays_within_band_and_is_seeded(self):
+        policy = RetryPolicy(max_attempts=6, base_delay=0.1, jitter=0.5, seed=42)
+        first = list(policy.delays())
+        second = list(policy.delays())
+        assert first == second  # seeded jitter is reproducible
+        unjittered = list(
+            RetryPolicy(max_attempts=6, base_delay=0.1, jitter=0.0).delays()
+        )
+        for jittered, full in zip(first, unjittered):
+            assert full * 0.5 <= jittered <= full
+
+    def test_no_retry_policy(self):
+        assert NO_RETRY.max_attempts == 1
+        assert list(NO_RETRY.delays()) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+
+class TestIdempotency:
+    def test_safe_commands(self):
+        for command in (
+            commands.Read(OID),
+            commands.Write(OID, b"same bytes", 3),
+            commands.Update(OID, 8, b"same bytes"),
+            commands.SetAttr(OID, "k", "v"),
+            commands.GetAttr(OID, "k"),
+            commands.ListPartition(PARTITION_BASE),
+        ):
+            assert is_idempotent(command)
+
+    def test_unsafe_commands(self):
+        for command in (
+            commands.CreatePartition(PARTITION_BASE),
+            commands.CreateObject(OID),
+            commands.Remove(OID),
+        ):
+            assert not is_idempotent(command)

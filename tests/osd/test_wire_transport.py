@@ -130,6 +130,27 @@ class TestTransport:
         # The second command waited behind the first on the same session.
         assert response.io.elapsed > 0.02
 
+    def test_failed_submission_counted(self):
+        _array, _target, _initiator, channel = make_stack()
+
+        class Unserializable(commands.OsdCommand):
+            def apply(self, target):  # pragma: no cover - never reached
+                raise AssertionError
+
+        with pytest.raises(OsdError):
+            channel.submit(Unserializable())
+        assert channel.stats.commands == 1
+        assert channel.stats.failures == 1
+        assert channel.stats.sense_errors == 0
+
+    def test_sense_error_counted_separately_from_failures(self):
+        _array, _target, initiator, channel = make_stack()
+        _, response = initiator.read(USER_A)  # never written
+        assert response.sense is SenseCode.FAIL
+        assert channel.stats.commands == 1
+        assert channel.stats.failures == 0
+        assert channel.stats.sense_errors == 1
+
     def test_local_initiator_has_no_channel_cost(self):
         array = FlashArray(num_devices=5, device_capacity=10**6, chunk_size=64, model=ZERO_COST)
         target = OsdTarget(array, policy=lambda cid: ParityScheme(0))
