@@ -1,12 +1,17 @@
 """Compare benchmark JSON runs against their committed baselines.
 
-Two suites share this machinery:
+Three suites share this machinery:
 
 - the erasure-kernel microbenchmark (``test_rs_codec_microbench.py``) →
   ``results/BENCH_rs_codec.json`` vs ``BENCH_rs_codec.baseline.json``;
 - the net service-layer sweep (``repro.experiments.concurrency --net`` /
   ``test_net_service_bench.py``) → ``results/BENCH_net_service.json`` vs
-  ``BENCH_net_service.baseline.json``.
+  ``BENCH_net_service.baseline.json``;
+- the supervised fault campaign (``python -m repro.experiments
+  fault-campaign`` / ``test_fault_campaign.py``) →
+  ``results/BENCH_fault_campaign.json`` vs
+  ``BENCH_fault_campaign.baseline.json`` (detection latency,
+  time-to-full-redundancy, degraded-read p99 — all lower-is-better).
 
 A metric entry provides its value as ``new_mbps`` (throughput) or
 ``value``, plus an optional ``higher_is_better`` flag (default true).
@@ -50,6 +55,10 @@ SUITES: Dict[str, Tuple[Path, Path]] = {
     "net_service": (
         _BENCH_DIR / "results" / "BENCH_net_service.json",
         _BENCH_DIR / "BENCH_net_service.baseline.json",
+    ),
+    "fault_campaign": (
+        _BENCH_DIR / "results" / "BENCH_fault_campaign.json",
+        _BENCH_DIR / "BENCH_fault_campaign.baseline.json",
     ),
 }
 

@@ -1,0 +1,59 @@
+"""Benchmark: the supervised fault campaign (detection and repair speed).
+
+Runs the composed-fault campaign (latent bit-rot + fail-slow + fail-stop
+under the closed detect→spare→rebuild→scrub loop), emits
+``results/BENCH_fault_campaign.json``, and gates detection latency,
+time-to-full-redundancy, and degraded-read p99 against the committed
+baseline. Unlike the wall-clock suites these metrics are *simulated* time,
+so they are machine-independent: a >20% move is a behaviour change in the
+detection or repair pipeline, never scheduler noise.
+"""
+
+import os
+import warnings
+
+import pytest
+
+import compare_bench
+from repro.experiments.common import PROFILES
+from repro.experiments.fault_campaign import run_fault_campaign
+
+BENCH_JSON, BASELINE_JSON = compare_bench.SUITES["fault_campaign"]
+
+
+def test_fault_campaign(emit):
+    # The committed baseline was produced with exactly this configuration;
+    # the campaign is deterministic per (profile, seed).
+    result = run_fault_campaign(profile=PROFILES["fast"], seed=20190707)
+    result.write_bench_json()
+    emit("fault_campaign", result.format())
+
+    # The campaign's contract: no protected-class object may be lost, every
+    # incident must close (redundancy restored), and every injected fault
+    # shape must have been detected.
+    assert result.protected_losses == 0
+    assert result.ledger["incidents"], "no incidents recorded"
+    assert all(
+        incident["recovered_at"] is not None
+        for incident in result.ledger["incidents"]
+    )
+    assert "fail_slow" in result.detection_latency_s
+    assert "fail_stop" in result.detection_latency_s
+
+
+@pytest.mark.bench_regression
+def test_no_regression_vs_baseline():
+    """Warn (or fail under REPRO_BENCH_STRICT=1) on >20% repair regression."""
+    if not BENCH_JSON.exists():
+        pytest.skip("run test_fault_campaign first to produce BENCH_fault_campaign.json")
+    if not BASELINE_JSON.exists():
+        pytest.skip("no committed baseline to compare against")
+    regressions = compare_bench.compare(
+        compare_bench.load(BENCH_JSON), compare_bench.load(BASELINE_JSON)
+    )
+    if not regressions:
+        return
+    message = compare_bench.format_report(regressions)
+    if os.environ.get("REPRO_BENCH_STRICT") == "1":
+        pytest.fail(message)
+    warnings.warn(message)

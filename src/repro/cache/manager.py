@@ -35,7 +35,7 @@ from repro.cache.stats import CacheStats
 from repro.core.classes import ObjectClass, classify
 from repro.core.hotness import HotnessTracker
 from repro.core.redundancy import RedundancyBudget
-from repro.errors import CacheFullError, DeviceFullError, ObjectNotFoundError
+from repro.errors import DeviceFullError, ObjectNotFoundError
 from repro.osd.initiator import OsdInitiator
 from repro.osd.sense import SenseCode
 from repro.osd.types import FIRST_USER_OID, PARTITION_BASE, ObjectId
@@ -159,8 +159,12 @@ class CacheManager:
 
     @property
     def is_degraded(self) -> bool:
-        """True while the array has failed devices that were not replaced."""
-        return self.array.online_count < self.array.width
+        """True while the array has failed devices that were not replaced.
+
+        SUSPECT devices do not count: they still serve reads, and placement
+        simply routes around them, so admission continues normally.
+        """
+        return self.array.available_count < self.array.width
 
     # ------------------------------------------------------------------
     # Client read path
@@ -307,9 +311,15 @@ class CacheManager:
                 break
             except DeviceFullError:
                 if not self._evict_one():
-                    raise CacheFullError(
-                        f"cannot fit {size}-byte object {name!r} even with an empty LRU"
-                    ) from None
+                    # Nothing left to evict and the object still cannot be
+                    # placed (per-device imbalance, a shrunken width after
+                    # failures). Same contract as the estimate bypass above:
+                    # a dirty write goes straight through to the backend so
+                    # no update is dropped; a clean object is not admitted.
+                    self.stats.admission_bypasses += 1
+                    if dirty:
+                        return self.backend.write(name, payload, version=version)
+                    return 0.0
         entry = CachedObject(
             name=name,
             object_id=object_id,

@@ -1,0 +1,284 @@
+"""Per-device health monitoring and failure detection.
+
+Real arrays do not get a courtesy call when a device starts dying: they
+*infer* failure from the I/O stream. This module watches every
+:class:`~repro.flash.array.ArrayIoResult` the array produces (the array
+feeds its :attr:`~repro.flash.array.FlashArray.health` hook from every
+finished batch) and maintains, per device:
+
+- an EWMA of the **error rate** (checksum mismatches and transient I/O
+  errors per operation), and
+- an EWMA of the **service-time slowdown** — observed service seconds
+  divided by what the device's own :class:`ServiceTimeModel` predicts for
+  the same operation mix, so the metric is scale-free: a healthy device
+  hovers near 1.0 and a fail-slow device converges to its latency
+  multiplier regardless of payload sizes.
+
+Policy thresholds move a device ONLINE → SUSPECT (placement stops, reads
+prefer peers/parity) → FAILED. The monitor demotes to SUSPECT itself; the
+FAILED verdict is emitted as a transition for the
+:class:`~repro.core.supervisor.RecoverySupervisor` to act on (spare swap,
+prioritized rebuild), keeping detection separate from repair policy.
+Fail-stop failures (device already FAILED on the array) are *observed* by
+:meth:`HealthMonitor.poll` and emitted through the same transition stream,
+so one listener sees every failure shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, NamedTuple, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - imports only for annotations
+    from repro.flash.array import ArrayIoResult, FlashArray
+    from repro.flash.device import FlashDevice
+
+__all__ = ["DeviceHealth", "HealthMonitor", "HealthPolicy", "HealthTransition"]
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """Thresholds separating noise from demotion-worthy pathology.
+
+    Attributes:
+        alpha: EWMA smoothing factor *per operation*. A batch of ``n`` ops
+            moves the average by ``1 - (1 - alpha) ** n``, so one bad op in
+            a small batch cannot spike a healthy device over a threshold —
+            only a sustained rate converges there.
+        min_ops: operations observed before any verdict (EWMA warm-up).
+        suspect_error_rate: error-rate EWMA demoting ONLINE → SUSPECT.
+        fail_error_rate: error-rate EWMA escalating SUSPECT → FAILED.
+        suspect_slowdown: slowdown EWMA demoting ONLINE → SUSPECT.
+        fail_slowdown: slowdown EWMA escalating straight to FAILED.
+        confirm_ops: operations a SUSPECT device must stay past its suspect
+            threshold before the monitor escalates to FAILED — one bad
+            burst parks a device, only a *persistent* pathology replaces it.
+        suspect_grace: simulated seconds a device may stay SUSPECT before
+            :meth:`HealthMonitor.poll` escalates it to FAILED regardless of
+            traffic. Demotion diverts reads to peers, so a parked device may
+            see no further I/O and the ops-based escalation would starve;
+            the grace period is the time-based backstop (a real array would
+            either rehabilitate the device with probes or evict it).
+    """
+
+    alpha: float = 0.02
+    min_ops: int = 8
+    suspect_error_rate: float = 0.05
+    fail_error_rate: float = 0.30
+    suspect_slowdown: float = 3.0
+    fail_slowdown: float = 20.0
+    confirm_ops: int = 24
+    suspect_grace: float = 30.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if self.suspect_error_rate > self.fail_error_rate:
+            raise ValueError("suspect_error_rate must not exceed fail_error_rate")
+        if self.suspect_slowdown > self.fail_slowdown:
+            raise ValueError("suspect_slowdown must not exceed fail_slowdown")
+
+
+@dataclass
+class DeviceHealth:
+    """The monitor's rolling picture of one device."""
+
+    device_id: int
+    generation: int = 0
+    ops: int = 0
+    errors: int = 0
+    error_ewma: float = 0.0
+    slowdown_ewma: float = 1.0
+    #: ops counter value when the device entered SUSPECT (escalation timer).
+    suspect_at_ops: Optional[int] = None
+    suspect_since: Optional[float] = None
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "ops": self.ops,
+            "errors": self.errors,
+            "error_ewma": round(self.error_ewma, 6),
+            "slowdown_ewma": round(self.slowdown_ewma, 6),
+        }
+
+
+class HealthTransition(NamedTuple):
+    """One state-machine step the monitor decided or observed."""
+
+    device_id: int
+    old: str
+    new: str  # "suspect" | "failed"
+    at: float
+    reason: str
+
+
+TransitionListener = Callable[[HealthTransition], None]
+
+
+class HealthMonitor:
+    """Watches per-device I/O health and drives the SUSPECT/FAILED verdicts."""
+
+    def __init__(
+        self,
+        array: "FlashArray",
+        policy: Optional[HealthPolicy] = None,
+        attach: bool = True,
+    ) -> None:
+        self.array = array
+        self.policy = policy or HealthPolicy()
+        self.devices: Dict[int, DeviceHealth] = {}
+        self.listeners: List[TransitionListener] = []
+        self.transitions: List[HealthTransition] = []
+        #: Device ids whose FAILED state has been emitted (dedup).
+        self._failed_seen: Dict[int, int] = {}
+        #: Degraded foreground-read latencies (simulated seconds), for the
+        #: durability ledger's degraded-read percentiles.
+        self.degraded_read_latencies: List[float] = []
+        if attach:
+            array.health = self
+
+    # ------------------------------------------------------------------
+    # Observation intake
+    # ------------------------------------------------------------------
+    def ingest(self, result: "ArrayIoResult", now: float) -> None:
+        """Fold one array operation's per-device samples into the EWMAs."""
+        if result.op == "read" and result.degraded:
+            self.degraded_read_latencies.append(result.elapsed)
+        for device_id, sample in result.device_io.items():
+            device = self.array.devices[device_id]
+            health = self._health(device)
+            ops = sample.reads + sample.writes
+            if ops == 0:
+                continue
+            health.ops += ops
+            health.errors += sample.errors
+            # A batch is `ops` EWMA samples of its own rate: the effective
+            # smoothing factor compounds per operation.
+            alpha = 1.0 - (1.0 - self.policy.alpha) ** ops
+            error_rate = sample.errors / ops
+            health.error_ewma += alpha * (error_rate - health.error_ewma)
+            expected = self._expected_seconds(device, sample)
+            if expected > 0.0 and sample.seconds > 0.0:
+                slowdown = sample.seconds / expected
+                health.slowdown_ewma += alpha * (slowdown - health.slowdown_ewma)
+            self._evaluate(device, health, now)
+
+    def poll(self, now: float) -> List[HealthTransition]:
+        """Observe out-of-band state changes (fail-stop shootdowns, swaps).
+
+        Returns the transitions emitted by this poll. Called between
+        requests by the supervisor so a fail-stop is noticed at the first
+        opportunity even when no I/O touches the dead device.
+        """
+        emitted: List[HealthTransition] = []
+        for device in self.array.devices:
+            health = self._health(device)  # refreshed on generation change
+            if not device.is_available:
+                if self._failed_seen.get(device.device_id) != device.generation:
+                    self._failed_seen[device.device_id] = device.generation
+                    emitted.append(
+                        self._emit(device.device_id, "online", "failed", now,
+                                   "fail-stop observed")
+                    )
+                continue
+            if not device.is_online:
+                # SUSPECT: reads were diverted to peers, so the ops-based
+                # escalation may never see another sample. The grace period
+                # is the time-based backstop.
+                if health.suspect_since is None:
+                    health.suspect_since = now
+                elif (
+                    now - health.suspect_since >= self.policy.suspect_grace
+                    and self._failed_seen.get(device.device_id) != device.generation
+                ):
+                    self._failed_seen[device.device_id] = device.generation
+                    emitted.append(
+                        self._emit(
+                            device.device_id, "suspect", "failed", now,
+                            f"suspect for {now - health.suspect_since:.3f}s",
+                        )
+                    )
+        return emitted
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def health_of(self, device_id: int) -> DeviceHealth:
+        return self._health(self.array.devices[device_id])
+
+    def degraded_read_percentile(self, fraction: float) -> float:
+        """Degraded foreground-read latency percentile (0 when none seen)."""
+        if not self.degraded_read_latencies:
+            return 0.0
+        ordered = sorted(self.degraded_read_latencies)
+        index = min(len(ordered) - 1, int(fraction * (len(ordered) - 1) + 0.5))
+        return ordered[index]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _health(self, device: "FlashDevice") -> DeviceHealth:
+        health = self.devices.get(device.device_id)
+        if health is None or health.generation != device.generation:
+            # First sighting, or a spare was swapped in: fresh record — a
+            # replacement is a different physical device.
+            health = DeviceHealth(
+                device_id=device.device_id, generation=device.generation
+            )
+            self.devices[device.device_id] = health
+        return health
+
+    def _expected_seconds(self, device: "FlashDevice", sample) -> float:
+        model = device.model
+        return (
+            sample.reads * model.read_overhead
+            + sample.bytes_read / model.read_bandwidth
+            + sample.writes * model.write_overhead
+            + sample.bytes_written / model.write_bandwidth
+        )
+
+    def _evaluate(self, device: "FlashDevice", health: DeviceHealth, now: float) -> None:
+        policy = self.policy
+        if health.ops < policy.min_ops or not device.is_available:
+            return
+        errs, slow = health.error_ewma, health.slowdown_ewma
+        if device.is_online:
+            if errs >= policy.suspect_error_rate or slow >= policy.suspect_slowdown:
+                device.suspect()
+                health.suspect_at_ops = health.ops
+                health.suspect_since = now
+                reason = (
+                    f"error_ewma={errs:.3f}" if errs >= policy.suspect_error_rate
+                    else f"slowdown_ewma={slow:.1f}"
+                )
+                self._emit(device.device_id, "online", "suspect", now, reason)
+            return
+        # SUSPECT: escalate when the pathology persists or worsens. Emit the
+        # FAILED verdict once per device generation (the supervisor acts on
+        # the first one; without a supervisor, repeats would just be noise).
+        if self._failed_seen.get(device.device_id) == device.generation:
+            return
+        if errs >= policy.fail_error_rate or slow >= policy.fail_slowdown:
+            self._failed_seen[device.device_id] = device.generation
+            self._emit(
+                device.device_id, "suspect", "failed", now,
+                f"error_ewma={errs:.3f} slowdown_ewma={slow:.1f}",
+            )
+            return
+        started = health.suspect_at_ops or 0
+        still_bad = errs >= policy.suspect_error_rate or slow >= policy.suspect_slowdown
+        if still_bad and health.ops - started >= policy.confirm_ops:
+            self._failed_seen[device.device_id] = device.generation
+            self._emit(
+                device.device_id, "suspect", "failed", now,
+                f"persistent after {health.ops - started} ops",
+            )
+
+    def _emit(
+        self, device_id: int, old: str, new: str, at: float, reason: str
+    ) -> HealthTransition:
+        transition = HealthTransition(device_id, old, new, at, reason)
+        self.transitions.append(transition)
+        for listener in list(self.listeners):
+            listener(transition)
+        return transition

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Deque, List, Optional
+from typing import TYPE_CHECKING, Callable, Deque, List, Optional
 
 from repro.core.hotness import HotnessTracker
 
@@ -75,6 +75,11 @@ class RecoveryManager:
         self.objects_lost = 0
         self.chunks_rebuilt = 0
         self.seconds_spent = 0.0
+        #: Durability-ledger hooks: ``(object_id, class_id, result)`` after a
+        #: successful reconstruction, ``(object_id, class_id)`` when an
+        #: object is purged as unrecoverable. Set by the supervisor.
+        self.on_object_rebuilt: Optional[Callable[[ObjectId, int, ArrayIoResult], None]] = None
+        self.on_object_lost: Optional[Callable[[ObjectId, int], None]] = None
 
     # ------------------------------------------------------------------
     # Planning
@@ -179,6 +184,8 @@ class RecoveryManager:
             self.objects_rebuilt += 1
             self.chunks_rebuilt += result.chunks_written
             self.seconds_spent += result.elapsed
+            if self.on_object_rebuilt is not None:
+                self.on_object_rebuilt(object_id, self._class_of(object_id), result)
             if self.manager is not None:
                 name = self.manager.name_for(object_id)
                 if name is not None:
@@ -226,6 +233,10 @@ class RecoveryManager:
         objects are evicted (LRU order, dirty ones flushed first) until it
         fits. Returns None when the object must stay degraded.
         """
+        if self.array.online_count < 1:
+            # Nothing trusted left to restripe onto; leave the object
+            # degraded rather than laying it out on a zero-width array.
+            return None
         scheme = self._restripe_scheme(object_id)
         try:
             return self.array.restripe_object(object_id, scheme)
@@ -271,8 +282,16 @@ class RecoveryManager:
         self.active = False
         self.target.recovery_active = False
 
+    def _class_of(self, object_id: ObjectId) -> int:
+        if self.target.exists(object_id):
+            return self.target.get_info(object_id).class_id
+        return -1
+
     def _purge(self, object_id: ObjectId) -> None:
         self.objects_lost += 1
+        if self.on_object_lost is not None:
+            # Class looked up before the purge removes the object record.
+            self.on_object_lost(object_id, self._class_of(object_id))
         if self.manager is not None:
             name = self.manager.name_for(object_id)
             if name is not None:

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from repro.core.policy import RedundancyPolicy
 from repro.core.classes import ObjectClass
+from repro.errors import StripeLayoutError
 from repro.flash.array import FlashArray
 
 __all__ = ["RedundancyBudget"]
@@ -59,8 +60,9 @@ class RedundancyBudget:
         scheme = self.policy.scheme_for(ObjectClass.HOT_CLEAN)
         try:
             return scheme.storage_multiplier(width) - 1.0
-        except Exception:
+        except StripeLayoutError:
             # Scheme infeasible at this width (e.g. 2-parity on 2 devices).
+            # Anything else — injected faults included — must propagate.
             return float("inf")
 
     def can_afford_hot(self, size: int) -> bool:

@@ -26,10 +26,12 @@ from repro.cache.flusher import DirtyFlusher, FlusherConfig
 from repro.cache.manager import AccessResult, CacheManager
 from repro.cache.policies import make_eviction_policy
 from repro.cache.stats import CacheStats
+from repro.core.health import HealthMonitor, HealthPolicy
 from repro.core.hotness import HotnessTracker
 from repro.core.policy import RedundancyPolicy, reo_policy
 from repro.core.recovery import RecoveryManager
 from repro.core.redundancy import RedundancyBudget
+from repro.core.supervisor import RecoverySupervisor
 from repro.flash.array import FlashArray
 from repro.flash.latency import INTEL_540S_SSD, ServiceTimeModel
 from repro.osd.exofs import format_volume
@@ -61,6 +63,8 @@ class ReoCache:
         self.manager = manager
         self.recovery = recovery
         self.policy = policy
+        #: Optional closed-loop fault handling; see :meth:`enable_supervision`.
+        self.supervisor: "RecoverySupervisor | None" = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -187,6 +191,40 @@ class ReoCache:
             if name is not None:
                 self.manager.drop_lost(name)
         return report
+
+    def enable_supervision(
+        self,
+        health_policy: "Optional[HealthPolicy]" = None,
+        spares: int = 1,
+        scrub_interval: float = 300.0,
+        injector: "object | None" = None,
+    ) -> RecoverySupervisor:
+        """Turn on the closed detect→repair loop.
+
+        Attaches a :class:`~repro.core.health.HealthMonitor` to the array
+        (every finished I/O batch feeds it) and a
+        :class:`~repro.core.supervisor.RecoverySupervisor` that reacts to
+        its verdicts: failing sick devices, swapping spares, starting
+        class-ordered reconstruction, and scheduling prioritized scrubs.
+        The experiment runner polls the supervisor between requests and
+        grants it the idle gaps.
+
+        Args:
+            health_policy: detection thresholds (defaults are conservative).
+            spares: replacement devices available for auto-swap.
+            scrub_interval: simulated seconds between full scrub sweeps.
+            injector: optional :class:`~repro.faults.FaultInjector` whose
+                timed events the supervisor's poll should fire.
+        """
+        monitor = HealthMonitor(self.array, policy=health_policy)
+        self.supervisor = RecoverySupervisor(
+            self,
+            monitor=monitor,
+            injector=injector,
+            spares=spares,
+            scrub_interval=scrub_interval,
+        )
+        return self.supervisor
 
     def fail_and_recover(self, device_id: int) -> None:
         """Convenience: fail, insert a spare, and run recovery to the end."""

@@ -24,7 +24,9 @@ __all__ = [
     "DeviceFullError",
     "ChunkMissingError",
     "ChunkCorruptedError",
+    "TransientIoError",
     "StripeLayoutError",
+    "FaultPlanError",
     "OsdError",
     "WireError",
     "ObjectNotFoundError",
@@ -71,6 +73,19 @@ class ChunkMissingError(FlashError):
 
 class ChunkCorruptedError(FlashError):
     """Raised when a chunk's content fails its checksum (silent corruption)."""
+
+
+class TransientIoError(FlashError):
+    """Raised when a device operation fails transiently.
+
+    The stored chunk is intact; a retry (or a read through peers/parity)
+    succeeds. Injected by :class:`repro.faults.TransientReadError` events and
+    counted by the health monitor as a soft error.
+    """
+
+
+class FaultPlanError(FlashError):
+    """Raised when a fault plan is malformed (bad rates, times, targets)."""
 
 
 class StripeLayoutError(FlashError):

@@ -6,7 +6,8 @@ Usage::
     python -m repro.experiments fig8 fig9       # just those artefacts
     REPRO_PROFILE=smoke python -m repro.experiments --list
 
-Artefact names: fig5, fig6, fig7, fig8, fig9, space-table, ablations.
+Artefact names: fig5, fig6, fig7, fig8, fig9, space-table, ablations,
+fault-campaign (honours ``--seed``), and more — see ``--list``.
 Outputs print to stdout and are saved under ``benchmarks/results/``.
 """
 
@@ -33,6 +34,7 @@ from repro.experiments.concurrency import (
     run_concurrency_sweep,
     run_net_service_sweep,
 )
+from repro.experiments.fault_campaign import run_fault_campaign
 from repro.experiments.recovery_timeline import run_recovery_timeline
 from repro.experiments.warmup import run_warmup_experiment
 from repro.experiments.common import active_profile
@@ -65,6 +67,14 @@ def _net_service_text() -> str:
     return sweep.format()
 
 
+def _fault_campaign_text(seed: "int | None") -> str:
+    """Run the supervised fault campaign and persist its BENCH json."""
+    kwargs = {} if seed is None else {"seed": seed}
+    result = run_fault_campaign(**kwargs)
+    result.write_bench_json()
+    return result.format()
+
+
 ARTEFACTS = {
     "fig5": lambda: run_normal_run_figure(Locality.WEAK).format(),
     "fig6": lambda: run_normal_run_figure(Locality.MEDIUM).format(),
@@ -75,6 +85,9 @@ ARTEFACTS = {
     "recovery-timeline": lambda: run_recovery_timeline().format(),
     "concurrency": lambda: run_concurrency_sweep().format(),
     "net-service": lambda: _net_service_text(),
+    # --seed is honoured; both spellings accepted for convenience.
+    "fault-campaign": lambda seed=None: _fault_campaign_text(seed),
+    "fault_campaign": lambda seed=None: _fault_campaign_text(seed),
     "warmup": lambda: run_warmup_experiment().format(),
     "ablations": _ablations_text,
     "endurance": lambda: (
@@ -99,6 +112,13 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--list", action="store_true", help="list artefact names and exit"
     )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="workload/fault seed for the fault-campaign artefact "
+        "(identical seeds produce byte-identical ledgers)",
+    )
     args = parser.parse_args(argv)
     if args.list:
         for name in ARTEFACTS:
@@ -109,7 +129,10 @@ def main(argv=None) -> int:
     print(f"profile: {profile.name} (REPRO_PROFILE to change)\n")
     for name in chosen:
         started = time.time()
-        text = ARTEFACTS[name]()
+        if name in ("fault-campaign", "fault_campaign"):
+            text = ARTEFACTS[name](args.seed)
+        else:
+            text = ARTEFACTS[name]()
         elapsed = time.time() - started
         print(text)
         print(f"\n[{name}: {elapsed:.1f}s]\n")

@@ -1,0 +1,342 @@
+"""The fault campaign: a composed-fault soak test of the closed repair loop.
+
+The paper's failure experiment (Fig. 8) kills devices at fixed request
+indices and lets recovery run. This campaign is the adversarial complement:
+the medium workload replays under a *composed* declarative fault plan —
+background latent bit-rot the whole time, one device turning fail-slow
+mid-run, and one outright fail-stop later — with nobody scripting the
+repair. Detection, demotion, spare swap, class-ordered rebuild, and
+prioritized scrubbing all happen through the supervised loop
+(:meth:`ReoCache.enable_supervision`), exactly as they would for an
+unscripted production fault.
+
+Two-phase schedule: fault times must land mid-run, but the simulated pace
+of a trace is not known a priori. Phase A replays the first third with only
+latent errors active and measures seconds-per-request; the plan is then
+*extended* (stream-preserving, see :meth:`FaultInjector.extend`) with a
+fail-slow anchored at the observed clock and a fail-stop at a pace-derived
+time inside phase B.
+
+Published artefact: ``benchmarks/results/BENCH_fault_campaign.json`` with
+the durability ledger plus three gated metrics — detection latency,
+time-to-full-redundancy, and degraded-read p99. The campaign *hard-fails*
+(raises) if any object of classes 0-2 is lost: under one-at-a-time device
+faults with spares, Reo's protected classes must ride through.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.health import HealthPolicy
+from repro.core.reo import ReoCache
+from repro.experiments.common import Profile, active_profile, build_experiment_cache
+from repro.faults import FailSlow, FailStop, FaultInjector, FaultPlan, LatentErrors
+from repro.sim.report import format_table
+from repro.sim.runner import ExperimentRunner
+from repro.workload.medisyn import Locality, MediSynConfig, generate_workload
+from repro.workload.trace import Trace
+
+__all__ = ["FaultCampaignResult", "run_fault_campaign"]
+
+BENCH_RESULTS_DIR = (
+    pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+)
+CAMPAIGN_BENCH_NAME = "BENCH_fault_campaign.json"
+
+#: Object classes whose loss fails the campaign (metadata, dirty, hot clean).
+PROTECTED_CLASSES = (0, 1, 2)
+
+
+class CampaignLossError(RuntimeError):
+    """A protected class (0-2) lost data — the loop failed its contract."""
+
+
+@dataclass
+class FaultCampaignResult:
+    """Everything one campaign produced, ready to print or publish."""
+
+    profile_name: str
+    seed: int
+    requests: int
+    injected: Dict[str, int]
+    #: Fault kind → seconds from injection to first monitor reaction.
+    detection_latency_s: Dict[str, float]
+    time_to_full_redundancy_s: float
+    degraded_read_p99_ms: float
+    hit_ratio_percent: float
+    ledger: Dict[str, object]
+    transitions: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def lost_by_class(self) -> Dict[str, int]:
+        return dict(self.ledger.get("lost_by_class", {}))
+
+    @property
+    def protected_losses(self) -> int:
+        return sum(
+            count
+            for class_id, count in self.lost_by_class.items()
+            if int(class_id) in PROTECTED_CLASSES
+        )
+
+    @property
+    def worst_detection_latency_s(self) -> float:
+        return max(self.detection_latency_s.values(), default=0.0)
+
+    def format(self) -> str:
+        rows = [
+            ["requests replayed", f"{self.requests}"],
+            ["hit ratio", f"{self.hit_ratio_percent:.1f} %"],
+            [
+                "injected faults",
+                ", ".join(f"{kind}={count}" for kind, count in self.injected.items()),
+            ],
+        ]
+        for kind, latency in self.detection_latency_s.items():
+            rows.append([f"detection latency ({kind})", f"{latency * 1000:.2f} ms"])
+        rows += [
+            [
+                "time to full redundancy",
+                f"{self.time_to_full_redundancy_s * 1000:.2f} ms",
+            ],
+            ["degraded read p99", f"{self.degraded_read_p99_ms:.3f} ms"],
+            ["objects rebuilt", f"{self.ledger['objects_rebuilt']}"],
+            ["chunks repaired by scrub", f"{self.ledger['chunks_repaired_by_scrub']}"],
+            [
+                "lost by class",
+                json.dumps(self.lost_by_class) if self.lost_by_class else "none",
+            ],
+            [
+                "reduced-redundancy time",
+                f"{float(self.ledger['reduced_redundancy_seconds']) * 1000:.2f} ms",
+            ],
+        ]
+        table = format_table(
+            f"Fault campaign [{self.profile_name}, seed {self.seed}]: "
+            "latent bit-rot + fail-slow + fail-stop under supervised recovery",
+            ["Measure", "Value"],
+            rows,
+        )
+        lines = [
+            f"  {t['device_id']}: {t['old']} -> {t['new']} at "
+            f"{t['at']:.6f}s ({t['reason']})"
+            for t in self.transitions
+        ]
+        return table + "\n health transitions:\n" + "\n".join(lines)
+
+    def to_bench_report(self) -> Dict:
+        """The BENCH_fault_campaign.json shape for ``compare_bench.py``."""
+        return {
+            "schema": 1,
+            "profile": self.profile_name,
+            "seed": self.seed,
+            "requests": self.requests,
+            "injected": dict(self.injected),
+            "protected_losses": self.protected_losses,
+            "ledger": self.ledger,
+            "metrics": {
+                "detection_latency_s": {
+                    "label": "worst fault detection latency (sim s)",
+                    "value": round(self.worst_detection_latency_s, 9),
+                    "higher_is_better": False,
+                },
+                "time_to_full_redundancy_s": {
+                    "label": "detection to restored redundancy (sim s)",
+                    "value": round(self.time_to_full_redundancy_s, 9),
+                    "higher_is_better": False,
+                },
+                "degraded_read_p99_ms": {
+                    "label": "degraded foreground read p99 (ms, rescaled)",
+                    "value": round(self.degraded_read_p99_ms, 6),
+                    "higher_is_better": False,
+                },
+            },
+        }
+
+    def write_bench_json(self, directory: Optional[pathlib.Path] = None) -> pathlib.Path:
+        directory = directory or BENCH_RESULTS_DIR
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / CAMPAIGN_BENCH_NAME
+        path.write_text(
+            json.dumps(self.to_bench_report(), indent=2, sort_keys=True) + "\n"
+        )
+        return path
+
+
+def _campaign_trace(
+    profile: Profile,
+    seed: int,
+    num_objects: Optional[int] = None,
+    num_requests: Optional[int] = None,
+) -> Trace:
+    """The medium workload with a write mix (so the dirty class exists)."""
+    config = MediSynConfig(
+        locality=Locality.MEDIUM,
+        num_objects=num_objects or 4_000,
+        mean_object_size=4.4 * 1000 * 1000,
+        num_requests=num_requests or profile.requests_for(Locality.MEDIUM),
+        write_ratio=0.2,
+        seed=seed,
+        scale=profile.size_scale,
+    )
+    return generate_workload(config)
+
+
+def _sub_trace(trace: Trace, start: int, end: int, label: str) -> Trace:
+    return Trace(
+        name=f"{trace.name}:{label}",
+        catalog=trace.catalog,
+        records=trace.records[start:end],
+        params=dict(trace.params),
+    )
+
+
+def run_fault_campaign(
+    profile: Optional[Profile] = None,
+    seed: int = 20190707,
+    policy_key: str = "Reo-20%",
+    cache_percent: int = 10,
+    uber_rate: float = 0.002,
+    latency_multiplier: float = 8.0,
+    spares: int = 2,
+    num_objects: Optional[int] = None,
+    num_requests: Optional[int] = None,
+) -> FaultCampaignResult:
+    """Run the composed-fault campaign; raises on protected-class loss.
+
+    Args:
+        seed: drives the workload *and* every injected-fault stream —
+            identical seeds produce byte-identical ledgers.
+        uber_rate: per-chunk-read latent bit-rot probability (background
+            noise for the scrubber, far below the demotion threshold).
+        latency_multiplier: the fail-slow device's service-time factor.
+        spares: replacement devices the supervisor may auto-swap.
+        num_objects / num_requests: overrides for small test campaigns.
+    """
+    profile = profile or active_profile()
+    trace = _campaign_trace(profile, seed, num_objects, num_requests)
+    cache = build_experiment_cache(
+        policy_key,
+        int(trace.total_bytes * cache_percent / 100),
+        profile,
+        chunk_size=profile.failure_chunk_size,
+    )
+    plan = FaultPlan(events=(LatentErrors(uber_rate=uber_rate, seed=seed),), seed=seed)
+    injector = FaultInjector(plan).attach(cache.array)
+    supervisor = cache.enable_supervision(
+        # The grace period is wall time in the paper's world; scale it like
+        # the device fixed costs so it expires within a scaled run.
+        health_policy=HealthPolicy(suspect_grace=max(0.02, 10.0 / profile.size_scale)),
+        spares=spares,
+        scrub_interval=_scrub_interval(profile),
+        injector=injector,
+    )
+
+    # Phase A: latent errors only; measures the trace's simulated pace.
+    cut = max(1, len(trace) // 3)
+    phase_a = _sub_trace(trace, 0, cut, "phase-a")
+    started = cache.clock.now
+    result_a = ExperimentRunner(
+        cache,
+        phase_a,
+        recovery_share=profile.recovery_share,
+        prewarm=True,
+    ).run()
+    pace = max((cache.clock.now - started) / max(1, len(phase_a)), 1e-9)
+
+    # Phase B: fail-slow from now; fail-stop of another device ~40% in.
+    phase_b = _sub_trace(trace, cut, len(trace), "phase-b")
+    slow_device = 1
+    stop_device = 3
+    stop_at = cache.clock.now + pace * max(1, len(phase_b)) * 0.4
+    injector.extend(
+        FailSlow(
+            device=slow_device,
+            latency_multiplier=latency_multiplier,
+            from_time=cache.clock.now,
+        ),
+        FailStop(at_time=stop_at, device=stop_device),
+    )
+    fail_slow_from = cache.clock.now
+    result_b = ExperimentRunner(
+        cache,
+        phase_b,
+        recovery_share=profile.recovery_share,
+    ).run()
+
+    # Wind-down: force any unfired stop (pace was an estimate), then drain
+    # all repair work so the ledger closes every incident.
+    if injector.pending_fail_stops:
+        cache.clock.advance_to(
+            max(event.at_time for event in injector.pending_fail_stops)
+        )
+    supervisor.drain()
+
+    ledger = supervisor.ledger.to_dict()
+    losses = {
+        class_id: count
+        for class_id, count in supervisor.ledger.lost_by_class.items()
+        if class_id in PROTECTED_CLASSES and count
+    }
+    if losses:
+        raise CampaignLossError(
+            f"protected classes lost objects: {losses} "
+            f"(seed {seed}, profile {profile.name})"
+        )
+
+    detection: Dict[str, float] = {}
+    slow_latency = supervisor.ledger.detection_latency(fail_slow_from, slow_device)
+    if slow_latency is not None:
+        detection["fail_slow"] = slow_latency
+    stop_latency = supervisor.ledger.detection_latency(stop_at, stop_device)
+    if stop_latency is not None:
+        detection["fail_stop"] = stop_latency
+    redundancy_times = [
+        incident.time_to_full_redundancy()
+        for incident in supervisor.ledger.incidents
+        if incident.time_to_full_redundancy() is not None
+    ]
+    requests = len(phase_a) + len(phase_b)
+    hits_weighted = (
+        result_a.metrics.hit_ratio_percent * len(phase_a)
+        + result_b.metrics.hit_ratio_percent * len(phase_b)
+    ) / max(1, requests)
+    return FaultCampaignResult(
+        profile_name=profile.name,
+        seed=seed,
+        requests=requests,
+        injected={
+            "corruptions": injector.injected_corruptions,
+            "transients": injector.injected_transients,
+            "torn_writes": injector.injected_torn_writes,
+            "fail_slow": 1,
+            "fail_stop": 1,
+        },
+        detection_latency_s=detection,
+        time_to_full_redundancy_s=max(redundancy_times, default=0.0),
+        # Latencies are reported like the paper's: rescaled by the profile.
+        degraded_read_p99_ms=supervisor.monitor.degraded_read_percentile(0.99)
+        * 1000.0
+        * profile.size_scale,
+        hit_ratio_percent=hits_weighted,
+        ledger=ledger,
+        transitions=[
+            {
+                "device_id": t.device_id,
+                "old": t.old,
+                "new": t.new,
+                "at": round(t.at, 9),
+                "reason": t.reason,
+            }
+            for t in supervisor.monitor.transitions
+        ],
+    )
+
+
+def _scrub_interval(profile: Profile) -> float:
+    """A sweep cadence that fires a few times within a scaled run."""
+    return max(0.05, 30.0 / profile.size_scale)

@@ -1,0 +1,32 @@
+"""Declarative fault injection for reliability campaigns.
+
+``repro.faults`` turns failure scenarios into data: a :class:`FaultPlan` is
+a seeded, typed schedule of fault events (fail-stop, latent sector errors,
+transient read errors, fail-slow, torn writes) that a
+:class:`FaultInjector` executes deterministically against a simulated flash
+array, and that :func:`make_net_fault_hook` adapts to the socket service
+layer. See :mod:`repro.faults.plan` for the event catalogue.
+"""
+
+from repro.faults.injector import FaultInjector, make_net_fault_hook
+from repro.faults.plan import (
+    FailSlow,
+    FailStop,
+    FaultEvent,
+    FaultPlan,
+    LatentErrors,
+    TornWrite,
+    TransientReadError,
+)
+
+__all__ = [
+    "FailSlow",
+    "FailStop",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "LatentErrors",
+    "TornWrite",
+    "TransientReadError",
+    "make_net_fault_hook",
+]

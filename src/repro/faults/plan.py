@@ -1,0 +1,211 @@
+"""Declarative fault plans: typed, seeded, reproducible failure schedules.
+
+The paper's evaluation injects exactly one failure shape — an instantaneous
+fail-stop shootdown. Real flash arrays mostly fail *partially*: latent
+sector errors discovered on read, transient I/O errors that succeed on
+retry, fail-slow devices whose service times quietly balloon, and torn
+writes that persist a truncated payload. A :class:`FaultPlan` composes any
+number of these as data, so a whole campaign is one value that can be
+logged, replayed, and driven through every layer:
+
+- the storage layer, via :class:`repro.faults.FaultInjector` hooked into
+  :meth:`repro.flash.device.FlashDevice.read_chunk` / ``write_chunk``;
+- the service layer, via :func:`repro.faults.make_net_fault_hook`, which
+  adapts the same plan to the net server's ``fault_hook``.
+
+Every stochastic decision is drawn from streams derived from
+``(plan seed, event index, device id)``, so two runs with the same seed are
+byte-identical — campaigns are experiments, not anecdotes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple, Union
+
+from repro.errors import FaultPlanError
+
+__all__ = [
+    "FailSlow",
+    "FailStop",
+    "FaultEvent",
+    "FaultPlan",
+    "LatentErrors",
+    "TornWrite",
+    "TransientReadError",
+]
+
+
+@dataclass(frozen=True)
+class FailStop:
+    """Shoot a device down at an absolute simulated time.
+
+    The classic whole-device failure: every resident chunk becomes
+    unreadable at once. Fired by :meth:`FaultInjector.poll` the first time
+    the simulated clock reaches ``at_time``.
+    """
+
+    at_time: float
+    device: int
+
+    def _validate(self) -> None:
+        if self.at_time < 0:
+            raise FaultPlanError("FailStop.at_time must be non-negative")
+        if self.device < 0:
+            raise FaultPlanError("FailStop.device must be a device id")
+
+
+@dataclass(frozen=True)
+class LatentErrors:
+    """Per-read probabilistic bit-rot (latent sector errors).
+
+    Each chunk read flips a stored byte with probability ``uber_rate``
+    (uncorrectable-bit-error-rate analogue), so the device's CRC path
+    catches the damage exactly like real silent corruption: the read raises
+    :class:`~repro.errors.ChunkCorruptedError` and the bad address lands in
+    the device's ``corrupt_chunks`` set for targeted scrubbing.
+
+    Attributes:
+        uber_rate: probability a read trips latent corruption.
+        seed: extra stream discriminator (lets two plans with the same plan
+            seed rot different bytes).
+        devices: restrict to these device ids (all devices if ``None``).
+        from_time: corruption only fires at/after this simulated time.
+        max_events: cap on total corruptions injected (``None`` = unbounded),
+            for bounded property-style tests.
+    """
+
+    uber_rate: float
+    seed: int = 0
+    devices: Optional[Tuple[int, ...]] = None
+    from_time: float = 0.0
+    max_events: Optional[int] = None
+
+    def _validate(self) -> None:
+        if not 0.0 <= self.uber_rate <= 1.0:
+            raise FaultPlanError("LatentErrors.uber_rate must be in [0, 1]")
+        if self.max_events is not None and self.max_events < 0:
+            raise FaultPlanError("LatentErrors.max_events must be non-negative")
+
+
+@dataclass(frozen=True)
+class TransientReadError:
+    """Reads fail with probability ``rate`` but the chunk is intact.
+
+    The device raises :class:`~repro.errors.TransientIoError`; a retry (or a
+    degraded read through peers) succeeds. Models media retries, command
+    timeouts, and link flaps — the soft-error noise floor the health monitor
+    must tolerate below its thresholds and act on above them.
+    """
+
+    rate: float
+    devices: Optional[Tuple[int, ...]] = None
+    from_time: float = 0.0
+
+    def _validate(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise FaultPlanError("TransientReadError.rate must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class FailSlow:
+    """A device whose service times are multiplied from a point in time.
+
+    The fail-slow fault model: the device still answers everything
+    correctly, just ``latency_multiplier`` times slower — invisible to
+    integrity checks, caught only by latency monitoring.
+    """
+
+    device: int
+    latency_multiplier: float
+    from_time: float = 0.0
+
+    def _validate(self) -> None:
+        if self.device < 0:
+            raise FaultPlanError("FailSlow.device must be a device id")
+        if self.latency_multiplier < 1.0:
+            raise FaultPlanError("FailSlow.latency_multiplier must be >= 1")
+
+
+@dataclass(frozen=True)
+class TornWrite:
+    """Writes persist a truncated payload with probability ``rate``.
+
+    The device acknowledges the write (and records the checksum of the
+    *intended* payload) but the stored bytes are cut short — a power-fail
+    torn write. The next read of the chunk trips the CRC.
+    """
+
+    rate: float
+    devices: Optional[Tuple[int, ...]] = None
+    from_time: float = 0.0
+
+    def _validate(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise FaultPlanError("TornWrite.rate must be in [0, 1]")
+
+
+FaultEvent = Union[FailStop, LatentErrors, TransientReadError, FailSlow, TornWrite]
+
+_EVENT_TYPES = (FailStop, LatentErrors, TransientReadError, FailSlow, TornWrite)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, seeded schedule of fault events.
+
+    One plan drives a whole campaign: attach it to an array through a
+    :class:`~repro.faults.FaultInjector` and (optionally) to an
+    :class:`~repro.net.server.OsdServer` through
+    :func:`~repro.faults.make_net_fault_hook`.
+    """
+
+    events: Tuple[FaultEvent, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        events = tuple(self.events)
+        object.__setattr__(self, "events", events)
+        for event in events:
+            if not isinstance(event, _EVENT_TYPES):
+                raise FaultPlanError(
+                    f"unknown fault event type {type(event).__name__!r}"
+                )
+            event._validate()
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def of_type(self, event_type) -> "list[Tuple[int, FaultEvent]]":
+        """``(event_index, event)`` pairs of one event type, in plan order.
+
+        The index is the event's position in the plan; injectors mix it into
+        the RNG stream key so reordering unrelated events never changes an
+        event's private randomness.
+        """
+        return [
+            (index, event)
+            for index, event in enumerate(self.events)
+            if isinstance(event, event_type)
+        ]
+
+    def extended(self, *events: FaultEvent) -> "FaultPlan":
+        """A new plan with ``events`` appended (same seed).
+
+        Appending preserves existing stream keys, so a campaign can stage
+        late faults (e.g. a fail-stop scheduled after a calibration phase)
+        without perturbing the faults already in flight.
+        """
+        return FaultPlan(events=self.events + tuple(events), seed=self.seed)
+
+    def describe(self) -> str:
+        """One line per event, for campaign logs."""
+        if not self.events:
+            return "FaultPlan(empty)"
+        lines = [f"FaultPlan(seed={self.seed}):"]
+        for index, event in enumerate(self.events):
+            lines.append(f"  [{index}] {event!r}")
+        return "\n".join(lines)

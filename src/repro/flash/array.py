@@ -21,10 +21,12 @@ from repro.erasure.rs import RSCodec
 from repro.errors import (
     ChunkCorruptedError,
     DeviceFailedError,
+    ErasureError,
     FlashError,
     ObjectExistsError,
     ObjectNotFoundError,
     StripeLayoutError,
+    TransientIoError,
     UnrecoverableDataError,
 )
 from repro.flash.device import FlashDevice
@@ -40,7 +42,14 @@ from repro.flash.stripe import (
 )
 from repro.sim.clock import SimClock
 
-__all__ = ["ArrayIoResult", "FlashArray", "ObjectExtent", "ObjectHealth", "ScrubReport"]
+__all__ = [
+    "ArrayIoResult",
+    "DeviceIoSample",
+    "FlashArray",
+    "ObjectExtent",
+    "ObjectHealth",
+    "ScrubReport",
+]
 
 ObjectKey = Hashable
 
@@ -57,6 +66,28 @@ class ObjectHealth(enum.Enum):
 
 
 @dataclass
+class DeviceIoSample:
+    """Per-device slice of one array operation (health-monitor food)."""
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    #: Service seconds billed to the device during the operation.
+    seconds: float = 0.0
+    #: Integrity/soft failures the device produced (checksum, transient).
+    errors: int = 0
+
+    def merge(self, other: "DeviceIoSample") -> None:
+        self.reads += other.reads
+        self.writes += other.writes
+        self.bytes_read += other.bytes_read
+        self.bytes_written += other.bytes_written
+        self.seconds += other.seconds
+        self.errors += other.errors
+
+
+@dataclass
 class ArrayIoResult:
     """Outcome of one array operation, in simulated terms."""
 
@@ -67,6 +98,12 @@ class ArrayIoResult:
     bytes_written: int = 0
     #: True when the operation had to decode around missing fragments.
     degraded: bool = False
+    #: Which array entry point produced this result ("read", "write",
+    #: "update", "rebuild", "scrub"); lets the health monitor separate
+    #: foreground degraded reads from repair traffic.
+    op: str = ""
+    #: Per-device observations, keyed by device id.
+    device_io: Dict[int, DeviceIoSample] = field(default_factory=dict)
 
     def merge(self, other: "ArrayIoResult") -> None:
         """Fold another result into this one (sequential composition)."""
@@ -76,6 +113,12 @@ class ArrayIoResult:
         self.bytes_read += other.bytes_read
         self.bytes_written += other.bytes_written
         self.degraded = self.degraded or other.degraded
+        for device_id, sample in other.device_io.items():
+            mine = self.device_io.get(device_id)
+            if mine is None:
+                self.device_io[device_id] = DeviceIoSample(**vars(sample))
+            else:
+                mine.merge(sample)
 
 
 @dataclass
@@ -124,23 +167,39 @@ class _IoBatch:
     ``busy_until`` and returns the critical-path elapsed time.
     """
 
-    def __init__(self, start: float) -> None:
+    def __init__(self, start: float, op: str = "") -> None:
         self._start = start
         self._service: Dict[int, float] = {}
         self._wait: Dict[int, float] = {}
-        self.result = ArrayIoResult()
+        self.result = ArrayIoResult(op=op)
 
     def _begin(self, device: FlashDevice) -> None:
         if device.device_id not in self._wait:
             self._wait[device.device_id] = max(0.0, device.busy_until - self._start)
             self._service[device.device_id] = 0.0
 
+    def _sample(self, device: FlashDevice) -> DeviceIoSample:
+        sample = self.result.device_io.get(device.device_id)
+        if sample is None:
+            sample = DeviceIoSample()
+            self.result.device_io[device.device_id] = sample
+        return sample
+
     def read(self, device: FlashDevice, address: Tuple[int, int]) -> bytes:
         self._begin(device)
-        payload, service_time = device.read_chunk(address)
+        sample = self._sample(device)
+        try:
+            payload, service_time = device.read_chunk(address)
+        except (ChunkCorruptedError, TransientIoError):
+            sample.reads += 1
+            sample.errors += 1
+            raise
         self._service[device.device_id] += service_time
         self.result.chunks_read += 1
         self.result.bytes_read += len(payload)
+        sample.reads += 1
+        sample.bytes_read += len(payload)
+        sample.seconds += service_time
         return payload
 
     def write(self, device: FlashDevice, address: Tuple[int, int], payload: bytes) -> None:
@@ -149,11 +208,16 @@ class _IoBatch:
         self._service[device.device_id] += service_time
         self.result.chunks_written += 1
         self.result.bytes_written += len(payload)
+        sample = self._sample(device)
+        sample.writes += 1
+        sample.bytes_written += len(payload)
+        sample.seconds += service_time
 
     def charge(self, device: FlashDevice, seconds: float) -> None:
         """Bill raw device time (e.g. decode CPU attributed to the reader)."""
         self._begin(device)
         self._service[device.device_id] += seconds
+        self._sample(device).seconds += seconds
 
     def finish(self, devices: Sequence[FlashDevice]) -> ArrayIoResult:
         elapsed = 0.0
@@ -195,6 +259,11 @@ class FlashArray:
         self._logical_bytes = 0
         self._data_bytes = 0
         self._redundancy_bytes = 0
+        #: stripe id -> owning object key (targeted scrub, corruption triage).
+        self._stripe_owners: Dict[int, ObjectKey] = {}
+        #: Optional health monitor (:class:`repro.core.health.HealthMonitor`);
+        #: every finished batch is fed to it as an :class:`ArrayIoResult`.
+        self.health: "object | None" = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -206,11 +275,27 @@ class FlashArray:
 
     @property
     def online_devices(self) -> List[FlashDevice]:
+        """Fully-trusted devices: targets for new chunk placement."""
         return [device for device in self.devices if device.is_online]
 
     @property
     def online_count(self) -> int:
         return len(self.online_devices)
+
+    @property
+    def available_devices(self) -> List[FlashDevice]:
+        """Devices that can serve I/O: ONLINE plus SUSPECT."""
+        return [device for device in self.devices if device.is_available]
+
+    @property
+    def available_count(self) -> int:
+        return len(self.available_devices)
+
+    @property
+    def suspect_devices(self) -> List[FlashDevice]:
+        return [
+            device for device in self.devices if device.is_available and not device.is_online
+        ]
 
     @property
     def capacity_bytes(self) -> int:
@@ -306,7 +391,7 @@ class FlashArray:
         by_id = {device.device_id: device for device in self.devices}
 
         extent = ObjectExtent(key=key, size=len(payload), scheme=scheme)
-        batch = _IoBatch(self.clock.now)
+        batch = _IoBatch(self.clock.now, op="write")
         is_replication = isinstance(scheme, ReplicationScheme)
         data_per_stripe = scheme.data_chunks_per_stripe(width)
         offset = 0
@@ -356,30 +441,47 @@ class FlashArray:
                         replicated=is_replication,
                     )
                 )
-        except Exception:
-            # Roll back: drop the partially written new chunks so the
-            # previous copy (if any) remains the authoritative one.
+        except (FlashError, ErasureError):
+            # Roll back on storage/encoding failures (device full, failed
+            # mid-write, infeasible layout): drop the partially written new
+            # chunks so the previous copy (if any) remains authoritative.
+            # Non-storage exceptions propagate untouched — injected faults
+            # and programming errors must never be silently swallowed here.
             self._discard_chunks(extent)
             raise
         if previous is not None:
             self._discard_chunks(previous)
+            self._unregister_stripes(previous)
             self._logical_bytes -= previous.size
             self._data_bytes -= previous.data_bytes
             self._redundancy_bytes -= previous.redundancy_bytes
         self._objects[key] = extent
+        for stripe in extent.stripes:
+            self._stripe_owners[stripe.stripe_id] = key
         self._logical_bytes += extent.size
         self._data_bytes += extent.data_bytes
         self._redundancy_bytes += extent.redundancy_bytes
-        return batch.finish(self.devices)
+        return self._finish(batch)
 
     def _discard_chunks(self, extent: ObjectExtent) -> None:
-        """Remove an extent's chunks from whichever online devices hold them."""
+        """Remove an extent's chunks from whichever live devices hold them."""
         by_id = {device.device_id: device for device in self.devices}
         for stripe in extent.stripes:
             for chunk in stripe.chunks:
                 device = by_id[chunk.device_id]
                 if device.has_chunk(chunk.address):
                     device.delete_chunk(chunk.address)
+
+    def _unregister_stripes(self, extent: ObjectExtent) -> None:
+        for stripe in extent.stripes:
+            self._stripe_owners.pop(stripe.stripe_id, None)
+
+    def _finish(self, batch: "_IoBatch") -> ArrayIoResult:
+        """Close a batch and feed the observation to the health monitor."""
+        result = batch.finish(self.devices)
+        if self.health is not None:
+            self.health.ingest(result, self.clock.now)
+        return result
 
     # ------------------------------------------------------------------
     # Read path (normal and degraded)
@@ -393,13 +495,36 @@ class FlashArray:
                 redundancy tolerates.
         """
         extent = self.get_extent(key)
-        batch = _IoBatch(self.clock.now)
+        batch = _IoBatch(self.clock.now, op="read")
         by_id = {device.device_id: device for device in self.devices}
         pieces: List[bytes] = []
         for stripe in extent.stripes:
             pieces.append(self._read_stripe(stripe, batch, by_id))
         payload = b"".join(pieces)[: extent.size]
-        return payload, batch.finish(self.devices)
+        return payload, self._finish(batch)
+
+    @staticmethod
+    def _fragment_order(
+        available: Dict[int, ChunkLocation], by_id: Dict[int, FlashDevice]
+    ) -> List[int]:
+        """Fragment indices, trusted fragments first.
+
+        Two demotions: fragments whose address already tripped a checksum
+        (in the device's ``corrupt_chunks``, awaiting scrub) go last — they
+        *will* fail again, and rereading them just feeds error telemetry
+        for damage that is already known. Fragments on SUSPECT devices go
+        behind clean ONLINE ones: a suspect fragment is only pulled when
+        the healthy ones cannot satisfy the stripe. Within a tier, index
+        order keeps data fragments ahead of parity (cheapest path when
+        nothing is wrong).
+        """
+
+        def rank(index: int) -> Tuple[bool, bool, int]:
+            chunk = available[index]
+            device = by_id[chunk.device_id]
+            return (chunk.address in device.corrupt_chunks, not device.is_online, index)
+
+        return sorted(available, key=rank)
 
     def _read_stripe(
         self,
@@ -414,7 +539,7 @@ class FlashArray:
                 available[chunk.fragment_index] = chunk
 
         if stripe.replicated:
-            for index in sorted(available):
+            for index in self._fragment_order(available, by_id):
                 chunk = available[index]
                 payload = self._read_fragment(batch, by_id, chunk)
                 if payload is None:
@@ -429,9 +554,10 @@ class FlashArray:
 
         k = stripe.data_count
         fragments: Dict[int, bytes] = {}
-        # Pull fragments in index order (data first); a checksum failure
-        # drops the fragment and the next survivor takes its place.
-        for index in sorted(available):
+        # Pull fragments trusted-first (data before parity within a tier); a
+        # checksum failure drops the fragment and the next survivor takes
+        # its place.
+        for index in self._fragment_order(available, by_id):
             if len(fragments) == k:
                 break
             payload = self._read_fragment(batch, by_id, available[index])
@@ -459,10 +585,15 @@ class FlashArray:
         by_id: Dict[int, FlashDevice],
         chunk: ChunkLocation,
     ) -> Optional[bytes]:
-        """Read one fragment; silent corruption returns None (read billed)."""
+        """Read one fragment; corruption or a transient fault returns None.
+
+        Either way the error is recorded in the batch's per-device sample
+        (health-monitor food); corruption additionally lands in the
+        device's ``corrupt_chunks`` set for targeted scrubbing.
+        """
         try:
             return batch.read(by_id[chunk.device_id], chunk.address)
-        except ChunkCorruptedError:
+        except (ChunkCorruptedError, TransientIoError):
             return None
 
     # ------------------------------------------------------------------
@@ -494,14 +625,14 @@ class FlashArray:
         if not data:
             return ArrayIoResult()
         by_id = {device.device_id: device for device in self.devices}
-        batch = _IoBatch(self.clock.now)
+        batch = _IoBatch(self.clock.now, op="update")
         position = 0
         for stripe in extent.stripes:
             stripe_end = position + stripe.payload_bytes
             if stripe_end > offset and position < offset + len(data):
                 self._update_stripe(stripe, batch, by_id, position, offset, data)
             position = stripe_end
-        return batch.finish(self.devices)
+        return self._finish(batch)
 
     def _update_stripe(
         self,
@@ -595,6 +726,7 @@ class FlashArray:
                 if device.has_chunk(chunk.address):
                     device.delete_chunk(chunk.address)
         del self._objects[key]
+        self._unregister_stripes(extent)
         self._logical_bytes -= extent.size
         self._data_bytes -= extent.data_bytes
         self._redundancy_bytes -= extent.redundancy_bytes
@@ -695,7 +827,7 @@ class FlashArray:
         """
         extent = self.get_extent(key)
         by_id = {device.device_id: device for device in self.devices}
-        batch = _IoBatch(self.clock.now)
+        batch = _IoBatch(self.clock.now, op="rebuild")
         for stripe in extent.stripes:
             available: Dict[int, ChunkLocation] = {}
             missing: List[ChunkLocation] = []
@@ -709,7 +841,7 @@ class FlashArray:
                 continue
             if stripe.replicated:
                 payload = None
-                for index in sorted(available):
+                for index in self._fragment_order(available, by_id):
                     source = available[index]
                     payload = self._read_fragment(batch, by_id, source)
                     if payload is not None:
@@ -723,7 +855,7 @@ class FlashArray:
                 continue
             k = stripe.data_count
             fragments: Dict[int, bytes] = {}
-            for index in sorted(available):
+            for index in self._fragment_order(available, by_id):
                 if len(fragments) == k:
                     break
                 payload = self._read_fragment(batch, by_id, available[index])
@@ -744,70 +876,118 @@ class FlashArray:
                     chunk.address,
                     rebuilt[chunk.fragment_index].tobytes(),
                 )
-        result = batch.finish(self.devices)
+        result = self._finish(batch)
         result.degraded = True
         return result
 
     # ------------------------------------------------------------------
     # Scrubbing (silent-corruption repair)
     # ------------------------------------------------------------------
-    def scrub(self) -> "ScrubReport":
-        """Walk every stored chunk, verify checksums, repair what failed.
+    def scrub(self, keys: Optional[Iterable[ObjectKey]] = None) -> "ScrubReport":
+        """Verify checksums and repair silent corruption in place.
 
-        Corrupted fragments are regenerated from the healthy fragments of
-        their stripe (replica copy or Reed-Solomon reconstruction) and
-        rewritten in place. Objects whose stripes have too few healthy
-        fragments are reported as unrecoverable and left untouched (the
-        cache layer purges them on access).
+        Walks every stored chunk of the given ``keys`` (default: every
+        object — a full sweep). Corrupted fragments are regenerated from the
+        healthy fragments of their stripe (replica copy or Reed-Solomon
+        reconstruction) and rewritten in place. Objects whose stripes have
+        too few healthy fragments are reported as unrecoverable and left
+        untouched (the cache layer purges them on access).
+
+        Passing ``keys`` makes incremental, prioritized scrubbing possible:
+        the scrub scheduler feeds class-ordered batches (and jumps objects
+        with recorded corrupt chunks to the front) so a sweep can run in
+        idle gaps instead of monopolizing the array.
         """
         report = ScrubReport()
         by_id = {device.device_id: device for device in self.devices}
-        batch = _IoBatch(self.clock.now)
-        for key, extent in list(self._objects.items()):
-            report.objects_checked += 1
-            object_ok = True
-            for stripe in extent.stripes:
-                good: Dict[int, bytes] = {}
-                bad: List[ChunkLocation] = []
-                for chunk in stripe.chunks:
-                    device = by_id[chunk.device_id]
-                    if not device.has_chunk(chunk.address):
-                        continue
-                    report.chunks_checked += 1
-                    payload = self._read_fragment(batch, by_id, chunk)
-                    if payload is None:
-                        bad.append(chunk)
-                    else:
-                        good[chunk.fragment_index] = payload
-                if not bad:
+        batch = _IoBatch(self.clock.now, op="scrub")
+        if keys is None:
+            targets = list(self._objects.items())
+        else:
+            targets = [
+                (key, self._objects[key]) for key in keys if key in self._objects
+            ]
+        for key, extent in targets:
+            self._scrub_extent(key, extent, batch, by_id, report)
+        report.io = self._finish(batch)
+        return report
+
+    def scrub_object(self, key: ObjectKey) -> "ScrubReport":
+        """Scrub a single object (see :meth:`scrub`)."""
+        return self.scrub([key])
+
+    def _scrub_extent(
+        self,
+        key: ObjectKey,
+        extent: ObjectExtent,
+        batch: _IoBatch,
+        by_id: Dict[int, FlashDevice],
+        report: "ScrubReport",
+    ) -> None:
+        report.objects_checked += 1
+        object_ok = True
+        for stripe in extent.stripes:
+            good: Dict[int, bytes] = {}
+            bad: List[ChunkLocation] = []
+            for chunk in stripe.chunks:
+                device = by_id[chunk.device_id]
+                if not device.has_chunk(chunk.address):
                     continue
-                if stripe.replicated:
-                    if not good:
-                        object_ok = False
-                        continue
-                    replacement = next(iter(good.values()))
-                    for chunk in bad:
-                        batch.write(by_id[chunk.device_id], chunk.address, replacement)
-                        report.chunks_repaired += 1
-                    continue
-                k = stripe.data_count
-                if len(good) < k:
+                report.chunks_checked += 1
+                payload = self._read_fragment(batch, by_id, chunk)
+                if payload is None:
+                    bad.append(chunk)
+                else:
+                    good[chunk.fragment_index] = payload
+            if not bad:
+                continue
+            if stripe.replicated:
+                if not good:
                     object_ok = False
                     continue
-                codec = self._codec(k, stripe.parity_count)
-                rebuilt = codec.reconstruct(
-                    dict(list(good.items())[:k]),
-                    [chunk.fragment_index for chunk in bad],
-                )
+                replacement = next(iter(good.values()))
                 for chunk in bad:
-                    batch.write(
-                        by_id[chunk.device_id], chunk.address, rebuilt[chunk.fragment_index]
-                    )
+                    batch.write(by_id[chunk.device_id], chunk.address, replacement)
                     report.chunks_repaired += 1
-            if not object_ok:
-                report.unrecoverable_objects.append(key)
-        report.io = batch.finish(self.devices)
-        return report
+                continue
+            k = stripe.data_count
+            if len(good) < k:
+                object_ok = False
+                continue
+            codec = self._codec(k, stripe.parity_count)
+            rebuilt = codec.reconstruct(
+                dict(list(good.items())[:k]),
+                [chunk.fragment_index for chunk in bad],
+            )
+            for chunk in bad:
+                batch.write(
+                    by_id[chunk.device_id], chunk.address, rebuilt[chunk.fragment_index]
+                )
+                report.chunks_repaired += 1
+        if not object_ok:
+            report.unrecoverable_objects.append(key)
+
+    def owner_of_stripe(self, stripe_id: int) -> Optional[ObjectKey]:
+        """The object a stripe belongs to, or None for a retired stripe."""
+        return self._stripe_owners.get(stripe_id)
+
+    def corrupt_object_keys(self) -> List[ObjectKey]:
+        """Owners of every chunk currently flagged corrupt on some device.
+
+        Fed by the devices' ``corrupt_chunks`` sets (recorded on checksum
+        mismatch), this is the targeted-scrub worklist: repair exactly what
+        reads have tripped over, without a full sweep. Deterministic order
+        (device id, then address) so campaigns replay identically.
+        """
+        keys: List[ObjectKey] = []
+        seen = set()
+        for device in self.devices:
+            for address in sorted(device.corrupt_chunks):
+                key = self._stripe_owners.get(address[0])
+                if key is not None and key not in seen:
+                    seen.add(key)
+                    keys.append(key)
+        return keys
 
     def restripe_object(self, key: ObjectKey, scheme: Optional[RedundancyScheme] = None) -> ArrayIoResult:
         """Re-lay an object across the *currently online* devices.

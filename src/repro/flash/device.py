@@ -17,7 +17,7 @@ from __future__ import annotations
 import enum
 import zlib
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Set, Tuple
 
 from repro.errors import (
     ChunkCorruptedError,
@@ -37,6 +37,9 @@ class DeviceState(enum.Enum):
     """Lifecycle state of a simulated device."""
 
     ONLINE = "online"
+    #: Demoted by the health monitor: still serves I/O, but placement stops
+    #: putting new chunks here and reads prefer peers/parity.
+    SUSPECT = "suspect"
     FAILED = "failed"
 
 
@@ -62,6 +65,14 @@ class DeviceStats:
         self.bytes_written = 0
         # wear counters survive a stats reset on purpose: wear is physical.
 
+    def wear(self) -> Tuple[int, int]:
+        """The physical wear counters, ``(programs, erases)``.
+
+        These survive :meth:`reset`: resetting I/O accounting between
+        experiment phases must not forget how worn the flash is.
+        """
+        return (self.programs, self.erases)
+
 
 @dataclass
 class FlashDevice:
@@ -85,6 +96,9 @@ class FlashDevice:
     #: Optional flash-translation-layer accounting (GC, wear, write
     #: amplification); attach a :class:`~repro.flash.ftl.PageMappedFtl`.
     ftl: "object | None" = None
+    #: Optional fault injector (:class:`repro.faults.FaultInjector`); the
+    #: read/write paths call back into it when set.
+    fault_injector: "object | None" = None
 
     def __post_init__(self) -> None:
         if self.capacity_bytes <= 0:
@@ -94,6 +108,10 @@ class FlashDevice:
         #: defence against silent (bit-rot) corruption.
         self._checksums: Dict[ChunkAddress, int] = {}
         self._used = 0
+        #: Addresses whose last read failed its checksum, still unrepaired.
+        #: Lets the health monitor and the scrub scheduler target the damage
+        #: without a full sweep; a successful rewrite clears the entry.
+        self.corrupt_chunks: Set[ChunkAddress] = set()
 
     # ------------------------------------------------------------------
     # Capacity
@@ -113,14 +131,23 @@ class FlashDevice:
 
     @property
     def is_online(self) -> bool:
+        """True only for fully-trusted ONLINE devices (placement eligibility)."""
         return self.state is DeviceState.ONLINE
+
+    @property
+    def is_available(self) -> bool:
+        """True when the device can serve I/O (ONLINE or SUSPECT)."""
+        return self.state is not DeviceState.FAILED
 
     # ------------------------------------------------------------------
     # I/O — each call returns the simulated service time in seconds.
     # ------------------------------------------------------------------
     def write_chunk(self, address: ChunkAddress, payload: bytes) -> float:
         """Store (or overwrite) a chunk; returns the simulated service time."""
-        self._check_online()
+        self._check_serviceable()
+        if self.fault_injector is not None:
+            self.fault_injector.on_write(self, address)
+            self._check_serviceable()
         previous = self._chunks.get(address)
         new_used = self._used - (len(previous) if previous is not None else 0) + len(payload)
         if new_used > self.capacity_bytes:
@@ -137,16 +164,36 @@ class FlashDevice:
         self._chunks[address] = bytes(payload)
         self._checksums[address] = zlib.crc32(payload)
         self._used = new_used
+        self.corrupt_chunks.discard(address)
         if self.ftl is not None:
             self.ftl.write_extent(address, len(payload))
         self.stats.writes += 1
         self.stats.programs += 1
         self.stats.bytes_written += len(payload)
-        return self.model.write_time(len(payload))
+        if self.fault_injector is not None:
+            # Torn-write injection mutates the just-programmed bytes.
+            self.fault_injector.after_write(self, address)
+        service = self.model.write_time(len(payload))
+        if self.fault_injector is not None:
+            service = self.fault_injector.scale_time(self, service)
+        return service
 
     def read_chunk(self, address: ChunkAddress) -> Tuple[bytes, float]:
-        """Fetch a chunk; returns ``(payload, simulated service time)``."""
-        self._check_online()
+        """Fetch a chunk; returns ``(payload, simulated service time)``.
+
+        Raises:
+            ChunkMissingError: no chunk at the address.
+            ChunkCorruptedError: the stored bytes fail their program-time
+                checksum; the address is remembered in :attr:`corrupt_chunks`
+                until a rewrite repairs it.
+            TransientIoError: injected soft failure; the chunk is intact.
+        """
+        self._check_serviceable()
+        if self.fault_injector is not None:
+            # May raise TransientIoError, rot the stored bytes (caught by
+            # the CRC check below), or fire a due fail-stop on any device.
+            self.fault_injector.on_read(self, address)
+            self._check_serviceable()
         try:
             payload = self._chunks[address]
         except KeyError:
@@ -156,15 +203,19 @@ class FlashDevice:
         self.stats.reads += 1
         self.stats.bytes_read += len(payload)
         if zlib.crc32(payload) != self._checksums[address]:
+            self.corrupt_chunks.add(address)
             raise ChunkCorruptedError(
                 f"device {self.device_id}: checksum mismatch at {address}"
             )
-        return payload, self.model.read_time(len(payload))
+        service = self.model.read_time(len(payload))
+        if self.fault_injector is not None:
+            service = self.fault_injector.scale_time(self, service)
+        return payload, service
 
     def delete_chunk(self, address: ChunkAddress) -> None:
         """Drop a chunk. Deleting a missing chunk raises; deletes are metadata
         operations and are billed no simulated time (TRIM is asynchronous)."""
-        self._check_online()
+        self._check_serviceable()
         try:
             payload = self._chunks.pop(address)
         except KeyError:
@@ -172,6 +223,7 @@ class FlashDevice:
                 f"device {self.device_id}: no chunk at {address}"
             ) from None
         self._checksums.pop(address, None)
+        self.corrupt_chunks.discard(address)
         self._used -= len(payload)
         self.stats.deletes += 1
         self.stats.erases += 1
@@ -179,8 +231,23 @@ class FlashDevice:
             self.ftl.trim_extent(address, len(payload))
 
     def has_chunk(self, address: ChunkAddress) -> bool:
-        """True if the chunk is present *and* the device is online."""
-        return self.is_online and address in self._chunks
+        """True if the chunk is present *and* the device can serve it."""
+        return self.is_available and address in self._chunks
+
+    def verify_chunk(self, address: ChunkAddress) -> bool:
+        """Recompute a stored chunk's checksum without billing an I/O.
+
+        Metadata-only integrity probe used by targeted scrubbing and tests;
+        returns False for corrupt bytes, raises for a missing chunk.
+        """
+        self._check_serviceable()
+        try:
+            payload = self._chunks[address]
+        except KeyError:
+            raise ChunkMissingError(
+                f"device {self.device_id}: no chunk at {address}"
+            ) from None
+        return zlib.crc32(payload) == self._checksums[address]
 
     # ------------------------------------------------------------------
     # Failure lifecycle
@@ -189,27 +256,72 @@ class FlashDevice:
         """Shoot the device down: all resident chunks become unreadable."""
         self.state = DeviceState.FAILED
 
+    def suspect(self) -> None:
+        """Demote an ONLINE device to SUSPECT (health-monitor verdict)."""
+        if self.state is DeviceState.ONLINE:
+            self.state = DeviceState.SUSPECT
+
     def corrupt_chunk(self, address: ChunkAddress) -> None:
         """Fault injection: flip bits in a stored chunk (silent corruption).
 
         The chunk stays present and readable-looking; the next read trips
         the checksum and raises :class:`ChunkCorruptedError`.
         """
-        self._check_online()
+        self.corrupt_stored(address, offset=0, flip=0xFF)
+
+    def corrupt_stored(self, address: ChunkAddress, offset: int, flip: int) -> bool:
+        """XOR ``flip`` into stored byte ``offset % len`` (latent bit-rot).
+
+        Returns True when bytes actually changed (empty chunks and a zero
+        ``flip`` cannot rot). The program-time checksum is left untouched,
+        so the next read raises :class:`ChunkCorruptedError`.
+        """
+        self._check_serviceable()
         try:
             payload = bytearray(self._chunks[address])
         except KeyError:
             raise ChunkMissingError(
                 f"device {self.device_id}: no chunk at {address}"
             ) from None
-        if payload:
-            payload[0] ^= 0xFF
+        if not payload or not flip & 0xFF:
+            return False
+        payload[offset % len(payload)] ^= flip & 0xFF
         self._chunks[address] = bytes(payload)
+        return True
+
+    def tear_stored(self, address: ChunkAddress, keep_fraction: float) -> bool:
+        """Truncate a stored chunk to a prefix (torn-write injection).
+
+        The recorded checksum still describes the *intended* payload, so the
+        next read trips the CRC — the acknowledged-but-not-durable outcome
+        of a power-fail torn write. A fraction that would keep every byte
+        flips the final byte instead so the write is still detectably torn.
+        Returns True when the stored bytes changed.
+        """
+        self._check_serviceable()
+        try:
+            payload = self._chunks[address]
+        except KeyError:
+            raise ChunkMissingError(
+                f"device {self.device_id}: no chunk at {address}"
+            ) from None
+        if not payload:
+            return False
+        keep = min(len(payload) - 1, int(len(payload) * keep_fraction))
+        if keep < 0:
+            keep = 0
+        torn = payload[:keep] if keep else b""
+        if keep == len(payload) - 1:
+            torn = payload[:-1] + bytes([payload[-1] ^ 0xFF])
+        self._chunks[address] = torn
+        self._used -= len(payload) - len(torn)
+        return True
 
     def replace(self) -> None:
         """Swap in a fresh spare at this slot: empty, online, zero queue."""
         self._chunks.clear()
         self._checksums.clear()
+        self.corrupt_chunks.clear()
         self._used = 0
         self.state = DeviceState.ONLINE
         self.generation += 1
@@ -218,8 +330,8 @@ class FlashDevice:
             # The spare arrives with a pristine FTL of the same geometry.
             self.ftl = type(self.ftl)(self.ftl.config)
 
-    def _check_online(self) -> None:
-        if not self.is_online:
+    def _check_serviceable(self) -> None:
+        if not self.is_available:
             raise DeviceFailedError(self.device_id)
 
     def __repr__(self) -> str:

@@ -63,6 +63,23 @@ class ServiceTimeModel:
             write_bandwidth=min(self.write_bandwidth, other.write_bandwidth),
         )
 
+    def scaled(self, multiplier: float) -> "ServiceTimeModel":
+        """This model slowed down uniformly by ``multiplier``.
+
+        Overheads grow and bandwidths shrink by the same factor, so every
+        operation takes ``multiplier`` times longer regardless of size — the
+        service-time shape of a fail-slow device
+        (:class:`repro.faults.FailSlow`).
+        """
+        if multiplier <= 0:
+            raise ValueError("slowdown multiplier must be positive")
+        return ServiceTimeModel(
+            read_overhead=self.read_overhead * multiplier,
+            write_overhead=self.write_overhead * multiplier,
+            read_bandwidth=self.read_bandwidth / multiplier,
+            write_bandwidth=self.write_bandwidth / multiplier,
+        )
+
 
 #: SATA SSD comparable to the testbed's Intel 540s (560/480 MB/s seq, ~80 us op).
 INTEL_540S_SSD = ServiceTimeModel(

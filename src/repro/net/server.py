@@ -99,7 +99,17 @@ class OsdServer:
         max_pdu_bytes: int = wire.MAX_PDU_BYTES,
         drain_timeout: float = 5.0,
         fault_hook: Optional[FaultHook] = None,
+        fault_plan: "object | None" = None,
     ) -> None:
+        """
+        Args:
+            fault_hook: explicit chaos hook (see :data:`FaultHook`).
+            fault_plan: a :class:`repro.faults.FaultPlan` to derive the hook
+                from when no explicit one is given — the same declarative
+                plan that drives the simulated array maps onto wire-level
+                faults (torn writes → dropped acks, transient read errors →
+                timeouts, fail-slow → delayed responses).
+        """
         self.target = target
         self.host = host
         self.port = port
@@ -107,6 +117,10 @@ class OsdServer:
         self.max_total_in_flight = max_total_in_flight
         self.max_pdu_bytes = max_pdu_bytes
         self.drain_timeout = drain_timeout
+        if fault_hook is None and fault_plan is not None:
+            from repro.faults import make_net_fault_hook
+
+            fault_hook = make_net_fault_hook(fault_plan)
         self.fault_hook = fault_hook
         self.stats = ServiceStats()
         self._server: Optional[asyncio.AbstractServer] = None

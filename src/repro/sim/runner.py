@@ -166,6 +166,7 @@ class ExperimentRunner:
         # device/backend busy_until queues.
         client_free = [clock.now] * self.concurrency
         heapq.heapify(client_free)
+        supervisor = cache.supervisor
         for index, record in enumerate(self.trace):
             while (
                 failure_cursor < failure_count
@@ -176,6 +177,11 @@ class ExperimentRunner:
             if index == warmup_cutoff and warmup_cutoff > 0:
                 cache.stats.reset()
                 self.recorder.reset()
+            if supervisor is not None:
+                # Fire due injected faults and let the monitor observe state
+                # changes before the request is issued, so detection latency
+                # is bounded by the request interarrival, not by luck.
+                supervisor.poll(clock.now)
             issue_time = heapq.heappop(client_free)
             clock.advance_to(issue_time)
             if record.is_write:
@@ -193,11 +199,17 @@ class ExperimentRunner:
             heapq.heappush(client_free, completion)
             if self.concurrency == 1:
                 clock.advance_to(completion)
-            if cache.recovery.active and self.recovery_share > 0:
+            if self.recovery_share > 0:
                 slice_seconds = result.latency * self.recovery_share / (
                     1.0 - self.recovery_share
                 )
-                cache.recovery.run_until(clock.now + slice_seconds)
+                if supervisor is not None:
+                    # The supervisor spends the slice on reconstruction
+                    # first, then on prioritized scrubbing.
+                    if supervisor.has_background_work:
+                        supervisor.run_until(clock.now + slice_seconds)
+                elif cache.recovery.active:
+                    cache.recovery.run_until(clock.now + slice_seconds)
         # Drain: the run ends when the last client finishes.
         if client_free:
             clock.advance_to(max(client_free))

@@ -134,3 +134,105 @@ class TestStats:
         assert device.stats.writes == 0
         assert device.stats.programs == 2
         assert device.stats.erases == 1
+
+    def test_wear_accessor_matches_counters(self):
+        device = make_device()
+        device.write_chunk((0, 0), b"abc")
+        device.write_chunk((0, 0), b"def")  # overwrite = program + erase
+        device.delete_chunk((0, 0))
+        assert device.stats.wear() == (device.stats.programs, device.stats.erases)
+        assert device.stats.wear() == (2, 2)
+        device.stats.reset()
+        assert device.stats.wear() == (2, 2)  # wear is physical, not bookkeeping
+
+
+class TestSuspectState:
+    def test_suspect_still_serves_io(self):
+        device = make_device()
+        device.write_chunk((0, 0), b"abc")
+        device.suspect()
+        assert device.state is DeviceState.SUSPECT
+        assert not device.is_online
+        assert device.is_available
+        assert device.read_chunk((0, 0))[0] == b"abc"
+        assert device.has_chunk((0, 0))
+
+    def test_suspect_only_demotes_online(self):
+        device = make_device()
+        device.fail()
+        device.suspect()
+        assert device.state is DeviceState.FAILED
+
+
+class TestCorruptionTracking:
+    def test_crc_mismatch_records_address(self):
+        from repro.errors import ChunkCorruptedError
+
+        device = make_device()
+        device.write_chunk((0, 0), b"abcd")
+        device.corrupt_chunk((0, 0))
+        assert not device.verify_chunk((0, 0))
+        with pytest.raises(ChunkCorruptedError):
+            device.read_chunk((0, 0))
+        assert (0, 0) in device.corrupt_chunks
+
+    def test_rewrite_clears_corrupt_mark(self):
+        from repro.errors import ChunkCorruptedError
+
+        device = make_device()
+        device.write_chunk((0, 0), b"abcd")
+        device.corrupt_chunk((0, 0))
+        with pytest.raises(ChunkCorruptedError):
+            device.read_chunk((0, 0))
+        device.write_chunk((0, 0), b"fresh")
+        assert (0, 0) not in device.corrupt_chunks
+        assert device.read_chunk((0, 0))[0] == b"fresh"
+
+    def test_delete_clears_corrupt_mark(self):
+        from repro.errors import ChunkCorruptedError
+
+        device = make_device()
+        device.write_chunk((0, 0), b"abcd")
+        device.corrupt_chunk((0, 0))
+        with pytest.raises(ChunkCorruptedError):
+            device.read_chunk((0, 0))
+        device.delete_chunk((0, 0))
+        assert (0, 0) not in device.corrupt_chunks
+
+    def test_replace_clears_corrupt_marks(self):
+        from repro.errors import ChunkCorruptedError
+
+        device = make_device()
+        device.write_chunk((0, 0), b"abcd")
+        device.corrupt_chunk((0, 0))
+        with pytest.raises(ChunkCorruptedError):
+            device.read_chunk((0, 0))
+        device.fail()
+        device.replace()
+        assert device.corrupt_chunks == set()
+
+    def test_corrupt_stored_cannot_rot_empty_or_zero_flip(self):
+        device = make_device()
+        device.write_chunk((0, 0), b"")
+        device.write_chunk((0, 1), b"abcd")
+        assert not device.corrupt_stored((0, 0), offset=0, flip=0xFF)
+        assert not device.corrupt_stored((0, 1), offset=0, flip=0)
+        assert device.verify_chunk((0, 1))
+
+    def test_tear_stored_truncates_and_reaccounts(self):
+        from repro.errors import ChunkCorruptedError
+
+        device = make_device()
+        device.write_chunk((0, 0), b"abcdefgh")
+        used_before = device.used_bytes
+        assert device.tear_stored((0, 0), keep_fraction=0.5)
+        assert device.used_bytes == used_before - 4
+        with pytest.raises(ChunkCorruptedError):
+            device.read_chunk((0, 0))
+
+    def test_tear_stored_always_detectable(self):
+        # A keep fraction of ~1.0 must still damage the chunk.
+        device = make_device()
+        device.write_chunk((0, 0), b"abcd")
+        assert device.tear_stored((0, 0), keep_fraction=1.0)
+        assert not device.verify_chunk((0, 0))
