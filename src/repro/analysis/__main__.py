@@ -1,0 +1,107 @@
+"""CLI for the invariant linter: ``python -m repro.analysis``.
+
+Exit codes: 0 = clean (all findings baselined or none), 1 = new findings
+(or stale baseline entries), 2 = usage error (bad path, bad baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.engine import (
+    BaselineError,
+    analyze_paths,
+    load_baseline,
+    render_json,
+    render_text,
+    write_baseline,
+)
+from repro.analysis.rules import default_rules
+
+#: Baseline location probed when ``--baseline`` is not given.
+DEFAULT_BASELINE = Path("tools/analysis-baseline.json")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST-based invariant linter for the repro codebase",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to check (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (json output is byte-stable across runs)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=f"baseline file of grandfathered findings (default: "
+        f"{DEFAULT_BASELINE} when present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rule ids and exit"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    rules = default_rules()
+    if args.list_rules:
+        for rule in rules:
+            scope = ", ".join(rule.scope) if rule.scope else "repo-wide"
+            print(f"{rule.rule_id}  [{scope}]\n    {rule.description}")
+        return 0
+
+    paths = args.paths or [Path("src/repro")]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path: {', '.join(map(str, missing))}", file=sys.stderr)
+        return 2
+
+    baseline_path = args.baseline or DEFAULT_BASELINE
+    baseline = None
+    if not args.no_baseline and not args.write_baseline and baseline_path.exists():
+        try:
+            baseline = load_baseline(baseline_path)
+        except BaselineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    report = analyze_paths(paths, rules, root=Path.cwd(), baseline=baseline)
+
+    if args.write_baseline:
+        write_baseline(report.findings, baseline_path)
+        print(
+            f"wrote {len(report.findings)} finding(s) to {baseline_path}",
+            file=sys.stderr,
+        )
+        return 0
+
+    print(render_json(report) if args.format == "json" else render_text(report))
+    return 0 if report.clean and not report.stale_baseline else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

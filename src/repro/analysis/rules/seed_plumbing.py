@@ -1,0 +1,84 @@
+"""Seed-plumbing rule: RNG state enters faults/ and sim/ explicitly.
+
+A ``seed=None`` default that falls through to ``random.Random(None)`` is
+the quietest way to lose reproducibility: every call site that forgets
+the argument silently runs on ambient entropy, and nothing fails until a
+fault campaign stops being byte-identical across runs. The fault and
+simulation layers therefore hold a stricter line than the rest of the
+repo: any *public* function or constructor under ``repro.faults`` or
+``repro.sim`` that takes RNG state (a parameter named ``seed``, ``rng``,
+or ``random_state``) must either require it or default it to a concrete
+value — never to ``None``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.engine import Finding, Rule, RuleVisitor
+
+__all__ = ["SeedPlumbingRule"]
+
+_RNG_PARAM_NAMES = {"seed", "rng", "random_state"}
+
+
+class SeedPlumbingRule(Rule):
+    rule_id = "seed-plumbing"
+    description = (
+        "public constructors/functions in faults/ and sim/ must take an "
+        "explicit seed or RNG; a None default means ambient entropy"
+    )
+    scope = ("repro.faults", "repro.sim")
+
+    def check(self, module: str, tree: ast.Module, path: str) -> List[Finding]:
+        visitor = _SeedVisitor(self, module, path)
+        visitor.visit(tree)
+        return visitor.findings
+
+
+class _SeedVisitor(RuleVisitor):
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_signature(node)
+        super().visit_FunctionDef(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_signature(node)
+        super().visit_AsyncFunctionDef(node)
+
+    def _check_signature(self, node: "ast.FunctionDef | ast.AsyncFunctionDef") -> None:
+        if not self._is_public(node.name):
+            return
+        args = node.args
+        # Positional/keyword args pair with the *tail* of the defaults list.
+        positional = args.posonlyargs + args.args
+        for arg, default in zip(positional[len(positional) - len(args.defaults) :],
+                                args.defaults):
+            self._check_param(node, arg, default)
+        for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+            if default is not None:
+                self._check_param(node, arg, default)
+
+    def _check_param(
+        self,
+        func: "ast.FunctionDef | ast.AsyncFunctionDef",
+        arg: ast.arg,
+        default: ast.expr,
+    ) -> None:
+        if arg.arg not in _RNG_PARAM_NAMES:
+            return
+        if isinstance(default, ast.Constant) and default.value is None:
+            self.report(
+                arg,
+                f"parameter {arg.arg!r} of {func.name}() defaults to None "
+                "(ambient entropy); require it or default to a concrete seed",
+            )
+
+    def _is_public(self, name: str) -> bool:
+        """Public = not underscore-private; ``__init__`` counts as public
+        when every enclosing class/function is public."""
+        if name.startswith("_") and name != "__init__":
+            return False
+        return all(
+            not part.startswith("_") for part in self._symbols if part != "__init__"
+        )

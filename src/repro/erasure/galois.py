@@ -23,9 +23,10 @@ before/after benchmarks.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import ClassVar, List, Sequence, Union
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.errors import ErasureError
 
@@ -36,7 +37,7 @@ _FIELD_SIZE = 256
 _GENERATOR = 2
 
 
-def _build_tables() -> "tuple[np.ndarray, np.ndarray]":
+def _build_tables() -> "tuple[npt.NDArray[np.uint8], npt.NDArray[np.int32]]":
     """Build the antilog (exp) and log tables for the field.
 
     ``exp`` has 512 entries so products of two logs (max 254 + 254) can be
@@ -57,7 +58,9 @@ def _build_tables() -> "tuple[np.ndarray, np.ndarray]":
     return exp, log
 
 
-def _build_mul_table(exp: np.ndarray, log: np.ndarray) -> np.ndarray:
+def _build_mul_table(
+    exp: npt.NDArray[np.uint8], log: npt.NDArray[np.int32]
+) -> npt.NDArray[np.uint8]:
     """The full 256x256 product table: ``table[a, b] == a * b`` in GF(256).
 
     64 KiB of uint8 — small enough to live in L2 — built once from the
@@ -78,9 +81,11 @@ class GF256:
     """
 
     #: Number of elements in the field.
-    order = _FIELD_SIZE
+    order: ClassVar[int] = _FIELD_SIZE
     #: The primitive polynomial, for documentation and interoperability.
-    primitive_poly = _PRIMITIVE_POLY
+    primitive_poly: ClassVar[int] = _PRIMITIVE_POLY
+    #: Shared default instance, assigned once at module import.
+    default: ClassVar["GF256"]
 
     def __init__(self) -> None:
         self._exp, self._log = _build_tables()
@@ -93,17 +98,17 @@ class GF256:
         ]
 
     @property
-    def mul_table(self) -> np.ndarray:
+    def mul_table(self) -> npt.NDArray[np.uint8]:
         """The read-only 256x256 full product table (row = left factor)."""
         return self._mul_table
 
     @property
-    def exp_table(self) -> np.ndarray:
+    def exp_table(self) -> npt.NDArray[np.uint8]:
         """The 512-entry antilog table (read by the reference kernel)."""
         return self._exp
 
     @property
-    def log_table(self) -> np.ndarray:
+    def log_table(self) -> npt.NDArray[np.int32]:
         """The discrete-log table (read by the reference kernel)."""
         return self._log
 
@@ -157,11 +162,15 @@ class GF256:
     # Vectorised arithmetic on uint8 arrays
     # ------------------------------------------------------------------
     @staticmethod
-    def add_bytes(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    def add_bytes(
+        a: npt.NDArray[np.uint8], b: npt.NDArray[np.uint8]
+    ) -> npt.NDArray[np.uint8]:
         """Element-wise field addition of two uint8 arrays."""
         return np.bitwise_xor(a, b)
 
-    def mul_bytes(self, scalar: int, data: np.ndarray) -> np.ndarray:
+    def mul_bytes(
+        self, scalar: int, data: npt.NDArray[np.uint8]
+    ) -> npt.NDArray[np.uint8]:
         """Multiply every element of ``data`` by the field scalar ``scalar``.
 
         One ``bytes.translate`` pass through the scalar's product-table row
@@ -177,7 +186,12 @@ class GF256:
         translated = bytearray(data.tobytes().translate(self._row_bytes[scalar]))
         return np.frombuffer(translated, dtype=np.uint8).reshape(data.shape)
 
-    def addmul_bytes(self, accumulator: np.ndarray, scalar: int, data: np.ndarray) -> None:
+    def addmul_bytes(
+        self,
+        accumulator: npt.NDArray[np.uint8],
+        scalar: int,
+        data: npt.NDArray[np.uint8],
+    ) -> None:
         """In-place ``accumulator ^= scalar * data`` — the codec's hot loop."""
         if scalar == 0:
             return
@@ -190,8 +204,10 @@ class GF256:
         np.bitwise_xor(accumulator, product, out=accumulator)
 
     def matvec_fragments(
-        self, matrix: np.ndarray, fragments: "Sequence[bytes | bytearray | np.ndarray]"
-    ) -> np.ndarray:
+        self,
+        matrix: npt.NDArray[np.uint8],
+        fragments: Sequence[Union[bytes, bytearray, "npt.NDArray[np.uint8]"]],
+    ) -> npt.NDArray[np.uint8]:
         """Multiply a coefficient matrix by ``k`` byte-string fragments.
 
         ``matrix`` is ``(r, k)``; ``fragments`` is a sequence of ``k``
@@ -244,7 +260,9 @@ class GF256:
                 out_row.fill(0)
         return out
 
-    def matvec_bytes(self, matrix: np.ndarray, fragments: np.ndarray) -> np.ndarray:
+    def matvec_bytes(
+        self, matrix: npt.NDArray[np.uint8], fragments: npt.NDArray[np.uint8]
+    ) -> npt.NDArray[np.uint8]:
         """Multiply a coefficient matrix by a stack of payload rows.
 
         ``matrix`` is ``(r, k)`` uint8; ``fragments`` is ``(k, length)``

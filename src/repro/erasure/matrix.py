@@ -9,9 +9,10 @@ internally for its parity rows).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Any, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.erasure.galois import GF256
 from repro.errors import ErasureError
@@ -28,7 +29,9 @@ class GFMatrix:
     """
 
     def __init__(
-        self, data: "np.ndarray | Sequence[Sequence[int]]", field: Optional[GF256] = None
+        self,
+        data: Union["npt.NDArray[np.uint8]", Sequence[Sequence[int]]],
+        field: Optional[GF256] = None,
     ) -> None:
         array = np.asarray(data, dtype=np.uint8)
         if array.ndim != 2:
@@ -48,11 +51,11 @@ class GFMatrix:
         return int(self._data.shape[1])
 
     @property
-    def array(self) -> np.ndarray:
+    def array(self) -> npt.NDArray[np.uint8]:
         """The backing uint8 array (do not mutate)."""
         return self._data
 
-    def __getitem__(self, index):
+    def __getitem__(self, index: Any) -> Any:
         return self._data[index]
 
     def __eq__(self, other: object) -> bool:

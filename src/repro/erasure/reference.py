@@ -16,11 +16,13 @@ Nothing in the production path imports this module.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import List, Mapping, Sequence, Union
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.erasure.galois import GF256
+from repro.erasure.rs import RSCodec
 from repro.errors import ErasureError
 
 __all__ = [
@@ -35,8 +37,13 @@ __all__ = [
 
 _FIELD_SIZE = 256
 
+#: One fragment payload, as the seed kernel accepted it.
+Fragment = Union[bytes, bytearray, "npt.NDArray[np.uint8]"]
 
-def mul_bytes_reference(field: GF256, scalar: int, data: np.ndarray) -> np.ndarray:
+
+def mul_bytes_reference(
+    field: GF256, scalar: int, data: npt.NDArray[np.uint8]
+) -> npt.NDArray[np.uint8]:
     """Seed ``mul_bytes``: zero mask, two log/exp lookups, fancy-index scatter."""
     if not 0 <= scalar < _FIELD_SIZE:
         raise ErasureError(f"scalar {scalar} outside GF(256)")
@@ -53,7 +60,10 @@ def mul_bytes_reference(field: GF256, scalar: int, data: np.ndarray) -> np.ndarr
 
 
 def addmul_bytes_reference(
-    field: GF256, accumulator: np.ndarray, scalar: int, data: np.ndarray
+    field: GF256,
+    accumulator: npt.NDArray[np.uint8],
+    scalar: int,
+    data: npt.NDArray[np.uint8],
 ) -> None:
     """Seed ``addmul_bytes``: in-place ``accumulator ^= scalar * data``."""
     if scalar == 0:
@@ -65,8 +75,8 @@ def addmul_bytes_reference(
 
 
 def matvec_bytes_reference(
-    field: GF256, matrix: np.ndarray, fragments: np.ndarray
-) -> np.ndarray:
+    field: GF256, matrix: npt.NDArray[np.uint8], fragments: npt.NDArray[np.uint8]
+) -> npt.NDArray[np.uint8]:
     """Seed ``matvec_bytes``: Python double loop of scalar addmuls."""
     rows, cols = matrix.shape
     if fragments.shape[0] != cols:
@@ -79,7 +89,9 @@ def matvec_bytes_reference(
     return out
 
 
-def invert_reference(field: GF256, matrix: np.ndarray) -> np.ndarray:
+def invert_reference(
+    field: GF256, matrix: npt.NDArray[np.uint8]
+) -> npt.NDArray[np.uint8]:
     """Seed Gauss-Jordan inversion: per-element scalar field ops in int32."""
     if matrix.shape[0] != matrix.shape[1]:
         raise ErasureError("only square matrices can be inverted")
@@ -111,13 +123,13 @@ def invert_reference(field: GF256, matrix: np.ndarray) -> np.ndarray:
     return inverse.astype(np.uint8)
 
 
-def _as_uint8(fragment: "bytes | bytearray | np.ndarray") -> np.ndarray:
+def _as_uint8(fragment: Fragment) -> npt.NDArray[np.uint8]:
     if isinstance(fragment, np.ndarray):
         return fragment
     return np.frombuffer(bytes(fragment), dtype=np.uint8)
 
 
-def encode_reference(codec, data: Sequence["bytes | np.ndarray"]) -> List[bytes]:
+def encode_reference(codec: RSCodec, data: Sequence[Fragment]) -> List[bytes]:
     """Seed ``RSCodec.encode``: stack fragments, scalar-loop matvec."""
     arrays = [_as_uint8(fragment) for fragment in data]
     if codec.m == 0:
@@ -127,7 +139,7 @@ def encode_reference(codec, data: Sequence["bytes | np.ndarray"]) -> List[bytes]
     return [parity[i].tobytes() for i in range(codec.m)]
 
 
-def decode_reference(codec, fragments: Mapping[int, "bytes | np.ndarray"]) -> List[bytes]:
+def decode_reference(codec: RSCodec, fragments: Mapping[int, Fragment]) -> List[bytes]:
     """Seed ``RSCodec.decode``: re-invert the survivor submatrix every call."""
     available = sorted(fragments)
     if len(available) < codec.k:
@@ -142,11 +154,11 @@ def decode_reference(codec, fragments: Mapping[int, "bytes | np.ndarray"]) -> Li
 
 
 def delta_update_reference(
-    codec,
-    old_parity: Sequence["bytes | np.ndarray"],
+    codec: RSCodec,
+    old_parity: Sequence[Fragment],
     fragment_index: int,
-    old_data: "bytes | np.ndarray",
-    new_data: "bytes | np.ndarray",
+    old_data: Fragment,
+    new_data: Fragment,
 ) -> List[bytes]:
     """Seed ``RSCodec.delta_update``: per-row scalar addmul of the delta."""
     delta = np.bitwise_xor(_as_uint8(old_data), _as_uint8(new_data))

@@ -30,9 +30,10 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.erasure.galois import GF256
 from repro.erasure.matrix import GFMatrix, cauchy_matrix, identity_matrix
@@ -45,8 +46,13 @@ __all__ = ["DecoderCacheInfo", "RSCodec", "UpdatePlan"]
 #: this is generous; it only guards against pathological churn.
 _DECODER_CACHE_SIZE = 128
 
+#: What callers may hand the codec as one fragment payload.
+Fragment = Union[bytes, bytearray, memoryview, "npt.NDArray[np.uint8]"]
 
-def _as_array(fragment: "bytes | bytearray | memoryview | np.ndarray") -> np.ndarray:
+
+def _as_array(
+    fragment: Union[bytes, bytearray, memoryview, "npt.NDArray[np.uint8]"]
+) -> npt.NDArray[np.uint8]:
     """View a fragment as a uint8 numpy array without copying.
 
     ``bytes``/``bytearray``/``memoryview`` inputs are wrapped zero-copy via
@@ -127,7 +133,9 @@ class RSCodec:
             self._field,
         )
         # Memoized decoder matrices, keyed by the survivor-index tuple.
-        self._decoders: "OrderedDict[Tuple[int, ...], np.ndarray]" = OrderedDict()
+        self._decoders: "OrderedDict[Tuple[int, ...], npt.NDArray[np.uint8]]" = (
+            OrderedDict()
+        )
         self._decoder_hits = 0
         self._decoder_misses = 0
 
@@ -140,12 +148,12 @@ class RSCodec:
         return self._field
 
     @property
-    def parity_matrix(self) -> np.ndarray:
+    def parity_matrix(self) -> npt.NDArray[np.uint8]:
         """The ``(m, k)`` Cauchy parity rows (read-only by convention)."""
         return self._parity_matrix.array
 
     @property
-    def generator_matrix(self) -> np.ndarray:
+    def generator_matrix(self) -> npt.NDArray[np.uint8]:
         """The full ``(n, k)`` systematic generator ``[I ; C]``."""
         return self._generator.array
 
@@ -165,7 +173,7 @@ class RSCodec:
     # ------------------------------------------------------------------
     # Encoding
     # ------------------------------------------------------------------
-    def encode_arrays(self, stacked: np.ndarray) -> np.ndarray:
+    def encode_arrays(self, stacked: npt.NDArray[np.uint8]) -> npt.NDArray[np.uint8]:
         """Parity for a ``(k, length)`` fragment stack, as ``(m, length)``.
 
         The array-native entry point: one fused matvec, no per-fragment
@@ -177,7 +185,7 @@ class RSCodec:
             )
         return self._field.matvec_bytes(self._parity_matrix.array, stacked)
 
-    def encode(self, data: Sequence["bytes | np.ndarray"]) -> List[bytes]:
+    def encode(self, data: Sequence[Fragment]) -> List[bytes]:
         """Compute the ``m`` parity fragments for ``k`` data fragments."""
         self._check_data(data)
         if self.m == 0:
@@ -186,7 +194,7 @@ class RSCodec:
         parity = self._field.matvec_fragments(self._parity_matrix.array, list(data))
         return [parity[i].tobytes() for i in range(self.m)]
 
-    def encode_stripe(self, data: Sequence["bytes | np.ndarray"]) -> List[bytes]:
+    def encode_stripe(self, data: Sequence[Fragment]) -> List[bytes]:
         """Return all ``n`` fragments: the data followed by the parity."""
         parity = self.encode(data)
         return [bytes(_as_array(fragment).tobytes()) for fragment in data] + parity
@@ -194,7 +202,7 @@ class RSCodec:
     # ------------------------------------------------------------------
     # Decoding
     # ------------------------------------------------------------------
-    def _decoder_for(self, chosen: Tuple[int, ...]) -> np.ndarray:
+    def _decoder_for(self, chosen: Tuple[int, ...]) -> npt.NDArray[np.uint8]:
         """The inverse of the survivor submatrix, memoized per survivor set."""
         decoders = self._decoders
         decoder = decoders.get(chosen)
@@ -210,7 +218,7 @@ class RSCodec:
             decoders.popitem(last=False)
         return decoder
 
-    def decode_arrays(self, fragments: Mapping[int, "bytes | np.ndarray"]) -> np.ndarray:
+    def decode_arrays(self, fragments: Mapping[int, Fragment]) -> npt.NDArray[np.uint8]:
         """Recover the data as a contiguous ``(k, length)`` stack.
 
         Array-native sibling of :meth:`decode`: the flash array reads whole
@@ -238,7 +246,7 @@ class RSCodec:
             decoder, [fragments[index] for index in chosen]
         )
 
-    def decode(self, fragments: Mapping[int, "bytes | np.ndarray"]) -> List[bytes]:
+    def decode(self, fragments: Mapping[int, Fragment]) -> List[bytes]:
         """Recover the ``k`` data fragments from any ``k`` survivors.
 
         Args:
@@ -253,9 +261,9 @@ class RSCodec:
 
     def reconstruct_arrays(
         self,
-        fragments: Mapping[int, "bytes | np.ndarray"],
+        fragments: Mapping[int, Fragment],
         missing: Sequence[int],
-    ) -> Dict[int, np.ndarray]:
+    ) -> Dict[int, npt.NDArray[np.uint8]]:
         """Rebuild missing fragments as arrays, computing only needed rows.
 
         Data rows come straight out of the decoded stack; missing *parity*
@@ -266,7 +274,7 @@ class RSCodec:
             if not 0 <= index < self.n:
                 raise ErasureError(f"fragment index {index} outside [0, {self.n})")
         data = self.decode_arrays(fragments)
-        rebuilt: Dict[int, np.ndarray] = {}
+        rebuilt: Dict[int, npt.NDArray[np.uint8]] = {}
         parity_rows = sorted({index for index in missing if index >= self.k})
         if parity_rows:
             rows = self._field.matvec_bytes(
@@ -281,7 +289,7 @@ class RSCodec:
 
     def reconstruct(
         self,
-        fragments: Mapping[int, "bytes | np.ndarray"],
+        fragments: Mapping[int, Fragment],
         missing: Sequence[int],
     ) -> Dict[int, bytes]:
         """Rebuild specific missing fragments (data or parity) by index."""
@@ -311,10 +319,10 @@ class RSCodec:
 
     def delta_update(
         self,
-        old_parity: Sequence["bytes | np.ndarray"],
+        old_parity: Sequence[Fragment],
         fragment_index: int,
-        old_data: "bytes | np.ndarray",
-        new_data: "bytes | np.ndarray",
+        old_data: Fragment,
+        new_data: Fragment,
     ) -> List[bytes]:
         """Delta parity update for a single rewritten data fragment.
 
@@ -339,7 +347,7 @@ class RSCodec:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _check_data(self, data: Sequence["bytes | np.ndarray"]) -> List[np.ndarray]:
+    def _check_data(self, data: Sequence[Fragment]) -> List["npt.NDArray[np.uint8]"]:
         if len(data) != self.k:
             raise ErasureError(f"expected {self.k} data fragments, got {len(data)}")
         arrays = [_as_array(fragment) for fragment in data]

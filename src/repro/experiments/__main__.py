@@ -128,12 +128,12 @@ def main(argv=None) -> int:
     chosen = args.artefacts or list(ARTEFACTS)
     print(f"profile: {profile.name} (REPRO_PROFILE to change)\n")
     for name in chosen:
-        started = time.time()
+        started = time.perf_counter()
         if name in ("fault-campaign", "fault_campaign"):
             text = ARTEFACTS[name](args.seed)
         else:
             text = ARTEFACTS[name]()
-        elapsed = time.time() - started
+        elapsed = time.perf_counter() - started
         print(text)
         print(f"\n[{name}: {elapsed:.1f}s]\n")
         RESULTS_DIR.mkdir(parents=True, exist_ok=True)

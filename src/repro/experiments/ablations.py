@@ -50,9 +50,9 @@ class AblationResult:
         table_rows: List[List[object]] = []
         for variant, metrics in self.rows.items():
             table_rows.append(
-                [variant] + [f"{metrics[name]:.1f}" for name in metric_names]
+                [variant, *(f"{metrics[name]:.1f}" for name in metric_names)]
             )
-        return format_table(self.title, ["Variant"] + metric_names, table_rows)
+        return format_table(self.title, ["Variant", *metric_names], table_rows)
 
 
 def _build_cache(

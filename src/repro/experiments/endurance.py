@@ -114,12 +114,16 @@ class ParityWearResult:
         rows = []
         for layout, counts in self.nand_writes.items():
             rows.append(
-                [layout]
-                + [str(count) for count in counts]
-                + [f"{self.imbalance(layout):.2f}"]
+                [
+                    layout,
+                    *(str(count) for count in counts),
+                    f"{self.imbalance(layout):.2f}",
+                ]
             )
-        headers = ["Parity layout"] + [f"dev{index}" for index in range(5)] + [
-            "max/mean"
+        headers = [
+            "Parity layout",
+            *(f"dev{index}" for index in range(5)),
+            "max/mean",
         ]
         return format_table(
             "Per-device NAND page writes under partial-update traffic",

@@ -57,7 +57,7 @@ def run_recovery_timeline(
     window_size = (len(trace) - failure_at) // windows
     timeline = RecoveryTimeline(
         profile_name=profile.name,
-        window_labels=["pre-fail"] + [f"+{index + 1}" for index in range(windows)],
+        window_labels=["pre-fail", *(f"+{index + 1}" for index in range(windows))],
     )
     for variant, prioritized in (("prioritized", True), ("unordered", False)):
         cache = ReoCache.build(

@@ -130,7 +130,9 @@ class _Connection:
         self.reader_task.cancel()
         try:
             await self.reader_task
-        except (asyncio.CancelledError, Exception):
+        except (asyncio.CancelledError, OsdError, ConnectionError, OSError):
+            # Cancellation is the normal path; the reader may also have
+            # already died on stream corruption or a dropped connection.
             pass
         if not self.writer.is_closing():
             self.writer.close()

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import json
 import struct
-from typing import NamedTuple, Optional, Tuple
+from typing import Any, Dict, NamedTuple, Optional, Tuple
 
 from repro.errors import WireError
 from repro.flash.array import ArrayIoResult
@@ -56,7 +56,9 @@ MAX_HEADER_BYTES = 64 * 1024
 MAX_PDU_BYTES = 64 * 1024 * 1024
 
 
-def _pack(header: dict, data: bytes = b"", seq: Optional[int] = None) -> bytes:
+def _pack(
+    header: Dict[str, Any], data: bytes = b"", seq: Optional[int] = None
+) -> bytes:
     if seq is not None:
         header = dict(header, seq=int(seq))
     header_bytes = json.dumps(header, sort_keys=True).encode("ascii")
@@ -73,7 +75,7 @@ def _pack(header: dict, data: bytes = b"", seq: Optional[int] = None) -> bytes:
     return pdu
 
 
-def _unpack(pdu: bytes) -> Tuple[dict, bytes]:
+def _unpack(pdu: bytes) -> Tuple[Dict[str, Any], bytes]:
     if len(pdu) > MAX_PDU_BYTES:
         raise WireError(
             f"PDU of {len(pdu)} bytes exceeds the {MAX_PDU_BYTES}-byte limit"
@@ -100,7 +102,7 @@ def _unpack(pdu: bytes) -> Tuple[dict, bytes]:
     return header, pdu[end:]
 
 
-def _seq_of(header: dict) -> Optional[int]:
+def _seq_of(header: Dict[str, Any]) -> Optional[int]:
     seq = header.get("seq")
     if seq is None:
         return None
@@ -110,11 +112,11 @@ def _seq_of(header: dict) -> Optional[int]:
         raise WireError(f"malformed sequence id {seq!r}") from None
 
 
-def _object_id_fields(object_id: ObjectId) -> dict:
+def _object_id_fields(object_id: ObjectId) -> Dict[str, Any]:
     return {"pid": object_id.pid, "oid": object_id.oid}
 
 
-def _object_id_from(header: dict) -> ObjectId:
+def _object_id_from(header: Dict[str, Any]) -> ObjectId:
     try:
         return ObjectId(int(header["pid"]), int(header["oid"]))
     except (KeyError, TypeError, ValueError) as exc:
@@ -138,7 +140,7 @@ def encode_command(
         retry: retransmission attempt number (0 = first send). Lets the
             server count retried commands in its service stats.
     """
-    header: Optional[dict] = None
+    header: Optional[Dict[str, Any]] = None
     data = b""
     if isinstance(command, commands.CreatePartition):
         header = {"op": "create_partition", "partition": command.pid}
@@ -198,7 +200,7 @@ def decode_command_pdu(pdu: bytes) -> CommandPdu:
         raise WireError(f"malformed command PDU: {exc!r}") from None
 
 
-def _command_from(header: dict, data: bytes) -> commands.OsdCommand:
+def _command_from(header: Dict[str, Any], data: bytes) -> commands.OsdCommand:
     op = header.get("op")
     if op == "create_partition":
         return commands.CreatePartition(int(header["partition"]))
@@ -239,7 +241,7 @@ def encode_response(response: OsdResponse, seq: Optional[int] = None) -> bytes:
     ``seq`` echoes the request's sequence id so pipelined connections can
     match out-of-order responses to in-flight requests.
     """
-    header = {
+    header: Dict[str, Any] = {
         "sense": int(response.sense),
         "elapsed": response.io.elapsed,
         "chunks_read": response.io.chunks_read,

@@ -153,8 +153,8 @@ class MetricsRecorder:
         ``[0, m1)``, ``[m1, m2)``, ..., ``[mk, len)``; the first window is
         labelled ``"start"`` and subsequent windows carry the mark labels.
         """
-        boundaries = [0] + list(self._marks) + [len(self.samples)]
-        labels = ["start"] + list(self._mark_labels)
+        boundaries = [0, *self._marks, len(self.samples)]
+        labels = ["start", *self._mark_labels]
         result: List[WindowMetrics] = []
         for index in range(len(boundaries) - 1):
             start, end = boundaries[index], boundaries[index + 1]

@@ -40,7 +40,7 @@ def format_figure_series(
     value_format: str = "{:.1f}",
 ) -> str:
     """Render figure-style data: x down the rows, one column per scheme."""
-    headers = [x_label] + list(series)
+    headers = [x_label, *series]
     rows: List[List[object]] = []
     for index, x_value in enumerate(x_values):
         row: List[object] = [x_value]

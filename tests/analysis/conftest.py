@@ -1,0 +1,46 @@
+"""Fixture helpers for the invariant-linter tests.
+
+Fixture sources are written into a temp tree shaped like the real repo
+(``<tmp>/src/repro/<area>/<name>.py``) so rule *scoping* is exercised
+exactly as it is in production, not bypassed.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+import pytest
+
+from repro.analysis.engine import Finding, Rule, analyze_paths
+from repro.analysis.rules import default_rules
+
+
+class LintBox:
+    """Writes fixture modules into a repo-shaped temp tree and lints them."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = root
+
+    def write(self, relpath: str, source: str) -> Path:
+        path = self.root / "src" / "repro" / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        return path
+
+    def run(self, rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
+        report = analyze_paths(
+            [self.root / "src"],
+            rules if rules is not None else default_rules(),
+            root=self.root,
+        )
+        return report.findings
+
+    def rule_ids(self, rules: Optional[Sequence[Rule]] = None) -> List[str]:
+        return [finding.rule_id for finding in self.run(rules)]
+
+
+@pytest.fixture
+def lint(tmp_path: Path) -> LintBox:
+    return LintBox(tmp_path)

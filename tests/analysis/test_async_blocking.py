@@ -1,0 +1,149 @@
+"""Positive/negative fixtures for the async-blocking rule."""
+
+from __future__ import annotations
+
+
+def test_time_sleep_in_async_def_fires(lint):
+    lint.write(
+        "net/bad_sleep.py",
+        """
+        import time
+
+        async def handler():
+            time.sleep(1.0)
+        """,
+    )
+    findings = lint.run()
+    assert [f.rule_id for f in findings] == ["async-blocking"]
+    assert "asyncio.sleep" in findings[0].message
+
+
+def test_asyncio_sleep_is_quiet(lint):
+    lint.write(
+        "net/good_sleep.py",
+        """
+        import asyncio
+
+        async def handler():
+            await asyncio.sleep(1.0)
+        """,
+    )
+    assert lint.rule_ids() == []
+
+
+def test_time_sleep_in_sync_def_is_quiet(lint):
+    # The rule is about the event loop; sync helpers may block.
+    lint.write(
+        "net/sync_helper.py",
+        """
+        import time
+
+        def backoff():
+            time.sleep(0.1)
+        """,
+    )
+    assert lint.rule_ids() == []
+
+
+def test_open_and_socket_in_async_def_fire(lint):
+    lint.write(
+        "net/bad_io.py",
+        """
+        import socket
+
+        async def handler(path):
+            data = open(path).read()
+            sock = socket.create_connection(("localhost", 1))
+            return data, sock
+        """,
+    )
+    ids = lint.rule_ids()
+    assert ids == ["async-blocking", "async-blocking"]
+
+
+def test_scope_excludes_other_packages(lint):
+    # Blocking calls in async defs outside repro.net / repro.osd.transport
+    # are not this rule's business.
+    lint.write(
+        "workload/async_other.py",
+        """
+        import time
+
+        async def stepper():
+            time.sleep(0.5)
+        """,
+    )
+    assert lint.rule_ids() == []
+
+
+def test_unawaited_module_coroutine_fires(lint):
+    lint.write(
+        "net/bad_unawaited.py",
+        """
+        async def flush():
+            return None
+
+        async def handler():
+            flush()
+        """,
+    )
+    findings = lint.run()
+    assert [f.rule_id for f in findings] == ["async-blocking"]
+    assert "never awaited" in findings[0].message
+
+
+def test_unawaited_self_coroutine_fires_awaited_quiet(lint):
+    lint.write(
+        "net/bad_self_coro.py",
+        """
+        import asyncio
+
+        class Server:
+            async def drain(self):
+                return None
+
+            async def bad(self):
+                self.drain()
+
+            async def good(self):
+                await self.drain()
+
+            async def also_good(self):
+                task = asyncio.ensure_future(self.drain())
+                return task
+        """,
+    )
+    findings = lint.run()
+    assert [f.symbol for f in findings] == ["Server.bad"]
+
+
+def test_stream_writer_write_is_not_confused_with_coroutines(lint):
+    # `writer.write(...)` is synchronous StreamWriter API even though the
+    # module defines an async method named `write` on another class.
+    lint.write(
+        "net/writer_ok.py",
+        """
+        class Client:
+            async def write(self, data):
+                return data
+
+        async def pump(writer):
+            writer.write(b"x")
+        """,
+    )
+    assert lint.rule_ids() == []
+
+
+def test_nested_sync_def_body_is_quiet(lint):
+    lint.write(
+        "net/nested_sync.py",
+        """
+        import time
+
+        async def handler():
+            def blocking_helper():
+                time.sleep(1.0)
+            return blocking_helper
+        """,
+    )
+    assert lint.rule_ids() == []

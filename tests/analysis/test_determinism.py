@@ -1,0 +1,172 @@
+"""Positive/negative fixtures for the determinism rule."""
+
+from __future__ import annotations
+
+
+def test_wall_clock_fires_in_core(lint):
+    lint.write(
+        "sim/bad_clock.py",
+        """
+        import time
+
+        def stamp():
+            return time.time()
+        """,
+    )
+    assert lint.rule_ids() == ["determinism"]
+
+
+def test_wall_clock_fires_outside_core_too(lint):
+    lint.write(
+        "experiments/bad_wall.py",
+        """
+        import time
+
+        def stamp():
+            return time.time()
+        """,
+    )
+    assert lint.rule_ids() == ["determinism"]
+
+
+def test_perf_counter_allowed_outside_core_banned_inside(lint):
+    lint.write(
+        "net/timing.py",
+        """
+        import time
+
+        def measure():
+            return time.perf_counter()
+        """,
+    )
+    lint.write(
+        "core/bad_timing.py",
+        """
+        import time
+
+        def measure():
+            return time.perf_counter()
+        """,
+    )
+    findings = lint.run()
+    assert [f.path for f in findings] == ["src/repro/core/bad_timing.py"]
+    assert findings[0].rule_id == "determinism"
+    assert "host-clock" in findings[0].message
+
+
+def test_datetime_now_fires(lint):
+    lint.write(
+        "core/bad_datetime.py",
+        """
+        from datetime import datetime
+
+        def stamp():
+            return datetime.now()
+        """,
+    )
+    lint.write(
+        "faults/bad_date.py",
+        """
+        import datetime
+
+        def today():
+            return datetime.date.today()
+        """,
+    )
+    assert lint.rule_ids() == ["determinism", "determinism"]
+
+
+def test_module_level_random_fires(lint):
+    lint.write(
+        "faults/bad_random.py",
+        """
+        import random
+
+        def roll():
+            return random.random()
+        """,
+    )
+    ids = lint.rule_ids()
+    assert ids == ["determinism"]
+
+
+def test_from_import_random_function_fires(lint):
+    lint.write(
+        "cache/bad_from_import.py",
+        """
+        from random import randint
+
+        def roll():
+            return randint(1, 6)
+        """,
+    )
+    assert lint.rule_ids() == ["determinism"]
+
+
+def test_unseeded_random_fires_seeded_is_quiet(lint):
+    lint.write(
+        "erasure/rng_use.py",
+        """
+        import random
+
+        def good(seed):
+            return random.Random(seed)
+
+        def bad():
+            return random.Random()
+        """,
+    )
+    findings = lint.run()
+    assert [f.symbol for f in findings] == ["bad"]
+    assert "without a seed" in findings[0].message
+
+
+def test_numpy_global_state_fires_default_rng_quiet(lint):
+    lint.write(
+        "core/np_rng.py",
+        """
+        import numpy as np
+
+        def good(seed):
+            return np.random.default_rng(seed)
+
+        def bad_seed():
+            np.random.seed(0)
+
+        def bad_unseeded():
+            return np.random.default_rng()
+
+        def bad_dist():
+            return np.random.normal()
+        """,
+    )
+    findings = lint.run()
+    assert [f.symbol for f in findings] == ["bad_seed", "bad_unseeded", "bad_dist"]
+    assert all(f.rule_id == "determinism" for f in findings)
+
+
+def test_sim_clock_module_is_exempt(lint):
+    lint.write(
+        "sim/clock.py",
+        """
+        import time
+
+        def wall():
+            return time.time()
+        """,
+    )
+    assert lint.rule_ids() == []
+
+
+def test_seeded_string_stream_is_quiet(lint):
+    # The faults injector's per-(event, device) stream discipline.
+    lint.write(
+        "faults/streams.py",
+        """
+        import random
+
+        def stream(plan_seed, index, device_id):
+            return random.Random(f"{plan_seed}:{index}:{device_id}")
+        """,
+    )
+    assert lint.rule_ids() == []

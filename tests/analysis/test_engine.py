@@ -1,0 +1,158 @@
+"""Engine behavior: suppressions, baseline round-trip, report stability."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.engine import (
+    analyze_paths,
+    load_baseline,
+    module_of,
+    render_json,
+    render_text,
+    suppressed_lines,
+    write_baseline,
+)
+from repro.analysis.rules import default_rules
+
+BAD_SIM = """
+import time
+
+def stamp():
+    return time.time()
+"""
+
+
+def test_module_of_maps_paths_to_dotted_names():
+    assert module_of(Path("src/repro/sim/clock.py")) == "repro.sim.clock"
+    assert module_of(Path("src/repro/erasure/__init__.py")) == "repro.erasure"
+    assert module_of(Path("/abs/elsewhere/thing.py")) == "thing"
+
+
+def test_trailing_suppression_comment_silences(lint):
+    lint.write(
+        "sim/suppressed.py",
+        """
+        import time
+
+        def stamp():
+            return time.time()  # repro: allow[determinism]
+        """,
+    )
+    assert lint.rule_ids() == []
+
+
+def test_preceding_line_suppression_silences(lint):
+    lint.write(
+        "sim/suppressed_above.py",
+        """
+        import time
+
+        def stamp():
+            # repro: allow[determinism]
+            return time.time()
+        """,
+    )
+    assert lint.rule_ids() == []
+
+
+def test_suppression_is_per_rule(lint):
+    # Allowing a different rule id does not silence determinism.
+    lint.write(
+        "sim/wrong_allow.py",
+        """
+        import time
+
+        def stamp():
+            return time.time()  # repro: allow[broad-except]
+        """,
+    )
+    assert lint.rule_ids() == ["determinism"]
+
+
+def test_suppression_accepts_comma_separated_ids():
+    lines = suppressed_lines("x = 1  # repro: allow[determinism, broad-except]\n")
+    assert lines[1] == {"determinism", "broad-except"}
+    assert lines[2] == {"determinism", "broad-except"}
+
+
+def test_baseline_round_trip(lint, tmp_path):
+    lint.write("sim/grandfathered.py", BAD_SIM)
+    report = analyze_paths(
+        [lint.root / "src"], default_rules(), root=lint.root
+    )
+    assert len(report.findings) == 1
+
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(report.findings, baseline_path)
+    baseline = load_baseline(baseline_path)
+
+    rerun = analyze_paths(
+        [lint.root / "src"], default_rules(), root=lint.root, baseline=baseline
+    )
+    assert rerun.findings == []
+    assert rerun.baselined == 1
+    assert rerun.stale_baseline == []
+    assert rerun.clean
+
+
+def test_baseline_survives_line_shifts(lint, tmp_path):
+    path = lint.write("sim/shifty.py", BAD_SIM)
+    report = analyze_paths([lint.root / "src"], default_rules(), root=lint.root)
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(report.findings, baseline_path)
+
+    # Unrelated edits above the finding move its line; it stays baselined.
+    path.write_text("# a new leading comment\n\n" + path.read_text())
+    rerun = analyze_paths(
+        [lint.root / "src"],
+        default_rules(),
+        root=lint.root,
+        baseline=load_baseline(baseline_path),
+    )
+    assert rerun.findings == []
+    assert rerun.baselined == 1
+
+
+def test_stale_baseline_entries_are_reported(lint, tmp_path):
+    lint.write("sim/grandfathered.py", BAD_SIM)
+    report = analyze_paths([lint.root / "src"], default_rules(), root=lint.root)
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(report.findings, baseline_path)
+
+    # Fix the violation: the baseline entry is now stale and not clean.
+    lint.write("sim/grandfathered.py", "def stamp():\n    return 0.0\n")
+    rerun = analyze_paths(
+        [lint.root / "src"],
+        default_rules(),
+        root=lint.root,
+        baseline=load_baseline(baseline_path),
+    )
+    assert rerun.findings == []
+    assert len(rerun.stale_baseline) == 1
+    assert "stale baseline" in render_text(rerun)
+
+
+def test_json_report_is_stable_and_sorted(lint):
+    # Two files whose findings interleave; report order must be sorted
+    # and byte-identical across runs.
+    lint.write("sim/zz_last.py", BAD_SIM)
+    lint.write("core/aa_first.py", BAD_SIM)
+    first = render_json(
+        analyze_paths([lint.root / "src"], default_rules(), root=lint.root)
+    )
+    second = render_json(
+        analyze_paths([lint.root / "src"], default_rules(), root=lint.root)
+    )
+    assert first == second
+    payload = json.loads(first)
+    paths = [finding["path"] for finding in payload["findings"]]
+    assert paths == sorted(paths)
+    assert payload["files_checked"] == 2
+
+
+def test_parse_error_is_a_finding_not_a_crash(lint):
+    lint.write("sim/broken.py", "def nope(:\n")
+    findings = lint.run()
+    assert [f.rule_id for f in findings] == ["parse-error"]

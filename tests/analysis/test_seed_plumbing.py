@@ -1,0 +1,72 @@
+"""Positive/negative fixtures for the seed-plumbing rule."""
+
+from __future__ import annotations
+
+
+def test_seed_none_default_fires_in_faults(lint):
+    lint.write(
+        "faults/bad_plan.py",
+        """
+        class FaultPlan:
+            def __init__(self, events=(), seed=None):
+                self.events = events
+                self.seed = seed
+        """,
+    )
+    findings = lint.run()
+    assert [f.rule_id for f in findings] == ["seed-plumbing"]
+    assert "ambient entropy" in findings[0].message
+
+
+def test_rng_none_kwonly_default_fires_in_sim(lint):
+    lint.write(
+        "sim/bad_runner.py",
+        """
+        def run_trace(trace, *, rng=None):
+            return trace, rng
+        """,
+    )
+    assert lint.rule_ids() == ["seed-plumbing"]
+
+
+def test_concrete_seed_default_is_quiet(lint):
+    lint.write(
+        "faults/good_plan.py",
+        """
+        class FaultPlan:
+            def __init__(self, events=(), seed=0):
+                self.events = events
+                self.seed = seed
+
+        def make_stream(seed):
+            return seed
+        """,
+    )
+    assert lint.rule_ids() == []
+
+
+def test_private_helpers_are_exempt(lint):
+    lint.write(
+        "sim/private_ok.py",
+        """
+        def _internal(seed=None):
+            return seed
+
+        class _Hidden:
+            def __init__(self, seed=None):
+                self.seed = seed
+        """,
+    )
+    assert lint.rule_ids() == []
+
+
+def test_scope_excludes_other_packages(lint):
+    lint.write(
+        "net/retry_like.py",
+        """
+        class RetryPolicy:
+            def __init__(self, seed=None):
+                self.seed = seed
+        """,
+    )
+    assert lint.rule_ids() == []
