@@ -15,7 +15,13 @@ Inside ``async def`` bodies in scope this rule flags:
 - ``asyncio.run()`` — a nested event loop, always a bug in server code;
 - bare coroutine calls that are never awaited: statement-level calls of
   ``async def`` functions defined in the same module (either by name or
-  as ``self.<method>()``), without ``await`` or a task wrapper.
+  as ``self.<method>()``), without ``await`` or a task wrapper;
+- ``await <stream>.drain()`` inside a ``for``/``while`` loop — a drain
+  per command defeats write coalescing (each one can yield to the
+  scheduler and flush a single PDU). Responses belong on the connection's
+  :class:`~repro.net.flush.StreamFlusher`, which drains once per batch;
+  the flusher's own flush loop is the one sanctioned site and carries a
+  ``# repro: allow[async-blocking]`` tag.
 
 Nested *synchronous* ``def`` bodies are skipped: they only run when
 called, and flagging them here would double-report helper functions.
@@ -90,6 +96,7 @@ class _AsyncVisitor(RuleVisitor):
         super().__init__(rule, module, path)
         self._async_defs = async_defs
         self._async_depth = 0
+        self._loop_depth = 0
         self._class_stack: List[str] = []
 
     # -- context tracking ------------------------------------------------
@@ -101,13 +108,33 @@ class _AsyncVisitor(RuleVisitor):
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         # A nested sync def's body runs outside the awaiting context.
         depth, self._async_depth = self._async_depth, 0
+        loops, self._loop_depth = self._loop_depth, 0
         super().visit_FunctionDef(node)
         self._async_depth = depth
+        self._loop_depth = loops
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        # A nested def's body runs per *call*, not per iteration of any
+        # loop that lexically encloses its definition.
+        loops, self._loop_depth = self._loop_depth, 0
         self._async_depth += 1
         super().visit_AsyncFunctionDef(node)
         self._async_depth -= 1
+        self._loop_depth = loops
+
+    def visit_For(self, node: ast.For) -> None:
+        self._visit_loop(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._visit_loop(node)
+
+    def visit_While(self, node: ast.While) -> None:
+        self._visit_loop(node)
+
+    def _visit_loop(self, node: ast.AST) -> None:
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
 
     # -- checks ----------------------------------------------------------
     def visit_Call(self, node: ast.Call) -> None:
@@ -138,6 +165,22 @@ class _AsyncVisitor(RuleVisitor):
                 f"blocking call {name}() inside async def stalls the event "
                 f"loop{hint}",
             )
+
+    def visit_Await(self, node: ast.Await) -> None:
+        if (
+            self._async_depth
+            and self._loop_depth
+            and isinstance(node.value, ast.Call)
+            and isinstance(node.value.func, ast.Attribute)
+            and node.value.func.attr == "drain"
+        ):
+            self.report(
+                node,
+                "await drain() inside a per-command loop defeats write "
+                "coalescing; enqueue on the connection's StreamFlusher and "
+                "drain once per batch",
+            )
+        self.generic_visit(node)
 
     def visit_Expr(self, node: ast.Expr) -> None:
         if self._async_depth and isinstance(node.value, ast.Call):

@@ -107,6 +107,7 @@ class NetServiceSweep:
     clients: List[int]
     payload_bytes: int
     requests_per_client: int
+    workers: int = 1
     ops_per_sec: List[float] = field(default_factory=list)
     mb_per_sec: List[float] = field(default_factory=list)
     p50_latency_ms: List[float] = field(default_factory=list)
@@ -129,7 +130,8 @@ class NetServiceSweep:
         ]
         table = format_table(
             "repro.net service layer: closed-loop clients vs throughput/latency "
-            f"({self.payload_bytes}B payloads, {self.requests_per_client} req/client)",
+            f"({self.payload_bytes}B payloads, {self.requests_per_client} req/client, "
+            f"{self.workers} worker{'s' if self.workers != 1 else ''})",
             ["Clients", "ops/s", "MB/s", "p50 (ms)", "p99 (ms)"],
             rows,
         )
@@ -142,8 +144,10 @@ class NetServiceSweep:
     def to_bench_report(self) -> Dict:
         """The BENCH_net_service.json shape for ``compare_bench.py``.
 
-        Throughput metrics gate on drops (higher is better); p99 latency
-        metrics carry ``higher_is_better: false`` and gate on increases.
+        Throughput and ops-rate metrics gate on drops (higher is better);
+        p99 latency metrics carry ``higher_is_better: false`` and gate on
+        increases. ``workers`` rides along as run metadata so a baseline
+        comparison is legible about what was measured.
         """
         metrics: Dict[str, Dict] = {}
         for index, count in enumerate(self.clients):
@@ -151,6 +155,10 @@ class NetServiceSweep:
                 "label": f"service throughput, {count} clients",
                 "new_mbps": self.mb_per_sec[index],
                 "ops_per_sec": self.ops_per_sec[index],
+            }
+            metrics[f"net_ops_c{count}"] = {
+                "label": f"service op rate (ops/s), {count} clients",
+                "value": self.ops_per_sec[index],
             }
             metrics[f"net_p99_latency_c{count}"] = {
                 "label": f"service p99 latency (ms), {count} clients",
@@ -161,6 +169,7 @@ class NetServiceSweep:
             "schema": 1,
             "payload_bytes": self.payload_bytes,
             "requests_per_client": self.requests_per_client,
+            "workers": self.workers,
             "errors": self.errors,
             "corrupted": self.corrupted,
             "metrics": metrics,
@@ -174,12 +183,36 @@ class NetServiceSweep:
         return path
 
 
+def _zero_cost_target(_worker_id: int = 0):
+    """Build one service-layer bench shard (zero-cost flash timing).
+
+    Module-level (not a closure) because it also runs inside forked worker
+    processes as the :class:`~repro.net.cluster.WorkerPool` target factory.
+    """
+    from repro.flash.array import FlashArray
+    from repro.flash.latency import ZERO_COST
+    from repro.flash.stripe import ParityScheme
+    from repro.osd.target import OsdTarget
+    from repro.osd.types import PARTITION_BASE
+
+    array = FlashArray(
+        num_devices=5,
+        device_capacity=256 * 1024 * 1024,
+        chunk_size=4096,
+        model=ZERO_COST,
+    )
+    target = OsdTarget(array, policy=lambda _cid: ParityScheme(1))
+    target.create_partition(PARTITION_BASE)
+    return target
+
+
 def run_net_service_sweep(
     clients: Sequence[int] = (1, 2, 4, 8),
     requests_per_client: int = 150,
     payload_bytes: int = 4096,
     write_fraction: float = 0.35,
     seed: int = 1234,
+    workers: int = 1,
 ) -> NetServiceSweep:
     """Run the closed-loop load generator against a live localhost server.
 
@@ -187,33 +220,27 @@ def run_net_service_sweep(
     the measurements are independent; devices use the zero-cost service
     model, so the numbers isolate the *service layer* — framing, event
     loop, socket round trips — rather than simulated flash timing.
+
+    ``workers > 1`` serves the port from a :class:`~repro.net.cluster.WorkerPool`
+    of forked processes (one target shard each). Load generator clients each
+    hold a single connection, so placement is connection-affine and every
+    client reads its own writes regardless of which shard it lands on.
     """
     import asyncio
 
-    from repro.flash.array import FlashArray
-    from repro.flash.latency import ZERO_COST
-    from repro.flash.stripe import ParityScheme
+    from repro.net.cluster import WorkerPool
     from repro.net.loadgen import run_load
     from repro.net.server import OsdServer
-    from repro.osd.target import OsdTarget
-    from repro.osd.types import PARTITION_BASE
 
     sweep = NetServiceSweep(
         clients=list(clients),
         payload_bytes=payload_bytes,
         requests_per_client=requests_per_client,
+        workers=workers,
     )
 
-    async def _measure(count: int):
-        array = FlashArray(
-            num_devices=5,
-            device_capacity=256 * 1024 * 1024,
-            chunk_size=4096,
-            model=ZERO_COST,
-        )
-        target = OsdTarget(array, policy=lambda _cid: ParityScheme(1))
-        target.create_partition(PARTITION_BASE)
-        async with OsdServer(target) as server:
+    async def _measure_single(count: int):
+        async with OsdServer(_zero_cost_target()) as server:
             return await run_load(
                 "127.0.0.1",
                 server.port,
@@ -224,8 +251,25 @@ def run_net_service_sweep(
                 seed=seed,
             )
 
+    async def _drive_pool(port: int, count: int):
+        return await run_load(
+            "127.0.0.1",
+            port,
+            clients=count,
+            requests_per_client=requests_per_client,
+            payload_bytes=payload_bytes,
+            write_fraction=write_fraction,
+            seed=seed,
+        )
+
     for count in sweep.clients:
-        report = asyncio.run(_measure(count))
+        if workers > 1:
+            # Fork the pool before entering asyncio: the workers each run
+            # their own fresh event loop.
+            with WorkerPool(_zero_cost_target, workers) as pool:
+                report = asyncio.run(_drive_pool(pool.port, count))
+        else:
+            report = asyncio.run(_measure_single(count))
         sweep.ops_per_sec.append(report.ops_per_sec)
         sweep.mb_per_sec.append(report.mb_per_sec)
         sweep.p50_latency_ms.append(report.latency_ms(0.50))
@@ -262,6 +306,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--payload-bytes", type=int, default=4096, help="object size (--net mode)"
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="OSD worker processes serving the port (--net mode; default 1)",
+    )
     args = parser.parse_args(argv)
     counts = [int(token) for token in args.clients.split(",") if token]
     if args.net:
@@ -269,6 +319,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             clients=counts,
             requests_per_client=args.requests,
             payload_bytes=args.payload_bytes,
+            workers=args.workers,
         )
         print(sweep.format())
         path = sweep.write_bench_json()

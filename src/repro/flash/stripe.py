@@ -20,6 +20,7 @@ vocabulary:
 from __future__ import annotations
 
 import enum
+import functools
 import math
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
@@ -120,11 +121,29 @@ class RedundancyScheme:
     def plan(self, devices: Sequence[int], rotation: int) -> List[FragmentSlot]:
         """Assign fragment roles to device slots for one stripe.
 
+        Placement repeats every ``width`` stripes, so only ``width``
+        distinct layouts exist per device set — the hot write path asks
+        for one per stripe, and the memoized table answers from cache.
+
         Args:
             devices: ids of the online devices the stripe will span.
             rotation: stripe sequence number, used to rotate parity/primary
                 placement round-robin.
         """
+        width = len(devices)
+        self.validate(width)
+        return list(
+            _cached_plan(self, tuple(devices), self._plan_rotation(width, rotation))
+        )
+
+    def _plan_rotation(self, width: int, rotation: int) -> int:
+        """Normalize a stripe id to the scheme's placement period."""
+        return rotation % width
+
+    def _plan_slots(
+        self, devices: Tuple[int, ...], rotation: int
+    ) -> List[FragmentSlot]:
+        """Build one stripe layout (uncached; ``rotation`` pre-normalized)."""
         raise NotImplementedError
 
     def validate(self, width: int) -> None:
@@ -171,12 +190,14 @@ class ParityScheme(RedundancyScheme):
                 f"{self.parity} parity chunks need a stripe wider than {width}"
             )
 
-    def plan(self, devices: Sequence[int], rotation: int) -> List[FragmentSlot]:
+    def _plan_rotation(self, width: int, rotation: int) -> int:
+        return rotation % width if self.rotate else 0
+
+    def _plan_slots(
+        self, devices: Tuple[int, ...], rotation: int
+    ) -> List[FragmentSlot]:
         width = len(devices)
-        self.validate(width)
         k = width - self.parity
-        if not self.rotate:
-            rotation = 0
         parity_slots = {(rotation + j) % width for j in range(self.parity)}
         slots: List[FragmentSlot] = []
         data_index = 0
@@ -223,9 +244,10 @@ class ReplicationScheme(RedundancyScheme):
         if width < 1:
             raise StripeLayoutError("stripe width must be at least 1")
 
-    def plan(self, devices: Sequence[int], rotation: int) -> List[FragmentSlot]:
+    def _plan_slots(
+        self, devices: Tuple[int, ...], rotation: int
+    ) -> List[FragmentSlot]:
         width = len(devices)
-        self.validate(width)
         copies = self.resolved_copies(width)
         primary_slot = rotation % width
         slots: List[FragmentSlot] = [
@@ -235,6 +257,15 @@ class ReplicationScheme(RedundancyScheme):
             slot = (primary_slot + offset) % width
             slots.append(FragmentSlot(devices[slot], offset, ChunkKind.REPLICA))
         return slots
+
+
+@functools.lru_cache(maxsize=4096)
+def _cached_plan(
+    scheme: RedundancyScheme, devices: Tuple[int, ...], rotation: int
+) -> Tuple[FragmentSlot, ...]:
+    """Memoized stripe layouts: schemes and slots are frozen, so sharing
+    the table across calls is safe."""
+    return tuple(scheme._plan_slots(devices, rotation))
 
 
 def pack_fragments(raw: bytes, count: int, chunk_length: int) -> np.ndarray:

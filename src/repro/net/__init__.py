@@ -12,17 +12,22 @@ commands.
 Modules:
 
 - :mod:`repro.net.server` — the asyncio OSD server (``python -m
-  repro.net.server`` runs one).
+  repro.net.server`` runs one; ``--workers N`` forks a sharded pool).
 - :mod:`repro.net.client` — the pooled, pipelined async initiator.
+- :mod:`repro.net.flush` — per-connection outbound write coalescing.
+- :mod:`repro.net.cluster` — the multi-process worker pool (one target
+  shard per worker, SO_REUSEPORT or sharded accept).
 - :mod:`repro.net.retry` — retry/backoff policy and idempotency rules.
 - :mod:`repro.net.stats` — service counters and latency percentiles.
 - :mod:`repro.net.loadgen` — closed-loop multi-client load generator.
 """
 
 from repro.net.client import AsyncOsdClient, ClientStats, OsdServiceError
+from repro.net.cluster import WorkerPool, shard_for_object, supports_reuse_port
+from repro.net.flush import StreamFlusher
 from repro.net.retry import RetryPolicy, is_idempotent
 from repro.net.server import OsdServer
-from repro.net.stats import LatencyReservoir, ServiceStats
+from repro.net.stats import LatencyReservoir, ServiceStats, merge_snapshots
 
 __all__ = [
     "AsyncOsdClient",
@@ -32,5 +37,10 @@ __all__ = [
     "OsdServiceError",
     "RetryPolicy",
     "ServiceStats",
+    "StreamFlusher",
+    "WorkerPool",
     "is_idempotent",
+    "merge_snapshots",
+    "shard_for_object",
+    "supports_reuse_port",
 ]

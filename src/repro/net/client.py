@@ -21,27 +21,38 @@ Reliability model:
   command type. Non-idempotent commands surface the failure instead —
   replaying them could turn an executed-but-unacknowledged success into a
   phantom error.
+- **Coalescing** — symmetric with the server: requests are enqueued on a
+  per-connection :class:`~repro.net.flush.StreamFlusher` as un-copied
+  ``[frame prefix, header, payload]`` segments, so pipelined commands
+  issued in the same event-loop tick share one ``writelines`` and one
+  ``drain``; responses are pulled in large chunks through the zero-copy
+  :class:`~repro.osd.transport.FrameDecoder`.
 """
 
 from __future__ import annotations
 
 import asyncio
 import itertools
+import socket
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import OsdError, WireError
 from repro.flash.array import ArrayIoResult
+from repro.net.flush import StreamFlusher
 from repro.net.retry import RetryPolicy, is_idempotent
 from repro.net.stats import parse_stats_payload
 from repro.osd import commands, wire
 from repro.osd.control import QueryMessage, SetClassMessage
 from repro.osd.sense import SenseCode
 from repro.osd.target import OsdResponse
-from repro.osd.transport import FRAME_PREFIX_BYTES, frame_length, frame_pdu
+from repro.osd.transport import FrameDecoder, frame_parts
 from repro.osd.types import CONTROL_OBJECT, ObjectId, ROOT_OBJECT
 
 __all__ = ["AsyncOsdClient", "ClientStats", "OsdServiceError"]
+
+#: Read-side chunk size: one ``await`` can pull many pipelined responses.
+RECV_CHUNK_BYTES = 256 * 1024
 
 
 class OsdServiceError(OsdError):
@@ -79,25 +90,30 @@ class _Connection:
         self.max_pdu_bytes = max_pdu_bytes
         self.pending: Dict[int, asyncio.Future] = {}
         self.closed = False
+        self.flusher = StreamFlusher(writer, on_error=self._fail_pending)
         self.reader_task = asyncio.ensure_future(self._read_loop())
 
     async def _read_loop(self) -> None:
+        decoder = FrameDecoder(self.max_pdu_bytes)
         try:
             while True:
-                prefix = await self.reader.readexactly(FRAME_PREFIX_BYTES)
-                length = frame_length(prefix, self.max_pdu_bytes)
-                pdu = await self.reader.readexactly(length)
-                seq, response = wire.decode_response_pdu(pdu)
-                future = self.pending.pop(seq, None) if seq is not None else None
-                if future is not None and not future.done():
-                    future.set_result(response)
-                # else: a response we stopped waiting for (late after a
-                # timeout) or an unsolicited error reply — drop it.
+                chunk = await self.reader.read(RECV_CHUNK_BYTES)
+                if not chunk:
+                    raise ConnectionResetError("server closed the connection")
+                decoder.feed(chunk)
+                for pdu in decoder.frames():
+                    seq, response = wire.decode_response_pdu(pdu)
+                    future = self.pending.pop(seq, None) if seq is not None else None
+                    if future is not None and not future.done():
+                        future.set_result(response)
+                    # else: a response we stopped waiting for (late after a
+                    # timeout) or an unsolicited error reply — drop it.
         except (asyncio.IncompleteReadError, ConnectionError, OSError, WireError):
             self._fail_pending()
 
     def _fail_pending(self) -> None:
         self.closed = True
+        self.flusher.abort()
         for future in self.pending.values():
             if not future.done():
                 future.set_exception(
@@ -108,26 +124,51 @@ class _Connection:
             self.writer.close()
 
     async def request(
-        self, command: commands.OsdCommand, seq: int, retry: int
+        self,
+        command: commands.OsdCommand,
+        seq: int,
+        retry: int,
+        timeout: Optional[float] = None,
     ) -> OsdResponse:
-        if self.closed:
+        if self.closed or self.writer.is_closing():
             raise _ConnectionLostError("connection already closed")
-        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        # Encode before registering: a WireError (e.g. oversized PDU) must
+        # surface to the caller, not strand a pending future.
+        parts = frame_parts(
+            wire.encode_command_parts(command, seq=seq, retry=retry),
+            max_bytes=self.max_pdu_bytes,
+        )
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
         self.pending[seq] = future
+        # Deadline as a plain timer on the future instead of wait_for's
+        # wrapper task: one heap entry per request, no extra task switch.
+        handle = (
+            loop.call_later(timeout, self._expire, seq)
+            if timeout is not None
+            else None
+        )
         try:
-            pdu = wire.encode_command(command, seq=seq, retry=retry)
-            self.writer.write(frame_pdu(pdu, max_bytes=self.max_pdu_bytes))
-            await self.writer.drain()
+            # Coalesced send: the flusher batches this with every other
+            # request enqueued this tick. Socket failures surface through
+            # the reader/flusher failing the pending futures.
+            self.flusher.send(parts)
             return await future
-        except (ConnectionError, OSError) as exc:
-            self._fail_pending()
-            raise _ConnectionLostError(str(exc)) from exc
         finally:
+            if handle is not None:
+                handle.cancel()
             self.pending.pop(seq, None)
+
+    def _expire(self, seq: int) -> None:
+        """Deadline fired: abandon the request (a late reply is dropped)."""
+        future = self.pending.pop(seq, None)
+        if future is not None and not future.done():
+            future.set_exception(asyncio.TimeoutError())
 
     async def close(self) -> None:
         self.closed = True
         self.reader_task.cancel()
+        await self.flusher.aclose()
         try:
             await self.reader_task
         except (asyncio.CancelledError, OsdError, ConnectionError, OSError):
@@ -180,6 +221,10 @@ class AsyncOsdClient:
         conn = self._pool[slot]
         if conn is None or conn.closed:
             reader, writer = await asyncio.open_connection(self.host, self.port)
+            sock = writer.get_extra_info("socket")
+            if sock is not None:
+                # Request/response traffic: never sit in Nagle's buffer.
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             conn = _Connection(reader, writer, self.max_pdu_bytes)
             self._pool[slot] = conn
         return conn
@@ -206,12 +251,14 @@ class AsyncOsdClient:
         """Execute one command with pipelining, timeout, and retry."""
         self.stats.requests += 1
         timeout = self.timeout if timeout is None else timeout
-        delays = list(self.retry.delays())
+        delays: Optional[List[float]] = None  # built on first retry only
         attempts = self.retry.max_attempts
         failure: Optional[BaseException] = None
         for attempt in range(attempts):
             if attempt:
                 self.stats.retries += 1
+                if delays is None:
+                    delays = list(self.retry.delays())
                 await asyncio.sleep(delays[attempt - 1])
             try:
                 response = await self._attempt(command, attempt, timeout)
@@ -253,9 +300,7 @@ class AsyncOsdClient:
         slot = next(self._dispatch) % self.pool_size
         conn = await self._connection(slot)
         seq = next(self._seq)
-        return await asyncio.wait_for(
-            conn.request(command, seq, retry=attempt), timeout
-        )
+        return await conn.request(command, seq, retry=attempt, timeout=timeout)
 
     # ------------------------------------------------------------------
     # Initiator-style command surface

@@ -1,0 +1,163 @@
+"""Outbound write coalescing for one stream connection.
+
+The seed service layer paid one ``writer.write`` + one ``await
+writer.drain()`` per PDU — at 4 KiB payloads that makes syscall and
+event-loop overhead, not data movement, the throughput ceiling.
+:class:`StreamFlusher` batches instead: producers enqueue framed PDUs as
+buffer *segments* (no concatenation), and a single flusher task per
+connection ships everything accumulated since its last wakeup with one
+``writelines`` and one ``drain`` per batch.
+
+Coalescing falls out of the event loop's own scheduling: the first
+``send`` of a tick schedules a flush callback with ``call_soon``, which
+runs once the current callbacks finish — so every response produced in
+the same event-loop tick shares one ``writelines`` syscall. The flush
+callback is synchronous (no task wakeup per batch); draining is deferred
+to a standby task that only runs when the transport's own write buffer
+exceeds the high-water mark, because ``drain`` on an unpressured
+transport is a no-op not worth a task switch.
+
+Memory stays bounded by a high-water mark: once the outbox exceeds it,
+``send`` pushes the buffered segments into the transport immediately
+(still without draining per send), so backpressure is delegated to the
+transport's own write buffer and the standby drain task.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, List, Optional, Sequence
+
+from repro.osd.wire import Buffer
+
+__all__ = ["StreamFlusher"]
+
+#: Default outbox bound before segments are pushed to the transport early.
+DEFAULT_HIGH_WATER_BYTES = 256 * 1024
+
+
+class StreamFlusher:
+    """Coalesces many outbound frames into one ``writelines`` + ``drain``.
+
+    Args:
+        writer: the connection's :class:`asyncio.StreamWriter`.
+        high_water_bytes: outbox size that triggers an early (undrained)
+            push into the transport; also the transport write-buffer size
+            past which the standby drain task is woken.
+        on_error: called once if the flusher's drain hits a dead socket;
+            the owner severs the connection.
+        on_flush: called after every completed batch (stats hooks).
+    """
+
+    def __init__(
+        self,
+        writer: asyncio.StreamWriter,
+        *,
+        high_water_bytes: int = DEFAULT_HIGH_WATER_BYTES,
+        on_error: Optional[Callable[[], None]] = None,
+        on_flush: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self.writer = writer
+        self.high_water_bytes = high_water_bytes
+        self.on_error = on_error
+        self.on_flush = on_flush
+        #: Completed batches (one writelines + one drain each).
+        self.flushes = 0
+        #: Frames accepted via :meth:`send`.
+        self.sends = 0
+        self._outbox: List[Buffer] = []
+        self._outbox_bytes = 0
+        self._flush_scheduled = False
+        self._loop = asyncio.get_event_loop()
+        self._wakeup = asyncio.Event()
+        self._closed = False
+        self._task = asyncio.ensure_future(self._run())
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def send(self, parts: Sequence[Buffer]) -> None:
+        """Enqueue one framed PDU (as segments) for the next batch."""
+        if self._closed or self.writer.is_closing():
+            return
+        self.sends += 1
+        self._outbox.extend(parts)
+        for part in parts:
+            self._outbox_bytes += len(part)
+        if self._outbox_bytes >= self.high_water_bytes:
+            self._push()
+        if not self._flush_scheduled:
+            self._flush_scheduled = True
+            self._loop.call_soon(self._flush_batch)
+
+    def _push(self) -> None:
+        """Move the outbox into the transport's write buffer (no drain)."""
+        buffers, self._outbox = self._outbox, []
+        self._outbox_bytes = 0
+        if buffers and not self.writer.is_closing():
+            self.writer.writelines(buffers)
+
+    def _flush_batch(self) -> None:
+        """End-of-tick flush: one ``writelines`` for the whole batch.
+
+        Runs as a plain callback, not a task — nothing here awaits. The
+        standby drain task is only woken when the transport reports real
+        back-pressure, so the steady-state batch costs one syscall and
+        zero task switches.
+        """
+        self._flush_scheduled = False
+        if self._closed:
+            return
+        self._push()
+        self.flushes += 1
+        if self.on_flush is not None:
+            self.on_flush()
+        if self._write_buffer_size() > self.high_water_bytes:
+            self._wakeup.set()
+
+    def _write_buffer_size(self) -> int:
+        transport = self.writer.transport
+        if transport is None:
+            return 0
+        return transport.get_write_buffer_size()
+
+    async def _run(self) -> None:
+        """Standby drain task: applies back-pressure only when asked."""
+        try:
+            while not self._closed:
+                await self._wakeup.wait()
+                self._wakeup.clear()
+                if self._closed:
+                    break
+                # The sanctioned drain: one per pressured batch, covering
+                # every send since the transport last emptied.
+                await self.writer.drain()  # repro: allow[async-blocking]
+        except asyncio.CancelledError:
+            raise
+        except (ConnectionError, OSError):
+            self._closed = True
+            if self.on_error is not None:
+                self.on_error()
+
+    def abort(self) -> None:
+        """Synchronous teardown: push what's queued, stop the task."""
+        if not self._closed:
+            self._closed = True
+            self._push()
+        self._task.cancel()
+
+    async def aclose(self) -> None:
+        """Flush the outbox best-effort, then stop the flusher task."""
+        self.abort()
+        try:
+            await self._task
+        except asyncio.CancelledError:
+            pass
+        except (ConnectionError, OSError):
+            return
+        if not self.writer.is_closing():
+            try:
+                await self.writer.drain()  # repro: allow[async-blocking]
+            except (ConnectionError, OSError):
+                pass

@@ -13,6 +13,7 @@ corrupted responses byte-for-byte, not just error codes.
 from __future__ import annotations
 
 import asyncio
+import functools
 import random
 import time
 from dataclasses import dataclass, field
@@ -30,8 +31,13 @@ OBJECTS_PER_CLIENT = 16
 CLIENT_OID_STRIDE = 0x100
 
 
+@functools.lru_cache(maxsize=256)
 def payload_for(client: int, obj_index: int, version: int, size: int) -> bytes:
-    """Deterministic payload content — the read-verification oracle."""
+    """Deterministic payload content — the read-verification oracle.
+
+    Cached: re-verifying the current version of a hot object must not bill
+    a fresh PRNG seeding against the measured client loop.
+    """
     return random.Random(f"{client}/{obj_index}/{version}").randbytes(size)
 
 
@@ -72,64 +78,66 @@ class LoadReport:
         return sum(self.latencies) / len(self.latencies) * 1e3 if self.latencies else 0.0
 
 
+async def _client_seed(
+    client_id: int,
+    client: AsyncOsdClient,
+    objects: List[ObjectId],
+    payload_bytes: int,
+) -> None:
+    """Warmup: connect and write every object once (outside the timed window)."""
+    await client.connect()
+    for index, object_id in enumerate(objects):
+        await client.write(
+            object_id, payload_for(client_id, index, 0, payload_bytes), class_id=3
+        )
+
+
 async def _client_loop(
     client_id: int,
-    host: str,
-    port: int,
+    client: AsyncOsdClient,
+    objects: List[ObjectId],
     report: LoadReport,
     *,
     requests: int,
     payload_bytes: int,
     write_fraction: float,
     seed: int,
-    timeout: float,
-    retry: RetryPolicy,
 ) -> None:
     rng = random.Random(f"{seed}/{client_id}")
-    base_oid = FIRST_USER_OID + CLIENT_OID_STRIDE * (client_id + 1)
-    objects = [ObjectId(PARTITION_BASE, base_oid + i) for i in range(OBJECTS_PER_CLIENT)]
     versions = [0] * OBJECTS_PER_CLIENT
-    async with AsyncOsdClient(
-        host, port, pool_size=1, timeout=timeout, retry=retry
-    ) as client:
-        # Seed every object once so reads always have something to verify.
-        for index, object_id in enumerate(objects):
-            await client.write(
-                object_id, payload_for(client_id, index, 0, payload_bytes), class_id=3
-            )
-        for _ in range(requests):
-            index = rng.randrange(OBJECTS_PER_CLIENT)
-            object_id = objects[index]
-            is_write = rng.random() < write_fraction
-            started = time.perf_counter()
-            try:
-                if is_write:
-                    versions[index] += 1
-                    payload = payload_for(
-                        client_id, index, versions[index], payload_bytes
-                    )
-                    response = await client.write(object_id, payload, class_id=3)
-                    ok = response.ok
-                else:
-                    payload, response = await client.read(object_id)
-                    ok = response.ok
-                    expected = payload_for(
-                        client_id, index, versions[index], payload_bytes
-                    )
-                    if ok and payload != expected:
-                        report.corrupted += 1
-            except OsdServiceError:
-                ok = False
-            elapsed = time.perf_counter() - started
-            report.ops += 1
-            report.latencies.append(elapsed)
-            if ok:
-                report.payload_bytes_moved += payload_bytes
+    for _ in range(requests):
+        index = rng.randrange(OBJECTS_PER_CLIENT)
+        object_id = objects[index]
+        is_write = rng.random() < write_fraction
+        started = time.perf_counter()
+        try:
+            if is_write:
+                versions[index] += 1
+                payload = payload_for(
+                    client_id, index, versions[index], payload_bytes
+                )
+                response = await client.write(object_id, payload, class_id=3)
+                ok = response.ok
             else:
-                report.errors += 1
-        report.retries += client.stats.retries
-        report.timeouts += client.stats.timeouts
-        report.connection_errors += client.stats.connection_errors
+                payload, response = await client.read(object_id)
+                ok = response.ok
+                expected = payload_for(
+                    client_id, index, versions[index], payload_bytes
+                )
+                if ok and payload != expected:
+                    report.corrupted += 1
+        except OsdServiceError:
+            ok = False
+        elapsed = time.perf_counter() - started
+        report.ops += 1
+        report.latencies.append(elapsed)
+        if ok:
+            report.payload_bytes_moved += payload_bytes
+        else:
+            report.errors += 1
+    report.retries += client.stats.retries
+    report.timeouts += client.stats.timeouts
+    report.connection_errors += client.stats.connection_errors
 
 
 async def run_load(
@@ -144,30 +152,55 @@ async def run_load(
     timeout: float = 2.0,
     retry: Optional[RetryPolicy] = None,
 ) -> LoadReport:
-    """Drive the server with ``clients`` concurrent closed-loop clients."""
+    """Drive the server with ``clients`` concurrent closed-loop clients.
+
+    Connection setup and the initial object seeding happen *before* the
+    timed window opens, so the reported rates measure steady-state service,
+    not connect/warmup cost.
+    """
     report = LoadReport(
         clients=clients,
         requests_per_client=requests_per_client,
         payload_bytes=payload_bytes,
     )
     retry = retry or RetryPolicy(seed=seed)
-    started = time.perf_counter()
-    await asyncio.gather(*(
-        _client_loop(
-            client_id,
-            host,
-            port,
-            report,
-            requests=requests_per_client,
-            payload_bytes=payload_bytes,
-            write_fraction=write_fraction,
-            seed=seed,
-            timeout=timeout,
-            retry=retry,
-        )
+    pool = [
+        AsyncOsdClient(host, port, pool_size=1, timeout=timeout, retry=retry)
+        for _ in range(clients)
+    ]
+    object_sets = [
+        [
+            ObjectId(
+                PARTITION_BASE,
+                FIRST_USER_OID + CLIENT_OID_STRIDE * (client_id + 1) + i,
+            )
+            for i in range(OBJECTS_PER_CLIENT)
+        ]
         for client_id in range(clients)
-    ))
-    report.wall_seconds = time.perf_counter() - started
+    ]
+    try:
+        await asyncio.gather(*(
+            _client_seed(client_id, pool[client_id], object_sets[client_id], payload_bytes)
+            for client_id in range(clients)
+        ))
+        started = time.perf_counter()
+        await asyncio.gather(*(
+            _client_loop(
+                client_id,
+                pool[client_id],
+                object_sets[client_id],
+                report,
+                requests=requests_per_client,
+                payload_bytes=payload_bytes,
+                write_fraction=write_fraction,
+                seed=seed,
+            )
+            for client_id in range(clients)
+        ))
+        report.wall_seconds = time.perf_counter() - started
+    finally:
+        for client in pool:
+            await client.aclose()
     return report
 
 

@@ -26,25 +26,40 @@ Robustness model:
   :data:`~repro.osd.types.SERVICE_STATS_OBJECT` is answered by the server
   with a JSON :class:`~repro.net.stats.ServiceStats` snapshot (connections,
   in-flight depth, retries seen, timeouts, p50/p99 service latency).
+
+Throughput model (zero-copy + coalescing PR): the read side pulls large
+chunks into a zero-copy :class:`~repro.osd.transport.FrameDecoder` (PDUs
+are memoryview slices of the receive buffer; the data segment is copied
+exactly once, into the command payload), and the write side batches — every
+response is enqueued on a per-connection :class:`~repro.net.flush.StreamFlusher`
+as ``[frame prefix, header, payload]`` segments and shipped with one
+``writelines`` + one ``drain`` per event-loop tick instead of one drain per
+command. ``--workers N`` (see :mod:`repro.net.cluster`) scales past the
+GIL with one target shard per worker process.
 """
 
 from __future__ import annotations
 
 import asyncio
+import socket
 import time
 from typing import Awaitable, Callable, Optional, Set
 
 from repro.errors import ControlMessageError, OsdError, WireError
+from repro.net.flush import StreamFlusher
 from repro.net.stats import ServiceStats
 from repro.osd import wire
 from repro.osd.commands import OsdCommand, Write
 from repro.osd.control import QueryMessage, parse_control_message
 from repro.osd.sense import SenseCode
 from repro.osd.target import OsdResponse, OsdTarget
-from repro.osd.transport import FRAME_PREFIX_BYTES, frame_length, frame_pdu
+from repro.osd.transport import FrameDecoder, frame_parts
 from repro.osd.types import CONTROL_OBJECT, SERVICE_STATS_OBJECT
 
-__all__ = ["FaultHook", "OsdServer"]
+__all__ = ["FaultHook", "OsdServer", "RECV_CHUNK_BYTES"]
+
+#: Read-side chunk size: one ``await`` can pull many pipelined frames.
+RECV_CHUNK_BYTES = 256 * 1024
 
 #: Test/chaos hook called after a command executes, before its response is
 #: sent. May sleep to delay the response past the client's timeout. Return
@@ -65,22 +80,30 @@ class _Connection:
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
         max_in_flight: int,
+        on_flush: Optional[Callable[[], None]] = None,
     ) -> None:
         self.reader = reader
         self.writer = writer
         self.semaphore = asyncio.Semaphore(max_in_flight)
         self.tasks: Set[asyncio.Task] = set()
         self.dropped = False
+        self.flusher = StreamFlusher(writer, on_error=self.drop, on_flush=on_flush)
 
-    def send(self, pdu: bytes) -> None:
-        """Queue one framed PDU; a single ``write`` keeps frames atomic."""
+    def send(self, response: OsdResponse, seq: Optional[int]) -> None:
+        """Enqueue one response for the connection's next coalesced flush."""
         if self.dropped or self.writer.is_closing():
             return
-        self.writer.write(frame_pdu(pdu))
+        self.flusher.send(frame_parts(wire.encode_response_parts(response, seq=seq)))
 
     def drop(self) -> None:
-        """Sever the connection immediately (fault injection / fatal error)."""
+        """Sever the connection immediately (fault injection / fatal error).
+
+        Already-queued responses are pushed into the transport first;
+        ``close()`` flushes the transport buffer before the FIN, so a
+        drained-then-dropped connection still delivers its replies.
+        """
         self.dropped = True
+        self.flusher.abort()
         if not self.writer.is_closing():
             self.writer.close()
 
@@ -100,6 +123,8 @@ class OsdServer:
         drain_timeout: float = 5.0,
         fault_hook: Optional[FaultHook] = None,
         fault_plan: "object | None" = None,
+        reuse_port: bool = False,
+        sock: Optional[socket.socket] = None,
     ) -> None:
         """
         Args:
@@ -109,6 +134,11 @@ class OsdServer:
                 plan that drives the simulated array maps onto wire-level
                 faults (torn writes → dropped acks, transient read errors →
                 timeouts, fail-slow → delayed responses).
+            reuse_port: bind with ``SO_REUSEPORT`` so sibling worker
+                processes can share the port (multi-process serving).
+            sock: pre-bound listening socket to accept on instead of
+                binding ``host:port`` — the sharded-accept fallback where
+                ``SO_REUSEPORT`` is unavailable.
         """
         self.target = target
         self.host = host
@@ -122,6 +152,8 @@ class OsdServer:
 
             fault_hook = make_net_fault_hook(fault_plan)
         self.fault_hook = fault_hook
+        self.reuse_port = reuse_port
+        self.sock = sock
         self.stats = ServiceStats()
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: Set[_Connection] = set()
@@ -132,7 +164,14 @@ class OsdServer:
     # ------------------------------------------------------------------
     async def start(self) -> None:
         """Bind and start accepting; resolves the actual port for port 0."""
-        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        if self.sock is not None:
+            self._server = await asyncio.start_server(self._handle, sock=self.sock)
+        elif self.reuse_port:
+            self._server = await asyncio.start_server(
+                self._handle, self.host, self.port, reuse_port=True
+            )
+        else:
+            self._server = await asyncio.start_server(self._handle, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
 
     async def shutdown(self) -> None:
@@ -163,7 +202,12 @@ class OsdServer:
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        conn = _Connection(reader, writer, self.max_in_flight)
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            # Response traffic is latency-sensitive: never sit in Nagle's
+            # buffer waiting for an ACK.
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        conn = _Connection(reader, writer, self.max_in_flight, self._count_flush)
         self._connections.add(conn)
         self.stats.connections_total += 1
         self.stats.connections_active += 1
@@ -179,48 +223,69 @@ class OsdServer:
             self._connections.discard(conn)
             self.stats.connections_active -= 1
 
+    def _count_flush(self) -> None:
+        self.stats.flushes += 1
+
     async def _read_loop(self, conn: _Connection) -> None:
+        decoder = FrameDecoder(self.max_pdu_bytes)
         while not self._draining and not conn.dropped:
             try:
-                prefix = await conn.reader.readexactly(FRAME_PREFIX_BYTES)
-                length = frame_length(prefix, self.max_pdu_bytes)
-                pdu = await conn.reader.readexactly(length)
-            except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                chunk = await conn.reader.read(RECV_CHUNK_BYTES)
+            except (ConnectionError, OSError):
                 return  # client went away
+            if not chunk:
+                return  # EOF (a dangling partial frame is just discarded)
+            try:
+                decoder.feed(chunk)
+                for frame in decoder.frames():
+                    await self._accept_frame(conn, frame)
+                    if self._draining or conn.dropped:
+                        return
             except WireError:
                 # Oversized/poisoned frame: the stream cannot be resynced.
                 self.stats.wire_errors += 1
                 return
-            try:
-                seq, retry, command = wire.decode_command_pdu(pdu)
-            except WireError:
-                # The frame boundary held, so the stream is still good:
-                # answer a structured failure and keep serving.
-                self.stats.wire_errors += 1
-                conn.send(wire.encode_response(
-                    OsdResponse(SenseCode.FAIL), seq=self._salvage_seq(pdu)
-                ))
-                continue
-            if retry:
-                self.stats.retries_seen += 1
-            if (
-                self.max_total_in_flight is not None
-                and self.stats.in_flight >= self.max_total_in_flight
-            ):
-                self.stats.busy_rejections += 1
-                conn.send(wire.encode_response(
-                    OsdResponse(SenseCode.SERVER_BUSY), seq=seq
-                ))
-                continue
-            # Backpressure: stop reading this socket while the connection is
-            # at its in-flight bound.
-            await conn.semaphore.acquire()
-            task = asyncio.ensure_future(self._serve_command(conn, seq, command))
-            conn.tasks.add(task)
-            task.add_done_callback(conn.tasks.discard)
+
+    async def _accept_frame(self, conn: _Connection, frame: memoryview) -> None:
+        """Decode one framed PDU and hand it to a serving task.
+
+        The memoryview is only valid until the caller pulls the next frame,
+        so decoding (which copies the payload out) happens before any await
+        that could interleave with the decoder.
+        """
+        try:
+            seq, retry, command = wire.decode_command_pdu(frame)
+        except WireError:
+            # The frame boundary held, so the stream is still good:
+            # answer a structured failure and keep serving.
+            self.stats.wire_errors += 1
+            conn.send(OsdResponse(SenseCode.FAIL), seq=self._salvage_seq(frame))
+            return
+        if retry:
+            self.stats.retries_seen += 1
+        if (
+            self.max_total_in_flight is not None
+            and self.stats.in_flight >= self.max_total_in_flight
+        ):
+            self.stats.busy_rejections += 1
+            conn.send(OsdResponse(SenseCode.SERVER_BUSY), seq=seq)
+            return
+        if self.fault_hook is None:
+            # Fast path: execution is synchronous, so a task per command
+            # buys nothing but scheduler overhead. Serving inline also
+            # means every command in this receive chunk lands its response
+            # in the same coalesced flush.
+            self._serve_inline(conn, seq, command)
+            return
+        # Backpressure: stop reading this socket while the connection is
+        # at its in-flight bound.
+        await conn.semaphore.acquire()
+        task = asyncio.ensure_future(self._serve_command(conn, seq, command))
+        conn.tasks.add(task)
+        task.add_done_callback(conn.tasks.discard)
 
     @staticmethod
-    def _salvage_seq(pdu: bytes) -> Optional[int]:
+    def _salvage_seq(pdu: "wire.Buffer") -> Optional[int]:
         """Best-effort sequence id of a PDU whose command failed to decode."""
         try:
             header, _ = wire._unpack(pdu)
@@ -228,6 +293,20 @@ class OsdServer:
             return int(seq) if seq is not None else None
         except (WireError, TypeError, ValueError):
             return None
+
+    def _serve_inline(
+        self, conn: _Connection, seq: Optional[int], command: OsdCommand
+    ) -> None:
+        """Hook-free serving: execute and enqueue without a task round trip."""
+        self.stats.begin_command()
+        started = time.perf_counter()
+        ok = False
+        try:
+            response = self._execute(command)
+            ok = response.ok
+            conn.send(response, seq=seq)
+        finally:
+            self.stats.end_command(time.perf_counter() - started, ok)
 
     async def _serve_command(
         self, conn: _Connection, seq: Optional[int], command: OsdCommand
@@ -244,16 +323,12 @@ class OsdServer:
                     return
                 if action == "timeout":
                     self.stats.timeouts += 1
-                    conn.send(wire.encode_response(
-                        OsdResponse(SenseCode.SERVER_TIMEOUT), seq=seq
-                    ))
+                    conn.send(OsdResponse(SenseCode.SERVER_TIMEOUT), seq=seq)
                     return
             ok = response.ok
-            conn.send(wire.encode_response(response, seq=seq))
-            try:
-                await conn.writer.drain()
-            except (ConnectionError, OSError):
-                conn.drop()
+            # No per-command drain: the connection's flusher ships every
+            # response enqueued this tick with one writelines + one drain.
+            conn.send(response, seq=seq)
         finally:
             conn.semaphore.release()
             self.stats.end_command(time.perf_counter() - started, ok)
@@ -321,7 +396,43 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--chunk-kb", type=int, default=64)
     parser.add_argument("--parity", type=int, default=1)
     parser.add_argument("--max-in-flight", type=int, default=32)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes sharing the port, one target shard each "
+        "(default 1 = single-process, in this process)",
+    )
     args = parser.parse_args(argv)
+
+    if args.workers > 1:
+        from repro.net.cluster import WorkerPool
+
+        pool = WorkerPool(
+            lambda _worker_id: _build_target(
+                args.devices, args.device_mb, args.chunk_kb, args.parity
+            ),
+            args.workers,
+            host=args.host,
+            port=args.port,
+            max_in_flight=args.max_in_flight,
+        )
+        pool.start()
+        mode = "SO_REUSEPORT" if pool.reuse_port else "sharded accept"
+        print(
+            f"osd worker pool listening on {args.host}:{pool.port} "
+            f"({args.workers} workers, {mode}; Ctrl-C to stop)"
+        )
+        try:
+            import signal
+
+            signal.sigwait({signal.SIGINT, signal.SIGTERM})
+        except (KeyboardInterrupt, AttributeError):
+            pass
+        finally:
+            pool.shutdown()
+            print("osd worker pool drained and closed")
+        return 0
 
     async def _serve() -> None:
         target = _build_target(args.devices, args.device_mb, args.chunk_kb, args.parity)

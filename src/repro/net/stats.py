@@ -67,6 +67,9 @@ class ServiceStats:
     busy_rejections: int = 0
     timeouts: int = 0
     retries_seen: int = 0
+    #: Coalesced write batches shipped (one writelines + one drain each);
+    #: ``commands / flushes`` is the realized coalescing factor.
+    flushes: int = 0
     latency: LatencyReservoir = field(default_factory=LatencyReservoir)
 
     def begin_command(self) -> None:
@@ -93,6 +96,7 @@ class ServiceStats:
             "busy_rejections": self.busy_rejections,
             "timeouts": self.timeouts,
             "retries_seen": self.retries_seen,
+            "flushes": self.flushes,
             "latency": {
                 "count": self.latency.count,
                 "mean_ms": self.latency.mean * 1e3,
@@ -110,3 +114,55 @@ def parse_stats_payload(payload: Optional[bytes]) -> Dict[str, object]:
     if not payload:
         raise ValueError("empty stats payload")
     return json.loads(payload.decode("ascii"))
+
+
+#: Snapshot counters summed across workers by :func:`merge_snapshots`.
+_ADDITIVE_KEYS = (
+    "connections_total",
+    "connections_active",
+    "in_flight",
+    "max_in_flight",
+    "commands",
+    "sense_errors",
+    "wire_errors",
+    "busy_rejections",
+    "timeouts",
+    "retries_seen",
+    "flushes",
+)
+
+
+def merge_snapshots(snapshots: List[Dict[str, object]]) -> Dict[str, object]:
+    """Aggregate per-worker :meth:`ServiceStats.snapshot` dicts.
+
+    Counters sum (``max_in_flight`` sums too: the shards run concurrently,
+    so their peak depths add). Latency merges from summaries, which is the
+    best a snapshot allows: counts and means combine exactly
+    (count-weighted); p50/p99 take the worst worker's value — a
+    conservative bound rather than a true pooled percentile.
+    """
+    totals: Dict[str, int] = {key: 0 for key in _ADDITIVE_KEYS}
+    count = 0
+    weighted_mean = 0.0
+    p50 = 0.0
+    p99 = 0.0
+    for snapshot in snapshots:
+        for key in _ADDITIVE_KEYS:
+            value = snapshot.get(key, 0)
+            totals[key] += value if isinstance(value, int) else 0
+        latency = snapshot.get("latency")
+        if isinstance(latency, dict):
+            n = int(latency.get("count", 0))
+            count += n
+            weighted_mean += float(latency.get("mean_ms", 0.0)) * n
+            p50 = max(p50, float(latency.get("p50_ms", 0.0)))
+            p99 = max(p99, float(latency.get("p99_ms", 0.0)))
+    merged: Dict[str, object] = dict(totals)
+    merged["workers"] = len(snapshots)
+    merged["latency"] = {
+        "count": count,
+        "mean_ms": weighted_mean / count if count else 0.0,
+        "p50_ms": p50,
+        "p99_ms": p99,
+    }
+    return merged

@@ -24,13 +24,15 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Iterator, List, Optional, Sequence
 
 from repro.errors import OsdError, WireError
+from repro.flash.array import ArrayIoResult
 from repro.flash.latency import NETWORK_10GBE, ServiceTimeModel
 from repro.osd import wire
 from repro.osd.commands import OsdCommand
 from repro.osd.target import OsdResponse, OsdTarget
+from repro.osd.wire import Buffer
 from repro.sim.clock import SimClock
 
 __all__ = [
@@ -39,6 +41,7 @@ __all__ = [
     "FrameDecoder",
     "IscsiChannel",
     "frame_pdu",
+    "frame_parts",
     "frame_length",
 ]
 
@@ -48,20 +51,43 @@ _FRAME = struct.Struct(">I")
 FRAME_PREFIX_BYTES = _FRAME.size
 
 
-def frame_pdu(pdu: bytes, max_bytes: int = wire.MAX_PDU_BYTES) -> bytes:
+def frame_pdu(pdu: Buffer, max_bytes: int = wire.MAX_PDU_BYTES) -> bytes:
     """Wrap a PDU for a byte stream: 4-byte big-endian length + PDU."""
     if len(pdu) > max_bytes:
         raise WireError(
             f"refusing to frame a {len(pdu)}-byte PDU (limit {max_bytes})"
         )
-    return _FRAME.pack(len(pdu)) + pdu
+    return _FRAME.pack(len(pdu)) + bytes(pdu)
 
 
-def frame_length(prefix: bytes, max_bytes: int = wire.MAX_PDU_BYTES) -> int:
-    """Validate and decode one frame's length prefix."""
-    if len(prefix) < FRAME_PREFIX_BYTES:
+def frame_parts(parts: Sequence[Buffer], max_bytes: int = wire.MAX_PDU_BYTES) -> List[Buffer]:
+    """Frame a PDU given as segments, without concatenating them.
+
+    The vectored twin of :func:`frame_pdu`: returns ``[prefix, *parts]``
+    ready for ``StreamWriter.writelines``, so a large payload segment is
+    never copied into a joined frame just to be written.
+    """
+    total = sum(len(part) for part in parts)
+    if total > max_bytes:
+        raise WireError(
+            f"refusing to frame a {total}-byte PDU (limit {max_bytes})"
+        )
+    framed: List[Buffer] = [_FRAME.pack(total)]
+    framed.extend(part for part in parts if len(part))
+    return framed
+
+
+def frame_length(
+    prefix: Buffer, max_bytes: int = wire.MAX_PDU_BYTES, offset: int = 0
+) -> int:
+    """Validate and decode one frame's length prefix.
+
+    Accepts any buffer-protocol object; ``offset`` lets stream decoders
+    read the prefix in place instead of slicing it out first.
+    """
+    if len(prefix) - offset < FRAME_PREFIX_BYTES:
         raise WireError("truncated frame: missing length prefix")
-    (length,) = _FRAME.unpack_from(prefix)
+    (length,) = _FRAME.unpack_from(prefix, offset)
     if length > max_bytes:
         raise WireError(
             f"declared frame of {length} bytes exceeds the {max_bytes}-byte limit"
@@ -70,33 +96,61 @@ def frame_length(prefix: bytes, max_bytes: int = wire.MAX_PDU_BYTES) -> int:
 
 
 class FrameDecoder:
-    """Incremental stream-to-frame reassembler.
+    """Incremental stream-to-frame reassembler, zero-copy.
 
     Feed arbitrary byte chunks in; iterate complete PDUs out. Oversized
     frames raise :class:`~repro.errors.WireError` immediately — as soon as
     the poisoned length prefix arrives, before buffering the body.
+
+    **Buffer ownership:** :meth:`frames` yields :class:`memoryview` slices
+    over the decoder's internal buffer — no per-frame copy. A yielded view
+    is valid only until the next :meth:`feed` or :meth:`frames` call, at
+    which point the decoder reclaims the consumed region: every
+    previously yielded view is *released*, so stale use raises
+    ``ValueError`` instead of silently reading recycled bytes. Consumers
+    that need a frame beyond the current batch must ``bytes(frame)`` it.
     """
 
     def __init__(self, max_bytes: int = wire.MAX_PDU_BYTES) -> None:
         self.max_bytes = max_bytes
         self._buffer = bytearray()
+        #: Bytes of ``_buffer`` already yielded as frames (compacted lazily).
+        self._consumed = 0
+        self._exported: List[memoryview] = []
 
-    def feed(self, data: bytes) -> None:
-        self._buffer.extend(data)
+    def _reclaim(self) -> None:
+        """Invalidate handed-out views and drop the consumed prefix."""
+        for view in self._exported:
+            view.release()
+        self._exported.clear()
+        if self._consumed:
+            del self._buffer[: self._consumed]
+            self._consumed = 0
+
+    def feed(self, data: Buffer) -> None:
+        self._reclaim()
+        self._buffer += data
 
     @property
     def buffered_bytes(self) -> int:
-        return len(self._buffer)
+        return len(self._buffer) - self._consumed
 
-    def frames(self) -> Iterator[bytes]:
-        """Yield every complete PDU currently buffered."""
-        while len(self._buffer) >= FRAME_PREFIX_BYTES:
-            length = frame_length(bytes(self._buffer[:FRAME_PREFIX_BYTES]), self.max_bytes)
-            end = FRAME_PREFIX_BYTES + length
+    def frames(self) -> Iterator[memoryview]:
+        """Yield every complete PDU currently buffered, as memoryviews."""
+        self._reclaim()
+        while len(self._buffer) - self._consumed >= FRAME_PREFIX_BYTES:
+            length = frame_length(self._buffer, self.max_bytes, offset=self._consumed)
+            start = self._consumed + FRAME_PREFIX_BYTES
+            end = start + length
             if len(self._buffer) < end:
                 return
-            frame = bytes(self._buffer[FRAME_PREFIX_BYTES:end])
-            del self._buffer[:end]
+            whole = memoryview(self._buffer)
+            frame = whole[start:end]
+            # Releasing the parent view leaves the slice valid; only the
+            # slice pins the buffer against compaction.
+            whole.release()
+            self._exported.append(frame)
+            self._consumed = end
             yield frame
 
 
@@ -139,6 +193,12 @@ class IscsiChannel:
         plus the target-side execution time, so callers see end-to-end
         latency. Failed submissions (wire or target exceptions) are counted
         in :attr:`ChannelStats.failures` before the exception propagates.
+
+        The *command* still round-trips through real PDU bytes — that is
+        the honest serialization boundary. The *response* is encoded once
+        to bill its transfer from the true frame length, then returned
+        directly instead of being pointlessly decoded back out of the
+        bytes the target itself just produced.
         """
         self.stats.commands += 1
         try:
@@ -146,17 +206,31 @@ class IscsiChannel:
             outbound = self._transfer(len(request_frame), write=True)
             decoded = wire.decode_command(request_frame[FRAME_PREFIX_BYTES:])
             response = decoded.apply(self.target)
-            response_frame = frame_pdu(wire.encode_response(response))
-            inbound = self._transfer(len(response_frame), write=False)
-            result = wire.decode_response(response_frame[FRAME_PREFIX_BYTES:])
+            response_frame_bytes = FRAME_PREFIX_BYTES + len(wire.encode_response(response))
+            inbound = self._transfer(response_frame_bytes, write=False)
         except OsdError:
             self.stats.failures += 1
             raise
-        result.io.elapsed += outbound + inbound
+        # Rebuild the io summary with only the fields the wire carries
+        # (op/device_io never cross it), so billing the transfer legs
+        # neither mutates the target's ArrayIoResult nor leaks host-side
+        # detail the encoded response would have dropped.
+        result = OsdResponse(
+            response.sense,
+            io=ArrayIoResult(
+                elapsed=response.io.elapsed + outbound + inbound,
+                chunks_read=response.io.chunks_read,
+                chunks_written=response.io.chunks_written,
+                bytes_read=response.io.bytes_read,
+                bytes_written=response.io.bytes_written,
+                degraded=response.io.degraded,
+            ),
+            payload=response.payload,
+        )
         if not result.ok:
             self.stats.sense_errors += 1
         self.stats.bytes_sent += len(request_frame)
-        self.stats.bytes_received += len(response_frame)
+        self.stats.bytes_received += response_frame_bytes
         return result
 
     def _transfer(self, num_bytes: int, write: bool) -> float:

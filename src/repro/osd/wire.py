@@ -18,13 +18,22 @@ failure raises :class:`~repro.errors.WireError` (an :class:`OsdError`
 subclass) so transports can tell stream corruption from target errors.
 PDU headers optionally carry a ``seq`` sequence id, which lets a pipelined
 connection match out-of-order responses to their requests.
+
+Zero-copy (throughput PR): every decode path accepts any buffer-protocol
+object (``bytes``/``bytearray``/``memoryview``), so a stream decoder can
+hand PDU slices straight off its receive buffer without materializing an
+intermediate copy — the data segment is copied exactly once, into the
+command/response payload. On the send side the ``encode_*_parts``
+variants return the PDU as ``[header segment, payload]`` buffers for
+``StreamWriter.writelines``, so large payloads are never concatenated
+into a fresh PDU bytestring just to be written.
 """
 
 from __future__ import annotations
 
 import json
 import struct
-from typing import Any, Dict, NamedTuple, Optional, Tuple
+from typing import Any, Dict, List, NamedTuple, Optional, Tuple, Union
 
 from repro.errors import WireError
 from repro.flash.array import ArrayIoResult
@@ -34,6 +43,7 @@ from repro.osd.target import OsdResponse
 from repro.osd.types import ObjectId, ObjectKind
 
 __all__ = [
+    "Buffer",
     "CommandPdu",
     "MAX_HEADER_BYTES",
     "MAX_PDU_BYTES",
@@ -42,8 +52,14 @@ __all__ = [
     "decode_response",
     "decode_response_pdu",
     "encode_command",
+    "encode_command_parts",
     "encode_response",
+    "encode_response_parts",
 ]
+
+#: Anything the decode paths and vectored send paths accept in place of
+#: ``bytes``. (``collections.abc.Buffer`` needs 3.12; spell it out.)
+Buffer = Union[bytes, bytearray, memoryview]
 
 _LENGTH = struct.Struct(">I")
 
@@ -56,26 +72,48 @@ MAX_HEADER_BYTES = 64 * 1024
 MAX_PDU_BYTES = 64 * 1024 * 1024
 
 
-def _pack(
-    header: Dict[str, Any], data: bytes = b"", seq: Optional[int] = None
-) -> bytes:
+def _pack_parts(
+    header: Dict[str, Any], data: Buffer = b"", seq: Optional[int] = None
+) -> List[Buffer]:
+    """Serialize a PDU as ``[length-prefixed header, payload]`` buffers.
+
+    The payload segment is passed through untouched — the zero-copy half
+    of the send path. Size limits are enforced on the would-be total.
+    """
     if seq is not None:
         header = dict(header, seq=int(seq))
-    header_bytes = json.dumps(header, sort_keys=True).encode("ascii")
+    header_bytes = json.dumps(
+        header, sort_keys=True, separators=(",", ":")
+    ).encode("ascii")
     if len(header_bytes) > MAX_HEADER_BYTES:
         raise WireError(
             f"PDU header of {len(header_bytes)} bytes exceeds the "
             f"{MAX_HEADER_BYTES}-byte limit"
         )
-    pdu = _LENGTH.pack(len(header_bytes)) + header_bytes + data
-    if len(pdu) > MAX_PDU_BYTES:
+    total = _LENGTH.size + len(header_bytes) + len(data)
+    if total > MAX_PDU_BYTES:
         raise WireError(
-            f"PDU of {len(pdu)} bytes exceeds the {MAX_PDU_BYTES}-byte limit"
+            f"PDU of {total} bytes exceeds the {MAX_PDU_BYTES}-byte limit"
         )
-    return pdu
+    parts: List[Buffer] = [_LENGTH.pack(len(header_bytes)) + header_bytes]
+    if len(data):
+        parts.append(data)
+    return parts
 
 
-def _unpack(pdu: bytes) -> Tuple[Dict[str, Any], bytes]:
+def _pack(
+    header: Dict[str, Any], data: Buffer = b"", seq: Optional[int] = None
+) -> bytes:
+    return b"".join(_pack_parts(header, data, seq))
+
+
+def _unpack(pdu: Buffer) -> Tuple[Dict[str, Any], Buffer]:
+    """Split a PDU into its header dict and data segment.
+
+    Accepts any buffer-protocol object. The returned data segment is a
+    zero-copy slice of the input when the input was a ``memoryview`` —
+    callers own the materialization decision.
+    """
     if len(pdu) > MAX_PDU_BYTES:
         raise WireError(
             f"PDU of {len(pdu)} bytes exceeds the {MAX_PDU_BYTES}-byte limit"
@@ -92,7 +130,7 @@ def _unpack(pdu: bytes) -> Tuple[Dict[str, Any], bytes]:
     if len(pdu) < end:
         raise WireError("truncated PDU: header shorter than declared")
     try:
-        header = json.loads(pdu[_LENGTH.size : end].decode("ascii"))
+        header = json.loads(bytes(pdu[_LENGTH.size : end]).decode("ascii"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise WireError(f"malformed PDU header: {exc}") from None
     if not isinstance(header, dict):
@@ -100,6 +138,11 @@ def _unpack(pdu: bytes) -> Tuple[Dict[str, Any], bytes]:
             f"PDU header must be a JSON object, got {type(header).__name__}"
         )
     return header, pdu[end:]
+
+
+def _materialize(data: Buffer) -> bytes:
+    """Copy a data segment out of the decoder's buffer, exactly once."""
+    return data if isinstance(data, bytes) else bytes(data)
 
 
 def _seq_of(header: Dict[str, Any]) -> Optional[int]:
@@ -140,6 +183,26 @@ def encode_command(
         retry: retransmission attempt number (0 = first send). Lets the
             server count retried commands in its service stats.
     """
+    return _pack(*_command_envelope(command, retry), seq=seq)
+
+
+def encode_command_parts(
+    command: commands.OsdCommand,
+    seq: Optional[int] = None,
+    retry: int = 0,
+) -> List[Buffer]:
+    """Serialize a command as ``[header segment, payload]`` buffers.
+
+    The vectored twin of :func:`encode_command` — the write/update payload
+    rides along un-copied, for ``writelines``-style send paths.
+    """
+    header, data = _command_envelope(command, retry)
+    return _pack_parts(header, data, seq=seq)
+
+
+def _command_envelope(
+    command: commands.OsdCommand, retry: int = 0
+) -> Tuple[Dict[str, Any], bytes]:
     header: Optional[Dict[str, Any]] = None
     data = b""
     if isinstance(command, commands.CreatePartition):
@@ -173,10 +236,10 @@ def encode_command(
         raise WireError(f"cannot encode command {command!r}")
     if retry:
         header["retry"] = int(retry)
-    return _pack(header, data, seq=seq)
+    return header, data
 
 
-def decode_command(pdu: bytes) -> commands.OsdCommand:
+def decode_command(pdu: Buffer) -> commands.OsdCommand:
     """Parse a command PDU back into a command object."""
     return decode_command_pdu(pdu).command
 
@@ -189,7 +252,7 @@ class CommandPdu(NamedTuple):
     command: commands.OsdCommand
 
 
-def decode_command_pdu(pdu: bytes) -> CommandPdu:
+def decode_command_pdu(pdu: Buffer) -> CommandPdu:
     """Parse a command PDU into its ``(seq, retry, command)`` envelope."""
     header, data = _unpack(pdu)
     seq = _seq_of(header)
@@ -200,7 +263,7 @@ def decode_command_pdu(pdu: bytes) -> CommandPdu:
         raise WireError(f"malformed command PDU: {exc!r}") from None
 
 
-def _command_from(header: Dict[str, Any], data: bytes) -> commands.OsdCommand:
+def _command_from(header: Dict[str, Any], data: Buffer) -> commands.OsdCommand:
     op = header.get("op")
     if op == "create_partition":
         return commands.CreatePartition(int(header["partition"]))
@@ -212,11 +275,13 @@ def _command_from(header: Dict[str, Any], data: bytes) -> commands.OsdCommand:
         class_id = header.get("class_id")
         return commands.Write(
             _object_id_from(header),
-            data,
+            _materialize(data),
             class_id if class_id is None else int(class_id),
         )
     if op == "update":
-        return commands.Update(_object_id_from(header), int(header["offset"]), data)
+        return commands.Update(
+            _object_id_from(header), int(header["offset"]), _materialize(data)
+        )
     if op == "read":
         return commands.Read(_object_id_from(header))
     if op == "remove":
@@ -241,7 +306,23 @@ def encode_response(response: OsdResponse, seq: Optional[int] = None) -> bytes:
     ``seq`` echoes the request's sequence id so pipelined connections can
     match out-of-order responses to in-flight requests.
     """
-    header: Dict[str, Any] = {
+    return _pack(_response_header(response), response.payload or b"", seq=seq)
+
+
+def encode_response_parts(
+    response: OsdResponse, seq: Optional[int] = None
+) -> List[Buffer]:
+    """Serialize a response as ``[header segment, payload]`` buffers.
+
+    The vectored twin of :func:`encode_response` — a read payload is
+    written straight from the object store's bytes, never copied into a
+    concatenated PDU.
+    """
+    return _pack_parts(_response_header(response), response.payload or b"", seq=seq)
+
+
+def _response_header(response: OsdResponse) -> Dict[str, Any]:
+    return {
         "sense": int(response.sense),
         "elapsed": response.io.elapsed,
         "chunks_read": response.io.chunks_read,
@@ -251,15 +332,14 @@ def encode_response(response: OsdResponse, seq: Optional[int] = None) -> bytes:
         "degraded": response.io.degraded,
         "has_payload": response.payload is not None,
     }
-    return _pack(header, response.payload or b"", seq=seq)
 
 
-def decode_response(pdu: bytes) -> OsdResponse:
+def decode_response(pdu: Buffer) -> OsdResponse:
     """Parse a response PDU."""
     return decode_response_pdu(pdu)[1]
 
 
-def decode_response_pdu(pdu: bytes) -> Tuple[Optional[int], OsdResponse]:
+def decode_response_pdu(pdu: Buffer) -> Tuple[Optional[int], OsdResponse]:
     """Parse a response PDU; returns ``(sequence id or None, response)``."""
     header, data = _unpack(pdu)
     seq = _seq_of(header)
@@ -275,5 +355,5 @@ def decode_response_pdu(pdu: bytes) -> Tuple[Optional[int], OsdResponse]:
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise WireError(f"malformed response PDU: {exc}") from None
-    payload: Optional[bytes] = data if header.get("has_payload") else None
+    payload: Optional[bytes] = _materialize(data) if header.get("has_payload") else None
     return seq, OsdResponse(sense, io=io, payload=payload)

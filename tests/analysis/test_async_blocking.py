@@ -147,3 +147,77 @@ def test_nested_sync_def_body_is_quiet(lint):
         """,
     )
     assert lint.rule_ids() == []
+
+
+def test_drain_inside_per_command_loop_fires(lint):
+    lint.write(
+        "net/bad_drain_loop.py",
+        """
+        async def serve(reader, writer):
+            async for command in reader:
+                writer.write(command)
+                await writer.drain()
+        """,
+    )
+    findings = lint.run()
+    assert [f.rule_id for f in findings] == ["async-blocking"]
+    assert "coalescing" in findings[0].message
+
+
+def test_drain_inside_while_loop_fires(lint):
+    lint.write(
+        "net/bad_drain_while.py",
+        """
+        async def pump(writer, frames):
+            while frames:
+                writer.write(frames.pop())
+                await writer.drain()
+        """,
+    )
+    assert lint.rule_ids() == ["async-blocking"]
+
+
+def test_drain_outside_a_loop_is_quiet(lint):
+    # One drain per batch (after the loop) is the sanctioned shape.
+    lint.write(
+        "net/good_drain_batch.py",
+        """
+        async def flush(writer, frames):
+            for frame in frames:
+                writer.write(frame)
+            await writer.drain()
+        """,
+    )
+    assert lint.rule_ids() == []
+
+
+def test_drain_loop_suppressed_with_allow_tag(lint):
+    lint.write(
+        "net/flusher_site.py",
+        """
+        async def run(writer, wakeup):
+            while True:
+                await wakeup.wait()
+                await writer.drain()  # repro: allow[async-blocking]
+        """,
+    )
+    assert lint.rule_ids() == []
+
+
+def test_drain_in_nested_def_not_charged_to_enclosing_loop(lint):
+    # The nested coroutine runs per call, not per iteration of the loop
+    # that happens to enclose its definition.
+    lint.write(
+        "net/nested_drain.py",
+        """
+        async def build(writers):
+            closers = []
+            for writer in writers:
+                async def close_one(w=writer):
+                    w.write(b"bye")
+                    await w.drain()
+                closers.append(close_one)
+            return closers
+        """,
+    )
+    assert lint.rule_ids() == []
