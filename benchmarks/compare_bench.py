@@ -1,6 +1,6 @@
 """Compare benchmark JSON runs against their committed baselines.
 
-Three suites share this machinery:
+Four suites share this machinery:
 
 - the erasure-kernel microbenchmark (``test_rs_codec_microbench.py``) →
   ``results/BENCH_rs_codec.json`` vs ``BENCH_rs_codec.baseline.json``;
@@ -11,7 +11,11 @@ Three suites share this machinery:
   fault-campaign`` / ``test_fault_campaign.py``) →
   ``results/BENCH_fault_campaign.json`` vs
   ``BENCH_fault_campaign.baseline.json`` (detection latency,
-  time-to-full-redundancy, degraded-read p99 — all lower-is-better).
+  time-to-full-redundancy, degraded-read p99 — all lower-is-better);
+- the sharded-cluster sweep (``python -m repro.experiments
+  cluster-campaign`` / ``test_cluster_bench.py``) →
+  ``results/BENCH_cluster.json`` vs ``BENCH_cluster.baseline.json``
+  (routed op rate per shard count, plus p99 latency ceilings).
 
 A metric entry provides its value as ``new_mbps`` (throughput) or
 ``value``, plus an optional ``higher_is_better`` flag (default true).
@@ -59,6 +63,10 @@ SUITES: Dict[str, Tuple[Path, Path]] = {
     "fault_campaign": (
         _BENCH_DIR / "results" / "BENCH_fault_campaign.json",
         _BENCH_DIR / "BENCH_fault_campaign.baseline.json",
+    ),
+    "cluster": (
+        _BENCH_DIR / "results" / "BENCH_cluster.json",
+        _BENCH_DIR / "BENCH_cluster.baseline.json",
     ),
 }
 

@@ -1,0 +1,58 @@
+"""Benchmark: the sharded cluster under routed closed-loop load.
+
+Runs the same sweep as ``python -m repro.experiments cluster-campaign``
+(1/2/4-shard :class:`~repro.cluster.service.ClusterService` clusters, 8
+closed-loop :class:`~repro.cluster.router.RouterClient`s each), emits
+``results/BENCH_cluster.json``, and gates it against the committed
+conservative baseline with the same >20% regression rule as the other
+suites (warn by default, fail under ``REPRO_BENCH_STRICT=1``).
+
+All shards live in one asyncio process, so the sweep measures the
+*routing overhead* staying flat across shard counts — not scale-out
+speedup. Reliability is the hard gate: any lost or corrupted response
+anywhere in the sweep fails the bench outright, because the load
+generator verifies every read byte-for-byte against its payload oracle.
+"""
+
+import os
+import warnings
+
+import pytest
+
+import compare_bench
+from repro.experiments.cluster_campaign import run_cluster_sweep
+
+BENCH_JSON, BASELINE_JSON = compare_bench.SUITES["cluster"]
+
+
+def test_cluster_sweep(emit):
+    sweep = run_cluster_sweep(shard_counts=(1, 2, 4), requests_per_client=120)
+    sweep.write_bench_json()
+    emit("cluster_sweep", sweep.format())
+
+    # Reliability before speed: the router fans class-2 stripes across
+    # shards and mirrors class 0/1 — a lost or corrupted response means
+    # the placement or reassembly path is wrong, not that the run was slow.
+    assert sweep.errors == 0
+    assert sweep.corrupted == 0
+    # Every shard count produced a measurement.
+    assert len(sweep.ops_per_sec) == 3
+    assert all(rate > 0 for rate in sweep.ops_per_sec)
+
+
+@pytest.mark.bench_regression
+def test_no_regression_vs_baseline():
+    """Warn (or fail under REPRO_BENCH_STRICT=1) on >20% cluster regression."""
+    if not BENCH_JSON.exists():
+        pytest.skip("run test_cluster_sweep first to produce BENCH_cluster.json")
+    if not BASELINE_JSON.exists():
+        pytest.skip("no committed baseline to compare against")
+    regressions = compare_bench.compare(
+        compare_bench.load(BENCH_JSON), compare_bench.load(BASELINE_JSON)
+    )
+    if not regressions:
+        return
+    message = compare_bench.format_report(regressions)
+    if os.environ.get("REPRO_BENCH_STRICT") == "1":
+        pytest.fail(message)
+    warnings.warn(message)

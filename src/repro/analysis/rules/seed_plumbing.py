@@ -1,14 +1,16 @@
-"""Seed-plumbing rule: RNG state enters faults/ and sim/ explicitly.
+"""Seed-plumbing rule: RNG state enters faults/, sim/, and cluster/ explicitly.
 
 A ``seed=None`` default that falls through to ``random.Random(None)`` is
 the quietest way to lose reproducibility: every call site that forgets
 the argument silently runs on ambient entropy, and nothing fails until a
-fault campaign stops being byte-identical across runs. The fault and
-simulation layers therefore hold a stricter line than the rest of the
-repo: any *public* function or constructor under ``repro.faults`` or
-``repro.sim`` that takes RNG state (a parameter named ``seed``, ``rng``,
-or ``random_state``) must either require it or default it to a concrete
-value — never to ``None``.
+fault campaign stops being byte-identical across runs. The fault,
+simulation, and cluster layers therefore hold a stricter line than the
+rest of the repo: any *public* function or constructor under
+``repro.faults``, ``repro.sim``, or ``repro.cluster`` that takes RNG
+state (a parameter named ``seed``, ``rng``, or ``random_state``) must
+either require it or default it to a concrete value — never to ``None``.
+The cluster layer is in scope because its campaign artefacts (re-home
+ledgers) are gated on byte-identical replay per seed.
 """
 
 from __future__ import annotations
@@ -26,10 +28,10 @@ _RNG_PARAM_NAMES = {"seed", "rng", "random_state"}
 class SeedPlumbingRule(Rule):
     rule_id = "seed-plumbing"
     description = (
-        "public constructors/functions in faults/ and sim/ must take an "
-        "explicit seed or RNG; a None default means ambient entropy"
+        "public constructors/functions in faults/, sim/, and cluster/ must "
+        "take an explicit seed or RNG; a None default means ambient entropy"
     )
-    scope = ("repro.faults", "repro.sim")
+    scope = ("repro.faults", "repro.sim", "repro.cluster")
 
     def check(self, module: str, tree: ast.Module, path: str) -> List[Finding]:
         visitor = _SeedVisitor(self, module, path)

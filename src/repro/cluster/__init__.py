@@ -1,0 +1,68 @@
+"""``repro.cluster`` — the sharded multi-OSD layer.
+
+Modules:
+
+- :mod:`repro.cluster.placement` — rendezvous (HRW) placement primitives;
+- :mod:`repro.cluster.map` — the epoch-versioned :class:`ClusterMap`;
+- :mod:`repro.cluster.service` — :class:`ShardServer` + the in-process
+  :class:`ClusterService` harness;
+- :mod:`repro.cluster.router` — the map-driven :class:`RouterClient` with
+  class-differentiated cross-shard redundancy and degraded reads;
+- :mod:`repro.cluster.supervisor` — shard condemn / re-home, booked in the
+  :class:`~repro.core.supervisor.DurabilityLedger`.
+
+Only the placement/map layer is imported eagerly: ``repro.net.cluster``
+imports :func:`shard_for_object` from here while ``repro.net.__init__``
+itself is still loading, so the heavier modules (which import ``repro.net``
+back) resolve lazily via ``__getattr__``.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.map import (
+    ClusterMap,
+    ClusterMapError,
+    ShardInfo,
+    ShardState,
+    fragment_object_id,
+    is_fragment,
+    parent_of_fragment,
+)
+from repro.cluster.placement import rank_shards, rendezvous_score, shard_for_object
+
+__all__ = [
+    "ClusterMap",
+    "ClusterMapError",
+    "ClusterService",
+    "ClusterSupervisor",
+    "RehomeReport",
+    "RouterClient",
+    "RouterStats",
+    "ShardInfo",
+    "ShardServer",
+    "ShardState",
+    "fragment_object_id",
+    "is_fragment",
+    "parent_of_fragment",
+    "rank_shards",
+    "rendezvous_score",
+    "shard_for_object",
+]
+
+_LAZY = {
+    "ClusterService": "repro.cluster.service",
+    "ShardServer": "repro.cluster.service",
+    "RouterClient": "repro.cluster.router",
+    "RouterStats": "repro.cluster.router",
+    "ClusterSupervisor": "repro.cluster.supervisor",
+    "RehomeReport": "repro.cluster.supervisor",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.cluster' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

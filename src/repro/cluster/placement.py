@@ -1,0 +1,93 @@
+"""Rendezvous (HRW) object placement for the sharded OSD cluster.
+
+Placement must satisfy three properties at once:
+
+- **Determinism** — every router and every shard server must agree on who
+  owns an object given only the object id and the eligible shard set; no
+  coordination, no lookup table.
+- **Balance** — sequential OIDs (the common allocation pattern) must spread
+  evenly across shards.
+- **Minimal movement** — when a shard joins or leaves, only the objects it
+  gains or loses may move; everything else stays put. A modulo partition
+  (``hash(oid) % N``) reshuffles ``(N-1)/N`` of all objects on a membership
+  change, which would turn every condemned shard into a full-cluster
+  rebalance.
+
+Highest-random-weight (rendezvous) hashing gives all three: each
+``(object, shard)`` pair gets a pseudo-random 64-bit score, and the object
+belongs to the highest-scoring shard. Removing a shard only re-homes the
+objects whose top score it held — an expected ``1/N`` fraction — and the
+runner-up ranking doubles as the replica / stripe placement order, so the
+``k + m`` fragments of one stripe land on distinct shards while shards
+remain.
+
+:func:`shard_for_object` is the PR-5 Knuth-hash partition function, kept
+bit-for-bit (it is pinned by the WorkerPool tests and the worker-shard
+accept model); new cluster code should use :func:`rank_shards` /
+:class:`~repro.cluster.map.ClusterMap` instead.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.osd.types import ObjectId
+
+__all__ = [
+    "rank_shards",
+    "rendezvous_score",
+    "shard_for_object",
+]
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def _mix64(value: int) -> int:
+    """SplitMix64 finalizer: a cheap, well-distributed 64-bit mixer."""
+    value = (value + 0x9E3779B97F4A7C15) & _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return value ^ (value >> 31)
+
+
+def rendezvous_score(object_id: ObjectId, shard_id: int) -> int:
+    """The HRW weight of ``shard_id`` for ``object_id`` (64-bit, seedless).
+
+    A pure function of ``(pid, oid, shard_id)`` — stable across processes
+    and runs (never Python's salted ``hash()``), so every participant in
+    the cluster computes identical rankings.
+    """
+    if shard_id < 0:
+        raise ValueError("shard_id must be non-negative")
+    key = _mix64((object_id.pid & _MASK64) * 0x9E3779B97F4A7C15 ^ _mix64(object_id.oid))
+    return _mix64(key ^ _mix64(shard_id + 1))
+
+
+def rank_shards(object_id: ObjectId, shard_ids: Sequence[int]) -> List[int]:
+    """Shard ids ordered by descending HRW score for ``object_id``.
+
+    The first entry is the primary owner; subsequent entries are the
+    replica / stripe placement order. Ties (astronomically unlikely with a
+    64-bit score) break toward the lower shard id so the order is total.
+    """
+    return sorted(
+        shard_ids,
+        key=lambda shard_id: (-rendezvous_score(object_id, shard_id), shard_id),
+    )
+
+
+def shard_for_object(object_id: ObjectId, num_shards: int) -> int:
+    """Deterministic OID-hash partition over ``range(num_shards)`` (PR 5).
+
+    A Knuth-style multiplicative hash over ``(pid, oid)``. This is the
+    worker-pool partition function; it balances well but is *modulo*-based,
+    so membership changes reshuffle placement wholesale — which is exactly
+    why the cluster map routes with :func:`rank_shards` instead. Kept (and
+    re-exported from :mod:`repro.net.cluster`) for the WorkerPool accept
+    model and its pinned tests.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    key = (object_id.pid * 2654435761 + object_id.oid * 2246822519) & 0xFFFFFFFF
+    key ^= key >> 16
+    return (key * 2654435761 & 0xFFFFFFFF) % num_shards

@@ -1,0 +1,516 @@
+"""The cluster routing client: per-object dispatch over N shard servers.
+
+:class:`RouterClient` wraps one :class:`~repro.net.client.AsyncOsdClient`
+per shard and routes every addressed command by the epoch-versioned
+:class:`~repro.cluster.map.ClusterMap`:
+
+- **Stale-map healing** — a shard that disagrees with the client's routing
+  answers ``WRONG_SHARD`` sense data carrying *its* map; the router adopts
+  any newer epoch and replays along the new route. ``WRONG_SHARD`` (like
+  ``SERVER_BUSY``) means the command did not execute, so the replay is safe
+  for every command type. The router can also pull a fresh map from any
+  live shard via the :data:`~repro.osd.types.CLUSTER_MAP_OBJECT` endpoint.
+- **Class-differentiated redundancy** (the paper's class policy, lifted to
+  shard granularity): classes 0 and 1 (metadata, dirty) are **mirrored**
+  on the object's top-2 HRW shards; class 2 (hot clean) is **RS-striped**
+  ``k + m`` across distinct HRW-ranked shards so any single shard loss is
+  reconstructable; class 3 (cold clean) is a **plain** single copy — it is
+  a cache, and a lost cold-clean object is a refetch, not data loss.
+- **Degraded reads** — with a shard down, striped reads fall back to parity
+  fragments and reconstruct through :class:`~repro.erasure.rs.RSCodec`;
+  mirrored reads fail over to the mirror shard.
+
+Stripe fragments are self-describing: each carries a 16-byte header
+(magic, k, m, fragment index, class id, true payload size) so recovery can
+rebuild a stripe from whatever fragments survive, with no central manifest.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.cluster.map import (
+    ClusterMap,
+    ClusterMapError,
+    STRIPE_PARTITION_OFFSET,
+    fragment_object_id,
+)
+from repro.erasure.rs import RSCodec
+from repro.errors import OsdError, UnrecoverableDataError
+from repro.net.client import AsyncOsdClient, ClientStats, OsdServiceError
+from repro.net.retry import RetryPolicy
+from repro.net.stats import merge_snapshots
+from repro.osd import commands
+from repro.osd.control import QueryMessage
+from repro.osd.sense import SenseCode
+from repro.osd.target import OsdResponse
+from repro.osd.types import CLUSTER_MAP_OBJECT, CONTROL_OBJECT, ObjectId
+
+__all__ = [
+    "FRAGMENT_HEADER",
+    "RouterClient",
+    "RouterStats",
+    "decode_fragment",
+    "encode_fragment",
+]
+
+#: Classes mirrored on the top-2 HRW shards (metadata, dirty).
+MIRROR_CLASSES = (0, 1)
+#: Classes RS-striped across shards (hot clean).
+STRIPED_CLASSES = (2,)
+
+#: Stripe-fragment header: magic, k, m, fragment index, class id, true
+#: (unpadded) parent payload size.
+FRAGMENT_HEADER = struct.Struct(">4sBBBBQ")
+_FRAGMENT_MAGIC = b"RSF1"
+
+
+def encode_fragment(
+    payload: bytes, *, k: int, m: int, index: int, class_id: int, size: int
+) -> bytes:
+    """One self-describing stripe fragment: header + fragment payload."""
+    return FRAGMENT_HEADER.pack(_FRAGMENT_MAGIC, k, m, index, class_id, size) + payload
+
+
+def decode_fragment(blob: bytes) -> Tuple[Dict[str, int], bytes]:
+    """Split a stripe fragment into its header fields and payload."""
+    if len(blob) < FRAGMENT_HEADER.size:
+        raise OsdServiceError("stripe fragment shorter than its header")
+    magic, k, m, index, class_id, size = FRAGMENT_HEADER.unpack_from(blob)
+    if magic != _FRAGMENT_MAGIC:
+        raise OsdServiceError(f"bad stripe fragment magic {magic!r}")
+    header = {"k": k, "m": m, "index": index, "class_id": class_id, "size": size}
+    return header, blob[FRAGMENT_HEADER.size :]
+
+
+@dataclass
+class RouterStats:
+    """Routing-layer counters (per-shard wire counters live in the clients)."""
+
+    redirects: int = 0
+    map_refreshes: int = 0
+    degraded_reads: int = 0
+    mirror_failovers: int = 0
+    stripes_written: int = 0
+    mirrors_written: int = 0
+
+
+class RouterClient:
+    """Routes OSD commands across the shards of a :class:`ClusterMap`."""
+
+    def __init__(
+        self,
+        cluster_map: ClusterMap,
+        *,
+        pool_size: int = 1,
+        timeout: float = 2.0,
+        retry: Optional[RetryPolicy] = None,
+        data_fragments: int = 4,
+        parity_fragments: int = 2,
+        max_redirects: int = 4,
+    ) -> None:
+        if data_fragments < 1 or parity_fragments < 0:
+            raise ValueError("stripe geometry must have k >= 1, m >= 0")
+        self.cluster_map = cluster_map
+        self.pool_size = pool_size
+        self.timeout = timeout
+        self.retry = retry or RetryPolicy()
+        self.codec = RSCodec(data_fragments, parity_fragments)
+        self.max_redirects = max_redirects
+        self.router_stats = RouterStats()
+        self._clients: Dict[int, AsyncOsdClient] = {}
+        #: Object id → layout ("plain" | "mirror" | "stripe") for the read
+        #: path. Unknown objects are read as plain with mirror fallback.
+        self._layouts: Dict[ObjectId, str] = {}
+        #: Partitions created through this router (plus their stripe
+        #: shadows) — the census surface for the rebalance supervisor.
+        self.known_partitions: set = set()
+        self._stripe_partitions: set = set()
+
+    # ------------------------------------------------------------------
+    # Map + connection management
+    # ------------------------------------------------------------------
+    def install_map(self, cluster_map: ClusterMap) -> bool:
+        """Adopt ``cluster_map`` if its epoch is newer; True when adopted."""
+        if cluster_map.epoch <= self.cluster_map.epoch:
+            return False
+        self.cluster_map = cluster_map
+        self.router_stats.map_refreshes += 1
+        return True
+
+    def client(self, shard_id: int) -> AsyncOsdClient:
+        """The pooled client for one shard (created on first use)."""
+        existing = self._clients.get(shard_id)
+        if existing is not None:
+            return existing
+        shard = self.cluster_map.require(shard_id)
+        created = AsyncOsdClient(
+            shard.host,
+            shard.port,
+            pool_size=self.pool_size,
+            timeout=self.timeout,
+            retry=self.retry,
+        )
+        self._clients[shard_id] = created
+        return created
+
+    async def connect(self) -> None:
+        """Eagerly open a connection to every readable shard."""
+        for shard_id in self.cluster_map.readable_ids:
+            await self.client(shard_id).connect()
+
+    async def aclose(self) -> None:
+        for shard_id in sorted(self._clients):
+            await self._clients[shard_id].aclose()
+        self._clients.clear()
+
+    async def __aenter__(self) -> "RouterClient":
+        return self
+
+    async def __aexit__(self, *_exc: object) -> None:
+        await self.aclose()
+
+    @property
+    def stats(self) -> ClientStats:
+        """Aggregate wire-level counters across all shard clients."""
+        total = ClientStats()
+        for client in self._clients.values():
+            shard_stats = client.stats
+            total.requests += shard_stats.requests
+            total.retries += shard_stats.retries
+            total.timeouts += shard_stats.timeouts
+            total.connection_errors += shard_stats.connection_errors
+            total.busy_replies += shard_stats.busy_replies
+            total.server_timeouts += shard_stats.server_timeouts
+            total.exhausted += shard_stats.exhausted
+        return total
+
+    async def refresh_map(self) -> bool:
+        """Pull the freshest map any live shard will serve; True on progress."""
+        best: Optional[ClusterMap] = None
+        for shard_id in self.cluster_map.readable_ids:
+            try:
+                fetched = await self._fetch_map(shard_id)
+            except (OsdServiceError, ConnectionError, OSError):
+                continue
+            if fetched is not None and (best is None or fetched.epoch > best.epoch):
+                best = fetched
+        return best is not None and self.install_map(best)
+
+    async def _fetch_map(self, shard_id: int) -> Optional[ClusterMap]:
+        message = QueryMessage(CLUSTER_MAP_OBJECT, "R")
+        response = await self.client(shard_id).submit(
+            commands.Write(CONTROL_OBJECT, message.encode())
+        )
+        if not response.ok or not response.payload or response.payload == b"{}":
+            return None
+        try:
+            return ClusterMap.from_json(response.payload)
+        except ClusterMapError:
+            return None
+
+    def _adopt_reply_map(self, payload: Optional[bytes]) -> bool:
+        if not payload or payload == b"{}":
+            return False
+        try:
+            return self.install_map(ClusterMap.from_json(payload))
+        except ClusterMapError:
+            return False
+
+    # ------------------------------------------------------------------
+    # Routed submission
+    # ------------------------------------------------------------------
+    async def _routed(
+        self,
+        command: commands.OsdCommand,
+        route: Callable[[ClusterMap], int],
+    ) -> OsdResponse:
+        """Submit along ``route(map)``, healing the map on ``WRONG_SHARD``.
+
+        ``WRONG_SHARD`` means the command did not execute, so replaying it
+        along the corrected route is safe for every command type.
+        """
+        for _ in range(self.max_redirects + 1):
+            shard_id = route(self.cluster_map)
+            response = await self.client(shard_id).submit(command)
+            if response.sense is not SenseCode.WRONG_SHARD:
+                return response
+            self.router_stats.redirects += 1
+            if not self._adopt_reply_map(response.payload):
+                # The bouncing shard's map is no newer than ours: ask the
+                # rest of the cluster before retrying the same route.
+                if not await self.refresh_map():
+                    raise OsdServiceError(
+                        f"shard {shard_id} bounced {command!r} but offered "
+                        f"no newer map (epoch {self.cluster_map.epoch})"
+                    )
+        raise OsdServiceError(
+            f"routing did not converge after {self.max_redirects} redirects"
+        )
+
+    # ------------------------------------------------------------------
+    # Partition management
+    # ------------------------------------------------------------------
+    async def create_partition(self, pid: int) -> None:
+        """Create ``pid`` on every readable shard (tolerating 'exists')."""
+        for shard_id in self.cluster_map.readable_ids:
+            await self.client(shard_id).create_partition(pid)
+        self.known_partitions.add(pid)
+
+    async def _ensure_stripe_partition(self, pid: int) -> None:
+        if pid in self._stripe_partitions:
+            return
+        await self.create_partition(pid + STRIPE_PARTITION_OFFSET)
+        self._stripe_partitions.add(pid)
+
+    # ------------------------------------------------------------------
+    # Write path (class policy)
+    # ------------------------------------------------------------------
+    async def write(
+        self, object_id: ObjectId, payload: bytes, class_id: Optional[int] = None
+    ) -> OsdResponse:
+        """Write by class policy: mirror 0/1, stripe 2, plain otherwise."""
+        self.known_partitions.add(object_id.pid)
+        if class_id in MIRROR_CLASSES:
+            return await self._write_mirrored(object_id, payload, class_id)
+        if class_id in STRIPED_CLASSES:
+            return await self._write_striped(object_id, payload, class_id)
+        command = commands.Write(object_id, payload, class_id)
+        response = await self._routed(command, lambda m: m.primary_for(object_id))
+        if response.ok:
+            self._layouts[object_id] = "plain"
+        return response
+
+    async def _write_mirrored(
+        self, object_id: ObjectId, payload: bytes, class_id: int
+    ) -> OsdResponse:
+        command = commands.Write(object_id, payload, class_id)
+        primary = await self._routed(command, lambda m: m.primary_for(object_id))
+        if not primary.ok:
+            return primary
+        owners = self.cluster_map.owners_for(object_id, width=2)
+        if len(owners) > 1:
+            mirror = await self._routed(
+                command,
+                lambda m, _rank=1: m.owners_for(object_id, width=2)[
+                    min(_rank, len(m.owners_for(object_id, width=2)) - 1)
+                ],
+            )
+            if not mirror.ok:
+                return mirror
+        self._layouts[object_id] = "mirror"
+        self.router_stats.mirrors_written += 1
+        return primary
+
+    async def _write_striped(
+        self, object_id: ObjectId, payload: bytes, class_id: int
+    ) -> OsdResponse:
+        await self._ensure_stripe_partition(object_id.pid)
+        k, m = self.codec.k, self.codec.m
+        frag_len = max(1, -(-len(payload) // k))  # ceil; >=1 so RS has width
+        padded = payload.ljust(frag_len * k, b"\0")
+        data = [padded[i * frag_len : (i + 1) * frag_len] for i in range(k)]
+        fragments = self.codec.encode_stripe(data)
+        results = await asyncio.gather(
+            *(
+                self._routed(
+                    commands.Write(
+                        fragment_object_id(object_id, index),
+                        encode_fragment(
+                            fragment,
+                            k=k,
+                            m=m,
+                            index=index,
+                            class_id=class_id,
+                            size=len(payload),
+                        ),
+                        class_id,
+                    ),
+                    lambda cm, _fid=fragment_object_id(object_id, index): (
+                        cm.owners_for(_fid)[0]
+                    ),
+                )
+                for index, fragment in enumerate(fragments)
+            )
+        )
+        for result in results:
+            if not result.ok:
+                return result
+        self._layouts[object_id] = "stripe"
+        self.router_stats.stripes_written += 1
+        return OsdResponse(SenseCode.OK)
+
+    # ------------------------------------------------------------------
+    # Read path (degraded-capable)
+    # ------------------------------------------------------------------
+    async def read(self, object_id: ObjectId) -> Tuple[Optional[bytes], OsdResponse]:
+        layout = self._layouts.get(object_id, "plain")
+        if layout == "stripe":
+            return await self._read_striped(object_id)
+        if layout == "mirror":
+            return await self._read_mirrored(object_id)
+        response = await self._routed(
+            commands.Read(object_id), lambda m: m.primary_for(object_id)
+        )
+        return response.payload, response
+
+    async def _read_mirrored(
+        self, object_id: ObjectId
+    ) -> Tuple[Optional[bytes], OsdResponse]:
+        owners = self.cluster_map.owners_for(object_id, width=2)
+        last: Optional[OsdResponse] = None
+        for rank, shard_id in enumerate(owners):
+            try:
+                response = await self.client(shard_id).submit(commands.Read(object_id))
+            except (OsdServiceError, ConnectionError, OSError):
+                continue
+            if response.ok:
+                if rank:
+                    self.router_stats.mirror_failovers += 1
+                return response.payload, response
+            last = response
+        if last is not None:
+            return None, last
+        raise OsdServiceError(f"all mirrors of {object_id} are unreachable")
+
+    async def _fetch_fragment(
+        self, object_id: ObjectId, index: int
+    ) -> Optional[Tuple[Dict[str, int], bytes]]:
+        fragment_id = fragment_object_id(object_id, index)
+        try:
+            response = await self._routed(
+                commands.Read(fragment_id),
+                lambda m: m.owners_for(fragment_id)[0],
+            )
+        except (OsdServiceError, ConnectionError, OSError):
+            return None
+        if not response.ok or response.payload is None:
+            return None
+        try:
+            return decode_fragment(bytes(response.payload))
+        except OsdServiceError:
+            return None
+
+    async def _read_striped(
+        self, object_id: ObjectId
+    ) -> Tuple[Optional[bytes], OsdResponse]:
+        k, m = self.codec.k, self.codec.m
+        fetched = await asyncio.gather(
+            *(self._fetch_fragment(object_id, index) for index in range(k))
+        )
+        present = {
+            index: frag for index, frag in enumerate(fetched) if frag is not None
+        }
+        if len(present) == k:
+            header = present[0][0]
+            data = b"".join(present[index][1] for index in range(k))
+            return data[: header["size"]], OsdResponse(SenseCode.OK)
+        # Degraded: pull parity fragments until k total, then decode.
+        self.router_stats.degraded_reads += 1
+        parity = await asyncio.gather(
+            *(self._fetch_fragment(object_id, k + index) for index in range(m))
+        )
+        for index, frag in enumerate(parity):
+            if frag is not None:
+                present[k + index] = frag
+        if len(present) < k:
+            return None, OsdResponse(SenseCode.FAIL)
+        header = next(iter(present.values()))[0]
+        try:
+            data_fragments = self.codec.decode(
+                {index: frag for index, (_, frag) in present.items()}
+            )
+        except (UnrecoverableDataError, OsdError):
+            return None, OsdResponse(SenseCode.FAIL)
+        data = b"".join(data_fragments)
+        return data[: header["size"]], OsdResponse(SenseCode.OK)
+
+    # ------------------------------------------------------------------
+    # Remove / attributes
+    # ------------------------------------------------------------------
+    async def remove(self, object_id: ObjectId) -> OsdResponse:
+        layout = self._layouts.pop(object_id, "plain")
+        if layout == "stripe":
+            results = await asyncio.gather(
+                *(
+                    self._routed(
+                        commands.Remove(fragment_object_id(object_id, index)),
+                        lambda cm, _fid=fragment_object_id(object_id, index): (
+                            cm.owners_for(_fid)[0]
+                        ),
+                    )
+                    for index in range(self.codec.n)
+                ),
+                return_exceptions=True,
+            )
+            for result in results:
+                if isinstance(result, BaseException):
+                    raise result
+            return OsdResponse(SenseCode.OK)
+        if layout == "mirror":
+            owners = self.cluster_map.owners_for(object_id, width=2)
+            response = OsdResponse(SenseCode.OK)
+            for rank in range(len(owners)):
+                response = await self._routed(
+                    commands.Remove(object_id),
+                    lambda m, _rank=rank: m.owners_for(object_id, width=2)[
+                        min(_rank, len(m.owners_for(object_id, width=2)) - 1)
+                    ],
+                )
+            return response
+        return await self._routed(
+            commands.Remove(object_id), lambda m: m.primary_for(object_id)
+        )
+
+    async def get_attr(
+        self, object_id: ObjectId, key: str
+    ) -> Tuple[Optional[str], OsdResponse]:
+        response = await self._routed(
+            commands.GetAttr(object_id, key), lambda m: m.primary_for(object_id)
+        )
+        if not response.ok or response.payload is None:
+            return None, response
+        return response.payload.decode("utf-8"), response
+
+    # ------------------------------------------------------------------
+    # Cluster-wide fan-out
+    # ------------------------------------------------------------------
+    async def query_all(
+        self, object_id: ObjectId, operation: str = "R"
+    ) -> Dict[int, SenseCode]:
+        """Fan a ``#QUERY#`` control message to every readable shard."""
+        senses: Dict[int, SenseCode] = {}
+        for shard_id in self.cluster_map.readable_ids:
+            sense, _ = await self.client(shard_id).query(object_id, operation)
+            senses[shard_id] = sense
+        return senses
+
+    async def service_stats_all(self) -> Dict[str, object]:
+        """Merged :class:`ServiceStats` across every reachable shard."""
+        snapshots: List[Dict[str, object]] = []
+        for shard_id in self.cluster_map.readable_ids:
+            try:
+                snapshots.append(await self.client(shard_id).service_stats())
+            except (OsdServiceError, ConnectionError, OSError):
+                continue
+        return merge_snapshots(snapshots, key="shards")
+
+    def layout_of(self, object_id: ObjectId) -> Optional[str]:
+        """The write-path layout recorded for ``object_id``, if any."""
+        return self._layouts.get(object_id)
+
+    def note_layout(self, object_id: ObjectId, layout: str) -> None:
+        """Teach the read path an object's layout (supervisor/recovery use)."""
+        if layout not in ("plain", "mirror", "stripe"):
+            raise ValueError(f"unknown layout {layout!r}")
+        self._layouts[object_id] = layout
+
+    def __repr__(self) -> str:
+        return (
+            f"RouterClient(epoch={self.cluster_map.epoch}, "
+            f"shards={self.cluster_map.readable_ids}, "
+            f"redirects={self.router_stats.redirects})"
+        )

@@ -1,0 +1,337 @@
+"""Shard-level condemn / re-home: the cluster's recovery loop.
+
+:class:`ClusterSupervisor` is the cluster-granularity analogue of
+:class:`~repro.core.supervisor.RecoverySupervisor`: where that loop swaps a
+failed *device* and rebuilds its chunks, this one condemns a *shard*, bumps
+the map epoch, and re-homes every object the shard owned — booking each
+step in the same :class:`~repro.core.supervisor.DurabilityLedger`, so the
+fault campaign's durability artefact covers both failure axes with one
+vocabulary (a shard incident is keyed by ``(shard_id, generation)``
+exactly like a device incident).
+
+Re-home flow (``condemn``):
+
+1. Open a ledger incident for the shard's *next* generation and start the
+   reduced-redundancy window.
+2. Install a map with the shard ``DRAINING`` (evacuation: the shard still
+   answers reads) or ``CONDEMNED`` (crash: it is gone). Installing the
+   exclusion map *first* is load-bearing — the re-home writes below must
+   pass the new owners' route checks.
+3. Census every known partition across the still-readable shards, then, in
+   sorted object order (deterministic ledger):
+   - **plain / mirrored objects** — copy to any new owner that lacks them,
+     reading from a surviving holder (class via the ``reo.class_id``
+     attribute; classes 0/1 keep mirror width 2);
+   - **stripe fragments** — fragments held by the draining shard are
+     copied out; fragments lost with a crashed shard are *reconstructed*
+     from any ``k`` survivors through the erasure codec and written to
+     their new home.
+4. Flip the shard to ``CONDEMNED``, stop it, and close the incident.
+
+Everything is timestamped with a logical step clock (one tick per booked
+action), not wall time: two runs with the same seed produce byte-identical
+ledgers despite asyncio's scheduling noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.map import (
+    ClusterMap,
+    ShardState,
+    fragment_object_id,
+    is_fragment,
+    parent_of_fragment,
+)
+from repro.cluster.router import RouterClient, decode_fragment, encode_fragment
+from repro.cluster.service import ClusterService
+from repro.core.supervisor import DurabilityLedger
+from repro.net.client import OsdServiceError
+from repro.osd.types import ObjectId
+
+__all__ = ["ClusterSupervisor", "RehomeReport"]
+
+
+@dataclass
+class RehomeReport:
+    """What one condemn/re-home cycle moved, rebuilt, and lost."""
+
+    shard_id: int
+    epoch_before: int
+    epoch_after: int = 0
+    objects_examined: int = 0
+    objects_moved: int = 0
+    fragments_moved: int = 0
+    fragments_reconstructed: int = 0
+    bytes_moved: int = 0
+    lost_by_class: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def objects_lost(self) -> int:
+        return sum(self.lost_by_class.values())
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "shard_id": self.shard_id,
+            "epoch_before": self.epoch_before,
+            "epoch_after": self.epoch_after,
+            "objects_examined": self.objects_examined,
+            "objects_moved": self.objects_moved,
+            "fragments_moved": self.fragments_moved,
+            "fragments_reconstructed": self.fragments_reconstructed,
+            "bytes_moved": self.bytes_moved,
+            "objects_lost": self.objects_lost,
+            "lost_by_class": {
+                str(class_id): count
+                for class_id, count in sorted(self.lost_by_class.items())
+            },
+        }
+
+
+class ClusterSupervisor:
+    """Executes shard condemnations against a live :class:`ClusterService`."""
+
+    def __init__(
+        self,
+        service: ClusterService,
+        router: RouterClient,
+        ledger: Optional[DurabilityLedger] = None,
+    ) -> None:
+        self.service = service
+        self.router = router
+        self.ledger = ledger if ledger is not None else DurabilityLedger()
+        self._step = 0.0
+
+    def _tick(self) -> float:
+        """The logical clock: one tick per booked action, never wall time."""
+        self._step += 1.0
+        return self._step
+
+    # ------------------------------------------------------------------
+    # The condemn / re-home cycle
+    # ------------------------------------------------------------------
+    async def condemn(
+        self,
+        shard_id: int,
+        reason: str = "operator condemned",
+        *,
+        evacuate: bool = True,
+    ) -> RehomeReport:
+        """Remove ``shard_id`` from the cluster, re-homing what it held.
+
+        Args:
+            evacuate: the shard is still alive and readable — drain it by
+                copying. ``False`` means it already crashed: survivors and
+                erasure reconstruction are all we have.
+        """
+        cluster_map = self.service.cluster_map
+        if cluster_map is None:
+            raise RuntimeError("cluster not started")
+        report = RehomeReport(shard_id=shard_id, epoch_before=cluster_map.epoch)
+        generation = cluster_map.require(shard_id).generation + 1
+        incident = self.ledger.incident_for(shard_id, generation)
+        now = self._tick()
+        if not incident.reason:
+            incident.reason = reason
+        incident.failed_at = now
+        self.ledger.begin_degraded(now)
+
+        # Exclude the shard from placement *before* moving anything, so the
+        # re-home writes pass the new owners' route checks.
+        state = ShardState.DRAINING if evacuate else ShardState.CONDEMNED
+        excluded = cluster_map.with_shard_state(shard_id, state)
+        self.service.install_map(excluded)
+        self.router.install_map(excluded)
+        incident.swapped_at = self._tick()
+
+        await self._rehome(shard_id, excluded, report, evacuate=evacuate)
+
+        if evacuate:
+            final = excluded.with_shard_state(shard_id, ShardState.CONDEMNED)
+            self.service.install_map(final)
+            self.router.install_map(final)
+            await self.service.stop_shard(shard_id)
+        else:
+            final = excluded
+            await self.service.stop_shard(shard_id)
+        report.epoch_after = final.epoch
+        self.ledger.mark_recovered(self._tick())
+        return report
+
+    # ------------------------------------------------------------------
+    # Census + movement
+    # ------------------------------------------------------------------
+    async def _census(self, cluster_map: ClusterMap) -> Dict[ObjectId, List[int]]:
+        """Object id → shards currently holding it, across known partitions."""
+        holders: Dict[ObjectId, List[int]] = {}
+        for shard in cluster_map.shards:
+            if shard.state is ShardState.CONDEMNED:
+                continue
+            client = self.router.client(shard.shard_id)
+            for pid in sorted(self.router.known_partitions):
+                try:
+                    members, response = await client.list_partition(pid)
+                except (OsdServiceError, ConnectionError, OSError):
+                    break  # the shard is unreachable: nothing to list
+                if not response.ok:
+                    continue
+                for object_id in members:
+                    holders.setdefault(object_id, []).append(shard.shard_id)
+        for held_by in holders.values():
+            held_by.sort()
+        return holders
+
+    async def _rehome(
+        self,
+        shard_id: int,
+        cluster_map: ClusterMap,
+        report: RehomeReport,
+        *,
+        evacuate: bool,
+    ) -> None:
+        holders = await self._census(cluster_map)
+        plain_ids = sorted(oid for oid in holders if not is_fragment(oid))
+        stripes: Dict[ObjectId, Dict[int, List[int]]] = {}
+        for object_id in holders:
+            if is_fragment(object_id):
+                parent, index = parent_of_fragment(object_id)
+                stripes.setdefault(parent, {})[index] = holders[object_id]
+        for object_id in plain_ids:
+            report.objects_examined += 1
+            await self._rehome_plain(object_id, holders[object_id], cluster_map, report)
+        for parent in sorted(stripes):
+            report.objects_examined += 1
+            await self._rehome_stripe(parent, stripes[parent], cluster_map, report)
+
+    async def _read_from(
+        self, shard_id: int, object_id: ObjectId
+    ) -> Optional[bytes]:
+        try:
+            payload, response = await self.router.client(shard_id).read(object_id)
+        except (OsdServiceError, ConnectionError, OSError):
+            return None
+        if not response.ok:
+            return None
+        return payload if payload is not None else b""
+
+    async def _class_of(self, shard_id: int, object_id: ObjectId) -> int:
+        try:
+            value, response = await self.router.client(shard_id).get_attr(
+                object_id, "reo.class_id"
+            )
+        except (OsdServiceError, ConnectionError, OSError):
+            return 3
+        if not response.ok or value is None:
+            return 3
+        try:
+            return int(value)
+        except ValueError:
+            return 3
+
+    async def _rehome_plain(
+        self,
+        object_id: ObjectId,
+        held_by: List[int],
+        cluster_map: ClusterMap,
+        report: RehomeReport,
+    ) -> None:
+        class_id = await self._class_of(held_by[0], object_id)
+        width = 2 if class_id in (0, 1) else 1
+        desired = cluster_map.owners_for(object_id, width=width)
+        missing = [owner for owner in desired if owner not in held_by]
+        if not missing:
+            return
+        payload: Optional[bytes] = None
+        for holder in held_by:
+            payload = await self._read_from(holder, object_id)
+            if payload is not None:
+                break
+        if payload is None:
+            self.ledger.record_lost(object_id, class_id)
+            report.lost_by_class[class_id] = report.lost_by_class.get(class_id, 0) + 1
+            self._tick()
+            return
+        for owner in missing:
+            await self.router.client(owner).write(object_id, payload, class_id)
+            self.ledger.record_rehomed(object_id, class_id, len(payload))
+            report.objects_moved += 1
+            report.bytes_moved += len(payload)
+            self._tick()
+
+    async def _rehome_stripe(
+        self,
+        parent: ObjectId,
+        fragment_holders: Dict[int, List[int]],
+        cluster_map: ClusterMap,
+        report: RehomeReport,
+    ) -> None:
+        # Pull every surviving fragment once: movement and reconstruction
+        # both need them, and k survivors are required either way.
+        survivors: Dict[int, Tuple[Dict[str, int], bytes]] = {}
+        for index in sorted(fragment_holders):
+            fragment_id = fragment_object_id(parent, index)
+            for holder in fragment_holders[index]:
+                blob = await self._read_from(holder, fragment_id)
+                if blob is None:
+                    continue
+                try:
+                    survivors[index] = decode_fragment(blob)
+                except OsdServiceError:
+                    continue
+                break
+        if not survivors:
+            self.ledger.record_lost(parent, 2)
+            report.lost_by_class[2] = report.lost_by_class.get(2, 0) + 1
+            self._tick()
+            return
+        header = next(iter(survivors.values()))[0]
+        k, m = header["k"], header["m"]
+        class_id = header["class_id"]
+        needed: Dict[int, bytes] = {}
+        for index in range(k + m):
+            desired = cluster_map.owners_for(fragment_object_id(parent, index))[0]
+            held_by = fragment_holders.get(index, [])
+            if desired in held_by:
+                continue
+            if index in survivors:
+                # Survives elsewhere (the draining shard): plain copy.
+                needed[index] = survivors[index][1]
+                report.fragments_moved += 1
+            else:
+                # b"" marks "reconstruct": written fragments are never
+                # empty (the router pads stripes to >= 1 byte/fragment).
+                needed[index] = b""
+        to_rebuild = sorted(i for i, frag in needed.items() if frag == b"")
+        if to_rebuild:
+            if len(survivors) < k:
+                self.ledger.record_lost(parent, class_id)
+                report.lost_by_class[class_id] = (
+                    report.lost_by_class.get(class_id, 0) + 1
+                )
+                self._tick()
+                return
+            rebuilt = self.router.codec.reconstruct(
+                {index: frag for index, (_, frag) in survivors.items()},
+                to_rebuild,
+            )
+            for index, frag in rebuilt.items():
+                needed[index] = frag
+                report.fragments_reconstructed += 1
+        for index in sorted(needed):
+            fragment_id = fragment_object_id(parent, index)
+            desired = cluster_map.owners_for(fragment_id)[0]
+            blob = encode_fragment(
+                needed[index],
+                k=k,
+                m=m,
+                index=index,
+                class_id=class_id,
+                size=header["size"],
+            )
+            await self.router.client(desired).write(fragment_id, blob, class_id)
+            self.ledger.record_rehomed(fragment_id, class_id, len(needed[index]))
+            report.bytes_moved += len(needed[index])
+            self._tick()
+        self.router.note_layout(parent, "stripe")

@@ -134,6 +134,15 @@ class DurabilityLedger:
     def record_lost(self, object_id, class_id: int) -> None:
         self.lost_by_class[class_id] = self.lost_by_class.get(class_id, 0) + 1
 
+    def record_rehomed(self, object_id, class_id: int, nbytes: int) -> None:
+        """A shard evacuation/reconstruction moved one object's bytes.
+
+        Re-homing is rebuild work at cluster granularity, so it lands in
+        the same counters the device-level recovery manager uses.
+        """
+        self.objects_rebuilt += 1
+        self.bytes_repaired += nbytes
+
     def record_scrub(self, report: "ScrubReport") -> None:
         self.objects_scrubbed += report.objects_checked
         self.chunks_scrubbed += report.chunks_checked

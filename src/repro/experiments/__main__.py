@@ -34,6 +34,10 @@ from repro.experiments.concurrency import (
     run_concurrency_sweep,
     run_net_service_sweep,
 )
+from repro.experiments.cluster_campaign import (
+    run_cluster_campaign,
+    run_cluster_sweep,
+)
 from repro.experiments.fault_campaign import run_fault_campaign
 from repro.experiments.recovery_timeline import run_recovery_timeline
 from repro.experiments.warmup import run_warmup_experiment
@@ -75,6 +79,16 @@ def _fault_campaign_text(seed: "int | None") -> str:
     return result.format()
 
 
+def _cluster_campaign_text(seed: "int | None") -> str:
+    """Run the shard-loss campaign + shard sweep; persist both artefacts."""
+    kwargs = {} if seed is None else {"seed": seed}
+    campaign = run_cluster_campaign(**kwargs)
+    campaign.write_ledger_json()
+    sweep = run_cluster_sweep(**kwargs)
+    sweep.write_bench_json()
+    return campaign.format() + "\n\n" + sweep.format()
+
+
 ARTEFACTS = {
     "fig5": lambda: run_normal_run_figure(Locality.WEAK).format(),
     "fig6": lambda: run_normal_run_figure(Locality.MEDIUM).format(),
@@ -88,6 +102,8 @@ ARTEFACTS = {
     # --seed is honoured; both spellings accepted for convenience.
     "fault-campaign": lambda seed=None: _fault_campaign_text(seed),
     "fault_campaign": lambda seed=None: _fault_campaign_text(seed),
+    "cluster-campaign": lambda seed=None: _cluster_campaign_text(seed),
+    "cluster_campaign": lambda seed=None: _cluster_campaign_text(seed),
     "warmup": lambda: run_warmup_experiment().format(),
     "ablations": _ablations_text,
     "endurance": lambda: (
@@ -129,7 +145,12 @@ def main(argv=None) -> int:
     print(f"profile: {profile.name} (REPRO_PROFILE to change)\n")
     for name in chosen:
         started = time.perf_counter()
-        if name in ("fault-campaign", "fault_campaign"):
+        if name in (
+            "fault-campaign",
+            "fault_campaign",
+            "cluster-campaign",
+            "cluster_campaign",
+        ):
             text = ARTEFACTS[name](args.seed)
         else:
             text = ARTEFACTS[name]()

@@ -323,6 +323,26 @@ class AsyncOsdClient:
     async def remove(self, object_id: ObjectId) -> OsdResponse:
         return await self.submit(commands.Remove(object_id))
 
+    async def get_attr(
+        self, object_id: ObjectId, key: str
+    ) -> Tuple[Optional[str], OsdResponse]:
+        """Fetch one attribute-page entry; ``(None, response)`` on FAIL."""
+        response = await self.submit(commands.GetAttr(object_id, key))
+        if not response.ok or response.payload is None:
+            return None, response
+        return response.payload.decode("utf-8"), response
+
+    async def list_partition(self, pid: int) -> Tuple[List[ObjectId], OsdResponse]:
+        """Member object ids of one partition; ``([], response)`` on FAIL."""
+        response = await self.submit(commands.ListPartition(pid))
+        if not response.ok or not response.payload:
+            return [], response
+        members = []
+        for line in response.payload.decode("ascii").splitlines():
+            pid_text, _, oid_text = line.partition("/")
+            members.append(ObjectId(int(pid_text, 16), int(oid_text, 16)))
+        return members, response
+
     async def set_class(self, object_id: ObjectId, class_id: int) -> OsdResponse:
         message = SetClassMessage(object_id, class_id)
         return await self.submit(commands.Write(CONTROL_OBJECT, message.encode()))

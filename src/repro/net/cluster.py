@@ -19,12 +19,10 @@ reads its own writes as long as it keeps using the same connection —
 exactly the contract the closed-loop load generator and the pooled client
 already follow.
 
-:func:`shard_for_object` is the documented OID-hash partition function for
-the next step on the ROADMAP — the multi-OSD cluster map, where
-`AsyncOsdClient` routes each command to ``shard_for_object(oid, N)``
-instead of letting the kernel pick, making placement object-affine and
-cross-connection consistent. It ships (and is tested) now so the map's
-placement math is pinned before the router exists.
+:func:`shard_for_object` now lives in :mod:`repro.cluster.placement`
+(re-exported here for compatibility): the multi-OSD cluster layer routes
+with rendezvous hashing instead, but the worker pool's OID-hash partition
+function and its pinned tests stay bit-for-bit.
 
 Accept models
 -------------
@@ -47,13 +45,13 @@ import queue
 import socket
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.cluster.placement import shard_for_object
 from repro.net.stats import merge_snapshots
 from repro.osd.target import OsdTarget
-from repro.osd.types import ObjectId
 
 __all__ = [
     "WorkerPool",
-    "shard_for_object",
+    "shard_for_object",  # deprecated alias: lives in repro.cluster.placement
     "supports_reuse_port",
 ]
 
@@ -61,23 +59,6 @@ __all__ = [
 TargetFactory = Callable[[int], OsdTarget]
 
 _LISTEN_BACKLOG = 128
-
-
-def shard_for_object(object_id: ObjectId, num_shards: int) -> int:
-    """Deterministic OID-hash placement: which shard owns this object.
-
-    A Knuth-style multiplicative hash over ``(pid, oid)`` — stable across
-    processes and runs (unlike ``hash()``, which is salted), cheap enough
-    for a per-command router, and uniform enough to spread sequential OIDs.
-    This is the partition function the future cluster-map router will use;
-    today it documents where an object *would* live under object-affine
-    placement.
-    """
-    if num_shards < 1:
-        raise ValueError("num_shards must be >= 1")
-    key = (object_id.pid * 2654435761 + object_id.oid * 2246822519) & 0xFFFFFFFF
-    key ^= key >> 16
-    return (key * 2654435761 & 0xFFFFFFFF) % num_shards
 
 
 def supports_reuse_port() -> bool:

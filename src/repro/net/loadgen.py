@@ -17,11 +17,17 @@ import functools
 import random
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.net.client import AsyncOsdClient, OsdServiceError
 from repro.net.retry import RetryPolicy
 from repro.osd.types import FIRST_USER_OID, PARTITION_BASE, ObjectId
+
+#: Builds one closed-loop client. Anything with the ``AsyncOsdClient``
+#: surface (connect / write / read / aclose / stats) qualifies — the
+#: cluster sweep passes :class:`~repro.cluster.router.RouterClient`
+#: factories so the same verified workload drives a whole shard set.
+ClientFactory = Callable[[int], AsyncOsdClient]
 
 __all__ = ["LoadReport", "payload_for", "run_load", "run_load_sync"]
 
@@ -151,12 +157,18 @@ async def run_load(
     seed: int = 1234,
     timeout: float = 2.0,
     retry: Optional[RetryPolicy] = None,
+    client_factory: Optional[ClientFactory] = None,
 ) -> LoadReport:
     """Drive the server with ``clients`` concurrent closed-loop clients.
 
     Connection setup and the initial object seeding happen *before* the
     timed window opens, so the reported rates measure steady-state service,
     not connect/warmup cost.
+
+    ``client_factory`` (client id → client) substitutes any
+    ``AsyncOsdClient``-shaped object — e.g. a cluster ``RouterClient`` —
+    for the default single-server client; ``host``/``port`` are then
+    ignored.
     """
     report = LoadReport(
         clients=clients,
@@ -164,10 +176,13 @@ async def run_load(
         payload_bytes=payload_bytes,
     )
     retry = retry or RetryPolicy(seed=seed)
-    pool = [
-        AsyncOsdClient(host, port, pool_size=1, timeout=timeout, retry=retry)
-        for _ in range(clients)
-    ]
+    if client_factory is None:
+        pool = [
+            AsyncOsdClient(host, port, pool_size=1, timeout=timeout, retry=retry)
+            for _ in range(clients)
+        ]
+    else:
+        pool = [client_factory(client_id) for client_id in range(clients)]
     object_sets = [
         [
             ObjectId(

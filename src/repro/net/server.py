@@ -54,9 +54,9 @@ from repro.osd.control import QueryMessage, parse_control_message
 from repro.osd.sense import SenseCode
 from repro.osd.target import OsdResponse, OsdTarget
 from repro.osd.transport import FrameDecoder, frame_parts
-from repro.osd.types import CONTROL_OBJECT, SERVICE_STATS_OBJECT
+from repro.osd.types import CONTROL_OBJECT, SERVICE_STATS_OBJECT, ObjectId
 
-__all__ = ["FaultHook", "OsdServer", "RECV_CHUNK_BYTES"]
+__all__ = ["ControlReadProvider", "FaultHook", "OsdServer", "RECV_CHUNK_BYTES"]
 
 #: Read-side chunk size: one ``await`` can pull many pipelined frames.
 RECV_CHUNK_BYTES = 256 * 1024
@@ -70,6 +70,13 @@ RECV_CHUNK_BYTES = 256 * 1024
 #: *after* execution so an abandoned attempt can never execute late and
 #: clobber a newer write.
 FaultHook = Callable[[OsdCommand, Optional[int]], Awaitable[Optional[str]]]
+
+#: A server-side read endpoint: called with no arguments when a ``#QUERY#``
+#: control write names its registered object id; returns the reply payload.
+#: This is how the service layer exposes introspection data (stats, cluster
+#: maps) through the ordinary OSD command vocabulary instead of a side
+#: protocol — mirroring the paper's OID-0x10004 control-object pattern.
+ControlReadProvider = Callable[[], bytes]
 
 
 class _Connection:
@@ -158,6 +165,19 @@ class OsdServer:
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: Set[_Connection] = set()
         self._draining = False
+        self._control_reads: dict = {}
+        self.register_control_read(SERVICE_STATS_OBJECT, self.stats.to_json)
+
+    def register_control_read(
+        self, object_id: ObjectId, provider: ControlReadProvider
+    ) -> None:
+        """Expose ``provider()``'s payload at ``object_id`` via ``#QUERY#``.
+
+        Subclasses and embedders use this to add introspection endpoints
+        (the shard servers register the cluster map here) without touching
+        the command dispatch path.
+        """
+        self._control_reads[object_id] = provider
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -334,24 +354,26 @@ class OsdServer:
             self.stats.end_command(time.perf_counter() - started, ok)
 
     def _execute(self, command: OsdCommand) -> OsdResponse:
-        stats_reply = self._intercept_stats_query(command)
-        if stats_reply is not None:
-            return stats_reply
+        control_reply = self._intercept_control_read(command)
+        if control_reply is not None:
+            return control_reply
         try:
             return command.apply(self.target)
         except OsdError:
             return OsdResponse(SenseCode.FAIL)
 
-    def _intercept_stats_query(self, command: OsdCommand) -> Optional[OsdResponse]:
-        """Answer ``#QUERY#`` writes naming the service-stats object."""
+    def _intercept_control_read(self, command: OsdCommand) -> Optional[OsdResponse]:
+        """Answer ``#QUERY#`` writes naming a registered read endpoint."""
         if not isinstance(command, Write) or command.object_id != CONTROL_OBJECT:
             return None
         try:
             message = parse_control_message(command.payload)
         except ControlMessageError:
             return None  # let the target report the malformed control write
-        if isinstance(message, QueryMessage) and message.object_id == SERVICE_STATS_OBJECT:
-            return OsdResponse(SenseCode.OK, payload=self.stats.to_json())
+        if isinstance(message, QueryMessage):
+            provider = self._control_reads.get(message.object_id)
+            if provider is not None:
+                return OsdResponse(SenseCode.OK, payload=provider())
         return None
 
     def __repr__(self) -> str:

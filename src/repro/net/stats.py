@@ -132,7 +132,9 @@ _ADDITIVE_KEYS = (
 )
 
 
-def merge_snapshots(snapshots: List[Dict[str, object]]) -> Dict[str, object]:
+def merge_snapshots(
+    snapshots: List[Dict[str, object]], key: str = "workers"
+) -> Dict[str, object]:
     """Aggregate per-worker :meth:`ServiceStats.snapshot` dicts.
 
     Counters sum (``max_in_flight`` sums too: the shards run concurrently,
@@ -140,16 +142,19 @@ def merge_snapshots(snapshots: List[Dict[str, object]]) -> Dict[str, object]:
     best a snapshot allows: counts and means combine exactly
     (count-weighted); p50/p99 take the worst worker's value — a
     conservative bound rather than a true pooled percentile.
+
+    ``key`` labels the member count in the merged dict: ``"workers"`` for
+    the worker-pool merge, ``"shards"`` for the cluster-wide merge.
     """
-    totals: Dict[str, int] = {key: 0 for key in _ADDITIVE_KEYS}
+    totals: Dict[str, int] = {counter: 0 for counter in _ADDITIVE_KEYS}
     count = 0
     weighted_mean = 0.0
     p50 = 0.0
     p99 = 0.0
     for snapshot in snapshots:
-        for key in _ADDITIVE_KEYS:
-            value = snapshot.get(key, 0)
-            totals[key] += value if isinstance(value, int) else 0
+        for counter in _ADDITIVE_KEYS:
+            value = snapshot.get(counter, 0)
+            totals[counter] += value if isinstance(value, int) else 0
         latency = snapshot.get("latency")
         if isinstance(latency, dict):
             n = int(latency.get("count", 0))
@@ -158,7 +163,7 @@ def merge_snapshots(snapshots: List[Dict[str, object]]) -> Dict[str, object]:
             p50 = max(p50, float(latency.get("p50_ms", 0.0)))
             p99 = max(p99, float(latency.get("p99_ms", 0.0)))
     merged: Dict[str, object] = dict(totals)
-    merged["workers"] = len(snapshots)
+    merged[key] = len(snapshots)
     merged["latency"] = {
         "count": count,
         "mean_ms": weighted_mean / count if count else 0.0,

@@ -38,6 +38,12 @@ class SenseCode(enum.IntEnum):
     SERVER_BUSY = 0x68
     #: The server abandoned the command past its service deadline.
     SERVER_TIMEOUT = 0x69
+    #: The addressed shard does not own this object under the current
+    #: cluster map; the reply carries the shard's map (JSON payload) so the
+    #: initiator can refresh its routing and replay. Like ``SERVER_BUSY``,
+    #: this code means the command *did not execute*, so re-routing is safe
+    #: even for non-idempotent commands.
+    WRONG_SHARD = 0x6A
 
     def describe(self) -> str:
         """The paper's textual description of this code."""
@@ -54,4 +60,5 @@ _DESCRIPTIONS = {
     SenseCode.REDUNDANCY_FULL: "The allocated space for data redundancy is full",
     SenseCode.SERVER_BUSY: "The server is overloaded; retry after backoff",
     SenseCode.SERVER_TIMEOUT: "The server timed out serving the command",
+    SenseCode.WRONG_SHARD: "Another shard owns this object under the current cluster map",
 }

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict
 
 __all__ = [
+    "CLUSTER_MAP_OBJECT",
     "CONTROL_OBJECT",
     "DEVICE_TABLE",
     "FIRST_USER_OID",
@@ -37,7 +38,9 @@ __all__ = [
 PARTITION_BASE = 0x10000
 
 #: First OID available for regular user objects (0x10000-0x10004 are
-#: reserved by exofs/Reo and 0x10006 by the repro.net service layer).
+#: reserved by exofs/Reo, 0x10006 by the repro.net service layer, and
+#: 0x10007 by the repro.cluster map-exchange endpoint; 0x10005 itself is
+#: kept free for examples/tests that predate the extra reservations).
 FIRST_USER_OID = 0x10005
 
 
@@ -95,6 +98,10 @@ CONTROL_OBJECT = ObjectId(PARTITION_BASE, 0x10004)
 #: this id is answered by the server itself (mirroring OID 0x10004
 #: semantics) with a JSON :class:`~repro.net.stats.ServiceStats` payload.
 SERVICE_STATS_OBJECT = ObjectId(PARTITION_BASE, 0x10006)
+#: The cluster layer's map-exchange endpoint: a ``#QUERY#`` control write
+#: naming this id is answered by a shard server with its current
+#: epoch-versioned :class:`~repro.cluster.map.ClusterMap` as a JSON payload.
+CLUSTER_MAP_OBJECT = ObjectId(PARTITION_BASE, 0x10007)
 
 #: Objects that exist from format time and are Class-0 system metadata.
 RESERVED_METADATA = (SUPER_BLOCK, DEVICE_TABLE, ROOT_DIRECTORY)

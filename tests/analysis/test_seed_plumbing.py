@@ -60,6 +60,35 @@ def test_private_helpers_are_exempt(lint):
     assert lint.rule_ids() == []
 
 
+def test_seed_none_default_fires_in_cluster(lint):
+    lint.write(
+        "cluster/bad_campaign.py",
+        """
+        def run_shard_loss(shards=3, seed=None):
+            return shards, seed
+        """,
+    )
+    findings = lint.run()
+    assert [f.rule_id for f in findings] == ["seed-plumbing"]
+    assert "ambient entropy" in findings[0].message
+
+
+def test_cluster_concrete_seed_is_quiet(lint):
+    lint.write(
+        "cluster/good_campaign.py",
+        """
+        class ShardCampaign:
+            def __init__(self, shards=3, seed=1234):
+                self.shards = shards
+                self.seed = seed
+
+        def run(campaign, *, rng):
+            return campaign, rng
+        """,
+    )
+    assert lint.rule_ids() == []
+
+
 def test_scope_excludes_other_packages(lint):
     lint.write(
         "net/retry_like.py",

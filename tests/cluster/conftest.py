@@ -1,0 +1,38 @@
+"""Fixtures for the sharded-cluster tests.
+
+Every test in this package is marked ``cluster`` (see ``pyproject.toml``)
+and runs under the same SIGALRM watchdog as the socket-layer tests: a
+wedged event loop, a half-open shard socket, or a redirect loop fails the
+test instead of hanging the whole tier-1 run. Override the default budget
+per test with ``@pytest.mark.cluster(timeout=N)``.
+"""
+
+import signal
+
+import pytest
+
+DEFAULT_TIMEOUT_SECONDS = 60
+
+
+@pytest.fixture(autouse=True)
+def cluster_watchdog(request):
+    """Hard per-test timeout for ``cluster``-marked tests (SIGALRM, Unix only)."""
+    marker = request.node.get_closest_marker("cluster")
+    if marker is None or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+    seconds = int(marker.kwargs.get("timeout", DEFAULT_TIMEOUT_SECONDS))
+
+    def _expired(_signum, _frame):
+        pytest.fail(
+            f"cluster test exceeded its {seconds}s watchdog — "
+            "probable hang in the router or a shard server"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
