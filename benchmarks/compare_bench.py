@@ -1,6 +1,6 @@
 """Compare benchmark JSON runs against their committed baselines.
 
-Four suites share this machinery:
+Five suites share this machinery:
 
 - the erasure-kernel microbenchmark (``test_rs_codec_microbench.py``) →
   ``results/BENCH_rs_codec.json`` vs ``BENCH_rs_codec.baseline.json``;
@@ -15,7 +15,11 @@ Four suites share this machinery:
 - the sharded-cluster sweep (``python -m repro.experiments
   cluster-campaign`` / ``test_cluster_bench.py``) →
   ``results/BENCH_cluster.json`` vs ``BENCH_cluster.baseline.json``
-  (routed op rate per shard count, plus p99 latency ceilings).
+  (routed op rate per shard count, plus p99 latency ceilings);
+- the chaos campaign (``python -m repro.experiments chaos-campaign`` /
+  ``test_chaos_campaign.py``) → ``results/BENCH_chaos.json`` vs
+  ``BENCH_chaos.baseline.json`` (fail-slow detection latency ceiling,
+  degraded-window throughput floor, hedge rate, condemn count).
 
 A metric entry provides its value as ``new_mbps`` (throughput) or
 ``value``, plus an optional ``higher_is_better`` flag (default true).
@@ -67,6 +71,10 @@ SUITES: Dict[str, Tuple[Path, Path]] = {
     "cluster": (
         _BENCH_DIR / "results" / "BENCH_cluster.json",
         _BENCH_DIR / "BENCH_cluster.baseline.json",
+    ),
+    "chaos": (
+        _BENCH_DIR / "results" / "BENCH_chaos.json",
+        _BENCH_DIR / "BENCH_chaos.baseline.json",
     ),
 }
 

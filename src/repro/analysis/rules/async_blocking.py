@@ -3,6 +3,10 @@
 The :mod:`repro.net` service layer serves every client connection on one
 asyncio event loop; a single synchronous sleep or socket call inside an
 ``async def`` stalls *all* connections (and the chaos tests' timing).
+The :mod:`repro.cluster` layer (router, health probes, supervisor loop)
+shares that loop, so it is in scope too — a blocked supervisor cannot
+condemn a failing shard, which is exactly the outage the detector exists
+to end.
 Likewise a coroutine called but never awaited silently does nothing —
 the classic "the retry never ran" bug.
 
@@ -58,7 +62,7 @@ class AsyncBlockingRule(Rule):
         "no blocking calls (time.sleep, sync sockets, file/process I/O) and "
         "no unawaited coroutines inside async def bodies"
     )
-    scope = ("repro.net", "repro.osd.transport")
+    scope = ("repro.net", "repro.osd.transport", "repro.cluster")
 
     def check(self, module: str, tree: ast.Module, path: str) -> List[Finding]:
         async_defs = _collect_async_defs(tree)

@@ -31,6 +31,9 @@ from repro.cluster.map import (
 from repro.cluster.placement import rank_shards, rendezvous_score, shard_for_object
 
 __all__ = [
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "ClusterMap",
     "ClusterMapError",
     "ClusterService",
@@ -38,9 +41,14 @@ __all__ = [
     "RehomeReport",
     "RouterClient",
     "RouterStats",
+    "ShardHealth",
+    "ShardHealthMonitor",
+    "ShardHealthPolicy",
     "ShardInfo",
+    "ShardProbe",
     "ShardServer",
     "ShardState",
+    "ShardTransition",
     "fragment_object_id",
     "is_fragment",
     "parent_of_fragment",
@@ -50,12 +58,20 @@ __all__ = [
 ]
 
 _LAZY = {
+    "BreakerPolicy": "repro.cluster.breaker",
+    "CircuitBreaker": "repro.cluster.breaker",
+    "CircuitOpenError": "repro.cluster.breaker",
     "ClusterService": "repro.cluster.service",
     "ShardServer": "repro.cluster.service",
     "RouterClient": "repro.cluster.router",
     "RouterStats": "repro.cluster.router",
     "ClusterSupervisor": "repro.cluster.supervisor",
     "RehomeReport": "repro.cluster.supervisor",
+    "ShardHealth": "repro.cluster.health",
+    "ShardHealthMonitor": "repro.cluster.health",
+    "ShardHealthPolicy": "repro.cluster.health",
+    "ShardProbe": "repro.cluster.health",
+    "ShardTransition": "repro.cluster.health",
 }
 
 

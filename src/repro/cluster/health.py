@@ -1,0 +1,332 @@
+"""Shard-level health monitoring: the cluster's failure detector.
+
+This is :mod:`repro.core.health` lifted one level up. The device monitor
+infers device failure from the I/O stream; here the *shard* (one OSD
+server behind a socket) is the unit of suspicion, and the evidence is
+round-trip observations — passive samples reported by the
+:class:`~repro.cluster.router.RouterClient` around every routed command,
+plus active heartbeats from a :class:`ShardProbe` loop, both folded into
+the same per-shard EWMAs:
+
+- an **error-rate** EWMA (timeouts, connection failures, exhausted
+  retries per observation), and
+- a **slowdown** EWMA — observed round-trip seconds over the shard's own
+  learned healthy baseline (the mean of its first successful samples), so
+  the metric is scale-free exactly like the device monitor's
+  model-relative slowdown: a healthy shard hovers near 1.0 and a
+  fail-slow link converges to its injected multiplier.
+
+The same three-state discipline applies: ONLINE → SUSPECT on a threshold
+crossing (after ``min_ops`` warm-up), SUSPECT → FAILED only when the
+pathology *persists* for ``confirm_ops`` further observations or worsens
+past the hard thresholds — so a flapping link parks a shard in SUSPECT
+without condemning it, while sustained fail-slow escalates. The FAILED
+verdict is emitted as a :class:`ShardTransition` for the autonomous
+:class:`~repro.cluster.supervisor.ClusterSupervisor` loop to act on
+(drain → condemn → re-home), keeping detection separate from repair.
+
+The monitor holds no clock of its own: callers stamp every observation
+with their ``now``. Transitions carry those wall timestamps for the
+chaos campaign's detection-latency metric, but nothing here feeds the
+DurabilityLedger directly — the supervisor books ledger entries on its
+own logical step clock, which is what keeps ledgers byte-identical per
+seed despite wall-time noise.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, NamedTuple, Optional
+
+from repro.net.client import OsdServiceError
+
+if TYPE_CHECKING:  # pragma: no cover - imports only for annotations
+    from repro.cluster.router import RouterClient
+
+__all__ = [
+    "ShardHealth",
+    "ShardHealthMonitor",
+    "ShardHealthPolicy",
+    "ShardProbe",
+    "ShardTransition",
+]
+
+
+@dataclass(frozen=True)
+class ShardHealthPolicy:
+    """Thresholds separating network noise from a demotion-worthy shard.
+
+    The numbers are deliberately hotter than the device policy's: a shard
+    observation is a whole round trip (already smoothed over many device
+    ops), sample rates are lower (per command + heartbeat, not per chunk),
+    and a condemned shard is rebuilt from redundancy rather than thrown
+    away — so the detector can afford to be decisive.
+
+    Attributes:
+        alpha: EWMA smoothing factor per observation.
+        min_ops: observations before any verdict (warm-up, also the
+            baseline-learning window for the slowdown denominator).
+        suspect_error_rate: error-rate EWMA demoting ONLINE → SUSPECT.
+        fail_error_rate: error-rate EWMA escalating SUSPECT → FAILED.
+        suspect_slowdown: slowdown EWMA demoting ONLINE → SUSPECT.
+        fail_slowdown: slowdown EWMA escalating straight to FAILED.
+        confirm_ops: observations a SUSPECT shard must stay past a suspect
+            threshold before escalation — one partition burst or a flap
+            window parks a shard; only persistent pathology condemns it.
+        baseline_floor: lower bound (seconds) on the learned healthy
+            baseline, so loopback's sub-millisecond round trips cannot
+            make scheduler jitter register as a pathological slowdown.
+    """
+
+    alpha: float = 0.15
+    min_ops: int = 6
+    suspect_error_rate: float = 0.25
+    fail_error_rate: float = 0.60
+    suspect_slowdown: float = 4.0
+    fail_slowdown: float = 60.0
+    confirm_ops: int = 12
+    baseline_floor: float = 0.0005
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if self.suspect_error_rate > self.fail_error_rate:
+            raise ValueError("suspect_error_rate must not exceed fail_error_rate")
+        if self.suspect_slowdown > self.fail_slowdown:
+            raise ValueError("suspect_slowdown must not exceed fail_slowdown")
+        if self.min_ops < 1 or self.confirm_ops < 1:
+            raise ValueError("min_ops and confirm_ops must be >= 1")
+
+
+@dataclass
+class ShardHealth:
+    """The monitor's rolling picture of one shard."""
+
+    shard_id: int
+    state: str = "online"  # "online" | "suspect" | "failed"
+    ops: int = 0
+    errors: int = 0
+    error_ewma: float = 0.0
+    slowdown_ewma: float = 1.0
+    #: Learned healthy round-trip baseline (seconds); None while warming up.
+    baseline: Optional[float] = None
+    #: ops counter value when the shard entered SUSPECT (escalation timer).
+    suspect_at_ops: Optional[int] = None
+    suspect_since: Optional[float] = None
+    _baseline_sum: float = field(default=0.0, repr=False)
+    _baseline_count: int = field(default=0, repr=False)
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "state": self.state,
+            "ops": self.ops,
+            "errors": self.errors,
+            "error_ewma": round(self.error_ewma, 6),
+            "slowdown_ewma": round(self.slowdown_ewma, 6),
+            "baseline": None if self.baseline is None else round(self.baseline, 6),
+        }
+
+
+class ShardTransition(NamedTuple):
+    """One detector state-machine step for one shard."""
+
+    shard_id: int
+    old: str
+    new: str  # "suspect" | "failed" | "online"
+    at: float
+    reason: str
+
+
+ShardTransitionListener = Callable[[ShardTransition], None]
+
+
+class ShardHealthMonitor:
+    """Folds per-shard round-trip observations into SUSPECT/FAILED verdicts."""
+
+    def __init__(self, policy: Optional[ShardHealthPolicy] = None) -> None:
+        self.policy = policy or ShardHealthPolicy()
+        self.shards: Dict[int, ShardHealth] = {}
+        self.listeners: List[ShardTransitionListener] = []
+        self.transitions: List[ShardTransition] = []
+
+    # ------------------------------------------------------------------
+    # Observation intake
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        shard_id: int,
+        latency: Optional[float],
+        *,
+        ok: bool,
+        now: float,
+    ) -> None:
+        """Fold one round-trip observation (probe or routed command).
+
+        ``latency`` is the observed round-trip in seconds for successful
+        observations; errors (``ok=False``) carry no latency sample — a
+        timeout's duration measures the client's patience, not the shard.
+        """
+        policy = self.policy
+        health = self._health(shard_id)
+        health.ops += 1
+        alpha = policy.alpha
+        health.error_ewma += alpha * ((0.0 if ok else 1.0) - health.error_ewma)
+        if not ok:
+            health.errors += 1
+        elif latency is not None:
+            if health.baseline is None:
+                health._baseline_sum += latency
+                health._baseline_count += 1
+                if health._baseline_count >= policy.min_ops:
+                    health.baseline = max(
+                        policy.baseline_floor,
+                        health._baseline_sum / health._baseline_count,
+                    )
+            else:
+                slowdown = latency / health.baseline
+                health.slowdown_ewma += alpha * (slowdown - health.slowdown_ewma)
+        self._evaluate(health, now)
+
+    def reset(self, shard_id: int) -> None:
+        """Forget a shard's record (re-admit after repair: fresh identity)."""
+        self.shards.pop(shard_id, None)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def health_of(self, shard_id: int) -> ShardHealth:
+        return self._health(shard_id)
+
+    def state_of(self, shard_id: int) -> str:
+        return self._health(shard_id).state
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        return {
+            str(shard_id): self.shards[shard_id].snapshot()
+            for shard_id in sorted(self.shards)
+        }
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _health(self, shard_id: int) -> ShardHealth:
+        health = self.shards.get(shard_id)
+        if health is None:
+            health = ShardHealth(shard_id=shard_id)
+            self.shards[shard_id] = health
+        return health
+
+    def _evaluate(self, health: ShardHealth, now: float) -> None:
+        policy = self.policy
+        if health.ops < policy.min_ops or health.state == "failed":
+            return
+        errs, slow = health.error_ewma, health.slowdown_ewma
+        if health.state == "online":
+            if errs >= policy.suspect_error_rate or slow >= policy.suspect_slowdown:
+                health.state = "suspect"
+                health.suspect_at_ops = health.ops
+                health.suspect_since = now
+                reason = (
+                    f"error_ewma={errs:.3f}"
+                    if errs >= policy.suspect_error_rate
+                    else f"slowdown_ewma={slow:.1f}"
+                )
+                self._emit(health.shard_id, "online", "suspect", now, reason)
+            return
+        # SUSPECT: escalate on hard thresholds or persistent pathology;
+        # recover to ONLINE when both EWMAs decay back under the suspect
+        # lines (a flap that stopped flapping earns its way back).
+        if errs >= policy.fail_error_rate or slow >= policy.fail_slowdown:
+            health.state = "failed"
+            self._emit(
+                health.shard_id, "suspect", "failed", now,
+                f"error_ewma={errs:.3f} slowdown_ewma={slow:.1f}",
+            )
+            return
+        still_bad = errs >= policy.suspect_error_rate or slow >= policy.suspect_slowdown
+        started = health.suspect_at_ops or 0
+        if still_bad and health.ops - started >= policy.confirm_ops:
+            health.state = "failed"
+            self._emit(
+                health.shard_id, "suspect", "failed", now,
+                f"persistent after {health.ops - started} ops",
+            )
+            return
+        if not still_bad and health.ops - started >= policy.confirm_ops:
+            health.state = "online"
+            health.suspect_at_ops = None
+            health.suspect_since = None
+            self._emit(health.shard_id, "suspect", "online", now, "recovered")
+
+    def _emit(
+        self, shard_id: int, old: str, new: str, at: float, reason: str
+    ) -> ShardTransition:
+        transition = ShardTransition(shard_id, old, new, at, reason)
+        self.transitions.append(transition)
+        for listener in list(self.listeners):
+            listener(transition)
+        return transition
+
+
+class ShardProbe:
+    """Active heartbeat loop feeding a :class:`ShardHealthMonitor`.
+
+    Passive router observations alone starve the detector exactly when it
+    matters most: a crashed or blackholed shard stops producing routed
+    traffic (the breaker fast-fails, reads fail over), so its EWMAs would
+    freeze mid-suspicion. The probe keeps evidence flowing — one cheap
+    ``ServiceStats`` control read per readable shard per tick, measured
+    and reported like any other observation. Probes go straight to the
+    per-shard client, bypassing the router's circuit breaker: they are the
+    mechanism by which a SUSPECT shard either rehabilitates or confirms.
+    """
+
+    def __init__(
+        self,
+        router: "RouterClient",
+        monitor: ShardHealthMonitor,
+        *,
+        interval: float = 0.02,
+    ) -> None:
+        self.router = router
+        self.monitor = monitor
+        self.interval = interval
+        self.probes = 0
+        self.failures = 0
+        self._task: Optional[asyncio.Task] = None
+
+    async def start(self) -> "ShardProbe":
+        if self._task is None:
+            self._task = asyncio.ensure_future(self._run())
+        return self
+
+    async def aclose(self) -> None:
+        task, self._task = self._task, None
+        if task is not None:
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+
+    async def _run(self) -> None:
+        while True:
+            await self.probe_once()
+            await asyncio.sleep(self.interval)
+
+    async def probe_once(self) -> None:
+        """One heartbeat round over every readable shard."""
+        loop = asyncio.get_running_loop()
+        for shard_id in sorted(self.router.cluster_map.readable_ids):
+            started = loop.time()
+            try:
+                await self.router.client(shard_id).service_stats()
+            except (OsdServiceError, ConnectionError, OSError):
+                self.failures += 1
+                self.monitor.observe(shard_id, None, ok=False, now=loop.time())
+            else:
+                elapsed = loop.time() - started
+                self.monitor.observe(shard_id, elapsed, ok=True, now=loop.time())
+            finally:
+                self.probes += 1

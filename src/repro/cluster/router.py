@@ -23,6 +23,23 @@ per shard and routes every addressed command by the epoch-versioned
 Stripe fragments are self-describing: each carries a 16-byte header
 (magic, k, m, fragment index, class id, true payload size) so recovery can
 rebuild a stripe from whatever fragments survive, with no central manifest.
+
+Degraded-mode hardening (the chaos-PR additions):
+
+- **Per-shard circuit breakers** — consecutive transport failures open a
+  shard's breaker and subsequent calls fast-fail locally instead of
+  serializing behind timeouts; half-open trials let it recover. Any reply
+  (even ``WRONG_SHARD`` or FAIL) closes the breaker.
+- **Per-operation deadline budget** — ``op_deadline`` (or an explicit
+  ``deadline=`` per call) bounds a whole public operation: all retries,
+  redirects, and redundancy legs share one absolute budget.
+- **Hedged reads** — when the health monitor sees the primary mirror
+  running pathologically slow, mirrored reads race both legs and take the
+  first OK answer; the losing leg drains in the background so its latency
+  still feeds the detector.
+- **Health feed** — every shard round trip is reported to an attached
+  :class:`~repro.cluster.health.ShardHealthMonitor`, making routed traffic
+  the passive half of the failure detector.
 """
 
 from __future__ import annotations
@@ -32,6 +49,7 @@ import struct
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.cluster.breaker import BreakerBank, BreakerPolicy, CircuitOpenError
 from repro.cluster.map import (
     ClusterMap,
     ClusterMapError,
@@ -96,6 +114,9 @@ class RouterStats:
     mirror_failovers: int = 0
     stripes_written: int = 0
     mirrors_written: int = 0
+    breaker_fastfails: int = 0
+    hedged_reads: int = 0
+    hedge_wins: int = 0
 
 
 class RouterClient:
@@ -111,17 +132,37 @@ class RouterClient:
         data_fragments: int = 4,
         parity_fragments: int = 2,
         max_redirects: int = 4,
+        op_deadline: Optional[float] = None,
+        breaker_policy: Optional[BreakerPolicy] = None,
+        health_monitor: Optional[object] = None,
+        hedge_slowdown: float = 3.0,
     ) -> None:
         if data_fragments < 1 or parity_fragments < 0:
             raise ValueError("stripe geometry must have k >= 1, m >= 0")
+        if op_deadline is not None and op_deadline <= 0.0:
+            raise ValueError("op_deadline must be positive seconds")
         self.cluster_map = cluster_map
         self.pool_size = pool_size
         self.timeout = timeout
         self.retry = retry or RetryPolicy()
         self.codec = RSCodec(data_fragments, parity_fragments)
         self.max_redirects = max_redirects
+        #: Total wall budget per public operation (retries + redirects +
+        #: redundancy legs share it); None disables the budget.
+        self.op_deadline = op_deadline
+        #: Duck-typed :class:`~repro.cluster.health.ShardHealthMonitor`:
+        #: every shard round trip is reported via ``observe()`` so passive
+        #: traffic feeds the failure detector alongside active probes.
+        self.health_monitor = health_monitor
+        #: Primary-shard slowdown EWMA at which mirrored reads hedge.
+        self.hedge_slowdown = hedge_slowdown
+        self.breakers = BreakerBank(breaker_policy)
         self.router_stats = RouterStats()
         self._clients: Dict[int, AsyncOsdClient] = {}
+        #: Losing hedge legs left to finish in the background — their
+        #: latency samples must still reach the health monitor, otherwise
+        #: hedging would starve the very detector that triggers it.
+        self._hedge_tasks: set = set()
         #: Object id → layout ("plain" | "mirror" | "stripe") for the read
         #: path. Unknown objects are read as plain with mirror fallback.
         self._layouts: Dict[ObjectId, str] = {}
@@ -163,6 +204,13 @@ class RouterClient:
             await self.client(shard_id).connect()
 
     async def aclose(self) -> None:
+        for task in list(self._hedge_tasks):
+            task.cancel()
+            try:
+                await task
+            except (asyncio.CancelledError, OsdServiceError, ConnectionError, OSError):
+                pass
+        self._hedge_tasks.clear()
         for shard_id in sorted(self._clients):
             await self._clients[shard_id].aclose()
         self._clients.clear()
@@ -223,19 +271,69 @@ class RouterClient:
     # ------------------------------------------------------------------
     # Routed submission
     # ------------------------------------------------------------------
+    def _op_deadline(self) -> Optional[float]:
+        """The absolute deadline for an operation starting now (or None)."""
+        if self.op_deadline is None:
+            return None
+        return asyncio.get_running_loop().time() + self.op_deadline
+
+    async def _submit(
+        self,
+        shard_id: int,
+        command: commands.OsdCommand,
+        deadline: Optional[float] = None,
+    ) -> OsdResponse:
+        """One shard round trip through the breaker and the health feed.
+
+        Any *reply* — including ``WRONG_SHARD`` bounces and honest FAILs —
+        proves the shard is alive and closes its breaker; only transport
+        failures (timeouts, dead sockets, exhausted retries) count against
+        it. A fast-fail raises :class:`CircuitOpenError`, which downstream
+        failover paths already treat as an ordinary service error.
+        """
+        loop = asyncio.get_running_loop()
+        breaker = self.breakers.of(shard_id)
+        if not breaker.allow(loop.time()):
+            self.router_stats.breaker_fastfails += 1
+            raise CircuitOpenError(shard_id)
+        started = loop.time()
+        try:
+            response = await self.client(shard_id).submit(command, deadline=deadline)
+        except (OsdServiceError, ConnectionError, OSError):
+            now = loop.time()
+            breaker.record_failure(now)
+            if self.health_monitor is not None:
+                self.health_monitor.observe(shard_id, None, ok=False, now=now)
+            raise
+        now = loop.time()
+        breaker.record_success()
+        if self.health_monitor is not None:
+            self.health_monitor.observe(shard_id, now - started, ok=True, now=now)
+        return response
+
     async def _routed(
         self,
         command: commands.OsdCommand,
         route: Callable[[ClusterMap], int],
+        deadline: Optional[float] = None,
     ) -> OsdResponse:
         """Submit along ``route(map)``, healing the map on ``WRONG_SHARD``.
 
         ``WRONG_SHARD`` means the command did not execute, so replaying it
-        along the corrected route is safe for every command type.
+        along the corrected route is safe for every command type. The
+        ``deadline`` budget spans the whole redirect chain: every replay's
+        retries are clipped to it, and a chain that reaches it surfaces a
+        deadline error instead of looping.
         """
         for _ in range(self.max_redirects + 1):
+            if deadline is not None:
+                loop = asyncio.get_running_loop()
+                if loop.time() >= deadline:
+                    raise OsdServiceError(
+                        f"operation deadline exhausted while routing {command!r}"
+                    )
             shard_id = route(self.cluster_map)
-            response = await self.client(shard_id).submit(command)
+            response = await self._submit(shard_id, command, deadline)
             if response.sense is not SenseCode.WRONG_SHARD:
                 return response
             self.router_stats.redirects += 1
@@ -270,25 +368,40 @@ class RouterClient:
     # Write path (class policy)
     # ------------------------------------------------------------------
     async def write(
-        self, object_id: ObjectId, payload: bytes, class_id: Optional[int] = None
+        self,
+        object_id: ObjectId,
+        payload: bytes,
+        class_id: Optional[int] = None,
+        *,
+        deadline: Optional[float] = None,
     ) -> OsdResponse:
         """Write by class policy: mirror 0/1, stripe 2, plain otherwise."""
         self.known_partitions.add(object_id.pid)
+        if deadline is None:
+            deadline = self._op_deadline()
         if class_id in MIRROR_CLASSES:
-            return await self._write_mirrored(object_id, payload, class_id)
+            return await self._write_mirrored(object_id, payload, class_id, deadline)
         if class_id in STRIPED_CLASSES:
-            return await self._write_striped(object_id, payload, class_id)
+            return await self._write_striped(object_id, payload, class_id, deadline)
         command = commands.Write(object_id, payload, class_id)
-        response = await self._routed(command, lambda m: m.primary_for(object_id))
+        response = await self._routed(
+            command, lambda m: m.primary_for(object_id), deadline
+        )
         if response.ok:
             self._layouts[object_id] = "plain"
         return response
 
     async def _write_mirrored(
-        self, object_id: ObjectId, payload: bytes, class_id: int
+        self,
+        object_id: ObjectId,
+        payload: bytes,
+        class_id: int,
+        deadline: Optional[float] = None,
     ) -> OsdResponse:
         command = commands.Write(object_id, payload, class_id)
-        primary = await self._routed(command, lambda m: m.primary_for(object_id))
+        primary = await self._routed(
+            command, lambda m: m.primary_for(object_id), deadline
+        )
         if not primary.ok:
             return primary
         owners = self.cluster_map.owners_for(object_id, width=2)
@@ -298,6 +411,7 @@ class RouterClient:
                 lambda m, _rank=1: m.owners_for(object_id, width=2)[
                     min(_rank, len(m.owners_for(object_id, width=2)) - 1)
                 ],
+                deadline,
             )
             if not mirror.ok:
                 return mirror
@@ -306,7 +420,11 @@ class RouterClient:
         return primary
 
     async def _write_striped(
-        self, object_id: ObjectId, payload: bytes, class_id: int
+        self,
+        object_id: ObjectId,
+        payload: bytes,
+        class_id: int,
+        deadline: Optional[float] = None,
     ) -> OsdResponse:
         await self._ensure_stripe_partition(object_id.pid)
         k, m = self.codec.k, self.codec.m
@@ -332,6 +450,7 @@ class RouterClient:
                     lambda cm, _fid=fragment_object_id(object_id, index): (
                         cm.owners_for(_fid)[0]
                     ),
+                    deadline,
                 )
                 for index, fragment in enumerate(fragments)
             )
@@ -346,25 +465,60 @@ class RouterClient:
     # ------------------------------------------------------------------
     # Read path (degraded-capable)
     # ------------------------------------------------------------------
-    async def read(self, object_id: ObjectId) -> Tuple[Optional[bytes], OsdResponse]:
+    async def read(
+        self, object_id: ObjectId, *, deadline: Optional[float] = None
+    ) -> Tuple[Optional[bytes], OsdResponse]:
+        if deadline is None:
+            deadline = self._op_deadline()
         layout = self._layouts.get(object_id, "plain")
         if layout == "stripe":
-            return await self._read_striped(object_id)
+            return await self._read_striped(object_id, deadline)
         if layout == "mirror":
-            return await self._read_mirrored(object_id)
+            return await self._read_mirrored(object_id, deadline)
         response = await self._routed(
-            commands.Read(object_id), lambda m: m.primary_for(object_id)
+            commands.Read(object_id), lambda m: m.primary_for(object_id), deadline
         )
         return response.payload, response
 
+    def _should_hedge(self, shard_id: int) -> bool:
+        """Hedge when the detector sees the primary running pathologically slow."""
+        monitor = self.health_monitor
+        if monitor is None:
+            return False
+        health = monitor.health_of(shard_id)
+        return (
+            health.baseline is not None
+            and health.slowdown_ewma >= self.hedge_slowdown
+        )
+
+    def _track_hedge(self, task: "asyncio.Task") -> None:
+        """Let a losing hedge leg finish in the background.
+
+        The slow leg's eventual completion (or failure) is a health sample
+        the detector needs; cancelling it would blind the monitor to the
+        very slowness that triggered the hedge.
+        """
+        self._hedge_tasks.add(task)
+
+        def _reap(done: "asyncio.Task") -> None:
+            self._hedge_tasks.discard(done)
+            if not done.cancelled():
+                done.exception()  # consume: failures were already observed
+
+        task.add_done_callback(_reap)
+
     async def _read_mirrored(
-        self, object_id: ObjectId
+        self, object_id: ObjectId, deadline: Optional[float] = None
     ) -> Tuple[Optional[bytes], OsdResponse]:
         owners = self.cluster_map.owners_for(object_id, width=2)
+        if len(owners) > 1 and self._should_hedge(owners[0]):
+            return await self._read_hedged(object_id, owners, deadline)
         last: Optional[OsdResponse] = None
         for rank, shard_id in enumerate(owners):
             try:
-                response = await self.client(shard_id).submit(commands.Read(object_id))
+                response = await self._submit(
+                    shard_id, commands.Read(object_id), deadline
+                )
             except (OsdServiceError, ConnectionError, OSError):
                 continue
             if response.ok:
@@ -376,30 +530,109 @@ class RouterClient:
             return None, last
         raise OsdServiceError(f"all mirrors of {object_id} are unreachable")
 
+    async def _read_hedged(
+        self,
+        object_id: ObjectId,
+        owners: List[int],
+        deadline: Optional[float] = None,
+    ) -> Tuple[Optional[bytes], OsdResponse]:
+        """Race the primary and mirror legs; first OK answer wins.
+
+        The loser is not cancelled — it drains in the background so its
+        latency sample still feeds the health monitor (see
+        :meth:`_track_hedge`).
+        """
+        self.router_stats.hedged_reads += 1
+        tasks = {
+            asyncio.ensure_future(
+                self._submit(shard_id, commands.Read(object_id), deadline)
+            ): rank
+            for rank, shard_id in enumerate(owners[:2])
+        }
+        pending = set(tasks)
+        last: Optional[OsdResponse] = None
+        errors = 0
+        try:
+            while pending:
+                done, pending = await asyncio.wait(
+                    pending, return_when=asyncio.FIRST_COMPLETED
+                )
+                for task in done:
+                    if task.exception() is not None:
+                        errors += 1
+                        continue
+                    response = task.result()
+                    if response.ok:
+                        for loser in pending:
+                            self._track_hedge(loser)
+                        pending = set()
+                        if tasks[task]:
+                            self.router_stats.hedge_wins += 1
+                        return response.payload, response
+                    last = response
+        finally:
+            for leftover in pending:
+                self._track_hedge(leftover)
+        if last is not None:
+            return None, last
+        assert errors
+        raise OsdServiceError(f"all mirrors of {object_id} are unreachable")
+
     async def _fetch_fragment(
-        self, object_id: ObjectId, index: int
+        self, object_id: ObjectId, index: int, deadline: Optional[float] = None
     ) -> Optional[Tuple[Dict[str, int], bytes]]:
         fragment_id = fragment_object_id(object_id, index)
         try:
             response = await self._routed(
                 commands.Read(fragment_id),
                 lambda m: m.owners_for(fragment_id)[0],
+                deadline,
             )
         except (OsdServiceError, ConnectionError, OSError):
-            return None
-        if not response.ok or response.payload is None:
+            response = None
+        blob: Optional[bytes] = None
+        if response is not None and response.ok and response.payload is not None:
+            blob = bytes(response.payload)
+        else:
+            blob = await self._sweep_fragment(fragment_id, deadline)
+        if blob is None:
             return None
         try:
-            return decode_fragment(bytes(response.payload))
+            return decode_fragment(blob)
         except OsdServiceError:
             return None
 
+    async def _sweep_fragment(
+        self, fragment_id: ObjectId, deadline: Optional[float]
+    ) -> Optional[bytes]:
+        """Hunt a fragment missing from its desired owner.
+
+        Mid-rebalance a fragment can lag behind the map: its new home has
+        not received the copy yet, but a DRAINING shard or a straggler
+        still holds it — and reads are served wherever the object exists.
+        Non-holders answer ``WRONG_SHARD`` (cheap); dead shards fail fast
+        through the breaker.
+        """
+        desired = self.cluster_map.owners_for(fragment_id)[0]
+        for shard_id in sorted(self.cluster_map.readable_ids):
+            if shard_id == desired:
+                continue
+            try:
+                response = await self._submit(
+                    shard_id, commands.Read(fragment_id), deadline
+                )
+            except (OsdServiceError, ConnectionError, OSError):
+                continue
+            if response.ok and response.payload is not None:
+                return bytes(response.payload)
+        return None
+
     async def _read_striped(
-        self, object_id: ObjectId
+        self, object_id: ObjectId, deadline: Optional[float] = None
     ) -> Tuple[Optional[bytes], OsdResponse]:
         k, m = self.codec.k, self.codec.m
         fetched = await asyncio.gather(
-            *(self._fetch_fragment(object_id, index) for index in range(k))
+            *(self._fetch_fragment(object_id, index, deadline) for index in range(k))
         )
         present = {
             index: frag for index, frag in enumerate(fetched) if frag is not None
@@ -411,7 +644,7 @@ class RouterClient:
         # Degraded: pull parity fragments until k total, then decode.
         self.router_stats.degraded_reads += 1
         parity = await asyncio.gather(
-            *(self._fetch_fragment(object_id, k + index) for index in range(m))
+            *(self._fetch_fragment(object_id, k + index, deadline) for index in range(m))
         )
         for index, frag in enumerate(parity):
             if frag is not None:
@@ -431,7 +664,11 @@ class RouterClient:
     # ------------------------------------------------------------------
     # Remove / attributes
     # ------------------------------------------------------------------
-    async def remove(self, object_id: ObjectId) -> OsdResponse:
+    async def remove(
+        self, object_id: ObjectId, *, deadline: Optional[float] = None
+    ) -> OsdResponse:
+        if deadline is None:
+            deadline = self._op_deadline()
         layout = self._layouts.pop(object_id, "plain")
         if layout == "stripe":
             results = await asyncio.gather(
@@ -441,6 +678,7 @@ class RouterClient:
                         lambda cm, _fid=fragment_object_id(object_id, index): (
                             cm.owners_for(_fid)[0]
                         ),
+                        deadline,
                     )
                     for index in range(self.codec.n)
                 ),
@@ -459,17 +697,22 @@ class RouterClient:
                     lambda m, _rank=rank: m.owners_for(object_id, width=2)[
                         min(_rank, len(m.owners_for(object_id, width=2)) - 1)
                     ],
+                    deadline,
                 )
             return response
         return await self._routed(
-            commands.Remove(object_id), lambda m: m.primary_for(object_id)
+            commands.Remove(object_id), lambda m: m.primary_for(object_id), deadline
         )
 
     async def get_attr(
-        self, object_id: ObjectId, key: str
+        self, object_id: ObjectId, key: str, *, deadline: Optional[float] = None
     ) -> Tuple[Optional[str], OsdResponse]:
+        if deadline is None:
+            deadline = self._op_deadline()
         response = await self._routed(
-            commands.GetAttr(object_id, key), lambda m: m.primary_for(object_id)
+            commands.GetAttr(object_id, key),
+            lambda m: m.primary_for(object_id),
+            deadline,
         )
         if not response.ok or response.payload is None:
             return None, response

@@ -209,6 +209,35 @@ class ClusterService:
         for server in self.shards.values():
             server.install_map(cluster_map)
 
+    async def add_shard(self) -> int:
+        """Boot one new shard (join) and install a map including it.
+
+        The new shard gets the next unused id — ids are never recycled,
+        even across condemns, so a rejoining "shard 2 replacement" is a
+        distinct identity with a fresh HRW footprint. Object movement is
+        the supervisor's job (:meth:`ClusterSupervisor.admit`); this only
+        grows the membership.
+        """
+        if self.cluster_map is None:
+            raise RuntimeError("cluster not started")
+        used = [shard.shard_id for shard in self.cluster_map.shards]
+        used.extend(self.shards)
+        shard_id = max(used, default=-1) + 1
+        server = ShardServer(
+            self.target_factory(shard_id),
+            shard_id,
+            self.host,
+            port=0,
+            max_in_flight=self.max_in_flight,
+        )
+        await server.start()
+        self.shards[shard_id] = server
+        joined = self.cluster_map.with_shard(
+            ShardInfo(shard_id=shard_id, host=self.host, port=server.port)
+        )
+        self.install_map(joined)
+        return shard_id
+
     async def stop_shard(self, shard_id: int) -> None:
         """Hard-kill one shard (its map entry is left untouched — a crash)."""
         server = self.shards.pop(shard_id, None)

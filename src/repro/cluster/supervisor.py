@@ -35,8 +35,9 @@ ledgers despite asyncio's scheduling noise.
 
 from __future__ import annotations
 
+import asyncio
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.cluster.map import (
     ClusterMap,
@@ -50,6 +51,9 @@ from repro.cluster.service import ClusterService
 from repro.core.supervisor import DurabilityLedger
 from repro.net.client import OsdServiceError
 from repro.osd.types import ObjectId
+
+if TYPE_CHECKING:  # pragma: no cover - imports only for annotations
+    from repro.cluster.health import ShardHealthMonitor, ShardTransition
 
 __all__ = ["ClusterSupervisor", "RehomeReport"]
 
@@ -103,11 +107,98 @@ class ClusterSupervisor:
         self.router = router
         self.ledger = ledger if ledger is not None else DurabilityLedger()
         self._step = 0.0
+        #: Attached failure detector (see :meth:`attach_monitor`).
+        self.monitor: "Optional[ShardHealthMonitor]" = None
+        #: ``(transition, report)`` pairs for every autonomous condemn.
+        self.auto_events: "List[Tuple[ShardTransition, RehomeReport]]" = []
+        self._failure_queue: "Optional[asyncio.Queue]" = None
+        self._auto_task: Optional[asyncio.Task] = None
+        #: Shards currently mid-condemn (re-entrancy guard).
+        self._condemning: set = set()
 
     def _tick(self) -> float:
         """The logical clock: one tick per booked action, never wall time."""
         self._step += 1.0
         return self._step
+
+    # ------------------------------------------------------------------
+    # Autonomous self-healing
+    # ------------------------------------------------------------------
+    def attach_monitor(self, monitor: "ShardHealthMonitor") -> None:
+        """Subscribe to a failure detector's transition stream.
+
+        FAILED verdicts are queued for the autonomous loop; everything
+        else (suspect, recovery) is the detector's business. Nothing is
+        booked in the ledger at transition time — transition *timing* is
+        wall-clock noise (probe cadence, scheduler jitter), and booking it
+        would break the byte-identical-ledger property. The ledger records
+        detection on the logical step clock inside :meth:`condemn`.
+        """
+        self.monitor = monitor
+        if self._failure_queue is None:
+            self._failure_queue = asyncio.Queue()
+        monitor.listeners.append(self._on_transition)
+
+    def _on_transition(self, transition: "ShardTransition") -> None:
+        if transition.new == "failed" and self._failure_queue is not None:
+            self._failure_queue.put_nowait(transition)
+
+    async def start_autonomous(self) -> None:
+        """Run the SUSPECT→drain→condemn→re-home loop in the background."""
+        if self.monitor is None:
+            raise RuntimeError("attach_monitor() before start_autonomous()")
+        if self._auto_task is None:
+            self._auto_task = asyncio.ensure_future(self._autonomous_loop())
+
+    async def stop_autonomous(self) -> None:
+        task, self._auto_task = self._auto_task, None
+        if task is not None:
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+
+    async def _autonomous_loop(self) -> None:
+        assert self._failure_queue is not None
+        while True:
+            transition = await self._failure_queue.get()
+            await self.handle_failure(transition)
+
+    async def handle_failure(
+        self, transition: "ShardTransition"
+    ) -> Optional[RehomeReport]:
+        """React to one FAILED verdict: drain if alive, condemn, re-home.
+
+        A shard whose server is still running (fail-slow, flapping) is
+        *drained* — it keeps serving evacuation reads. A crashed shard is
+        condemned outright and its objects come from survivors and erasure
+        reconstruction. Verdicts for shards already being handled (or
+        already out of the map) are dropped: the detector may re-fail a
+        shard the supervisor is mid-way through removing.
+        """
+        shard_id = transition.shard_id
+        cluster_map = self.service.cluster_map
+        shard = cluster_map.shard(shard_id) if cluster_map is not None else None
+        if (
+            shard is None
+            or shard.state is not ShardState.ONLINE
+            or shard_id in self._condemning
+        ):
+            return None
+        evacuate = shard_id in self.service.shards
+        # The ledger reason is fixed text: the transition's own reason
+        # embeds wall-clock EWMA readings, which would break the
+        # byte-identical-ledger property. The full diagnostic rides along
+        # in ``auto_events`` instead.
+        report = await self.condemn(
+            shard_id,
+            reason="auto: detector verdict",
+            evacuate=evacuate,
+            detected=True,
+        )
+        self.auto_events.append((transition, report))
+        return report
 
     # ------------------------------------------------------------------
     # The condemn / re-home cycle
@@ -118,6 +209,7 @@ class ClusterSupervisor:
         reason: str = "operator condemned",
         *,
         evacuate: bool = True,
+        detected: bool = False,
     ) -> RehomeReport:
         """Remove ``shard_id`` from the cluster, re-homing what it held.
 
@@ -129,9 +221,32 @@ class ClusterSupervisor:
         cluster_map = self.service.cluster_map
         if cluster_map is None:
             raise RuntimeError("cluster not started")
+        self._condemning.add(shard_id)
+        try:
+            return await self._condemn(
+                shard_id, reason, evacuate=evacuate, detected=detected
+            )
+        finally:
+            self._condemning.discard(shard_id)
+
+    async def _condemn(
+        self,
+        shard_id: int,
+        reason: str,
+        *,
+        evacuate: bool,
+        detected: bool,
+    ) -> RehomeReport:
+        cluster_map = self.service.cluster_map
+        assert cluster_map is not None
         report = RehomeReport(shard_id=shard_id, epoch_before=cluster_map.epoch)
         generation = cluster_map.require(shard_id).generation + 1
         incident = self.ledger.incident_for(shard_id, generation)
+        if detected:
+            # Detection preceded condemnation: book it as its own logical
+            # step. Wall-clock detection latency is a *bench* metric — the
+            # ledger stays on the deterministic step clock.
+            incident.suspected_at = self._tick()
         now = self._tick()
         if not incident.reason:
             incident.reason = reason
@@ -158,6 +273,36 @@ class ClusterSupervisor:
             await self.service.stop_shard(shard_id)
         report.epoch_after = final.epoch
         self.ledger.mark_recovered(self._tick())
+        return report
+
+    # ------------------------------------------------------------------
+    # Join: grow the cluster and rebalance into the new shard
+    # ------------------------------------------------------------------
+    async def admit(self) -> RehomeReport:
+        """Add one shard and move its HRW share of existing objects in.
+
+        Rendezvous placement guarantees the new shard's share is the only
+        thing that moves (≤ 1/N + ε of objects); everything else keeps its
+        owners, so the census/re-home pass copies exactly the objects and
+        fragments whose top-ranked owners now include the newcomer. Old
+        copies are left behind as stragglers — the route check refuses
+        mutations from non-owners, and reads resolve at the new homes —
+        so a join never deletes anything.
+        """
+        before = self.service.cluster_map
+        if before is None:
+            raise RuntimeError("cluster not started")
+        shard_id = await self.service.add_shard()
+        joined = self.service.cluster_map
+        assert joined is not None
+        self.router.install_map(joined)
+        report = RehomeReport(shard_id=shard_id, epoch_before=before.epoch)
+        report.epoch_after = joined.epoch
+        # Partitions exist on every shard: create them before anything
+        # routes to the newcomer.
+        for pid in sorted(self.router.known_partitions):
+            await self.router.client(shard_id).create_partition(pid)
+        await self._rehome(shard_id, joined, report, evacuate=True)
         return report
 
     # ------------------------------------------------------------------

@@ -38,6 +38,7 @@ from repro.experiments.cluster_campaign import (
     run_cluster_campaign,
     run_cluster_sweep,
 )
+from repro.experiments.chaos_campaign import run_chaos_campaign
 from repro.experiments.fault_campaign import run_fault_campaign
 from repro.experiments.recovery_timeline import run_recovery_timeline
 from repro.experiments.warmup import run_warmup_experiment
@@ -79,6 +80,15 @@ def _fault_campaign_text(seed: "int | None") -> str:
     return result.format()
 
 
+def _chaos_campaign_text(seed: "int | None") -> str:
+    """Run the chaos campaign; persist its bench + ledger artefacts."""
+    kwargs = {} if seed is None else {"seed": seed}
+    result = run_chaos_campaign(**kwargs)
+    result.write_bench_json()
+    result.write_ledger_json()
+    return result.format()
+
+
 def _cluster_campaign_text(seed: "int | None") -> str:
     """Run the shard-loss campaign + shard sweep; persist both artefacts."""
     kwargs = {} if seed is None else {"seed": seed}
@@ -104,6 +114,8 @@ ARTEFACTS = {
     "fault_campaign": lambda seed=None: _fault_campaign_text(seed),
     "cluster-campaign": lambda seed=None: _cluster_campaign_text(seed),
     "cluster_campaign": lambda seed=None: _cluster_campaign_text(seed),
+    "chaos-campaign": lambda seed=None: _chaos_campaign_text(seed),
+    "chaos_campaign": lambda seed=None: _chaos_campaign_text(seed),
     "warmup": lambda: run_warmup_experiment().format(),
     "ablations": _ablations_text,
     "endurance": lambda: (
@@ -150,6 +162,8 @@ def main(argv=None) -> int:
             "fault_campaign",
             "cluster-campaign",
             "cluster_campaign",
+            "chaos-campaign",
+            "chaos_campaign",
         ):
             text = ARTEFACTS[name](args.seed)
         else:

@@ -1,0 +1,528 @@
+"""The chaos campaign: seeded network faults vs. autonomous self-healing.
+
+Where :func:`~repro.experiments.cluster_campaign.run_cluster_campaign`
+hard-kills a shard and *asks* the supervisor to condemn it, this campaign
+never tells the control plane anything. It injects a seeded
+:class:`~repro.faults.NetFaultPlan` — a partition burst, a flapping link,
+and a fail-slow latency ramp — under a routed read workload and requires
+the cluster to save itself:
+
+1. **Transient phase** — the partition burst and the flap hit two healthy
+   shards. The detector may park them in SUSPECT, but neither may be
+   condemned: both pathologies end, the shards earn their way back to
+   ONLINE, and the degraded-mode client (breakers, deadline budgets,
+   mirror failover, erasure reconstruction) keeps every protected-class
+   read byte-exact throughout.
+2. **Fail-slow phase** — a persistent latency ramp on the victim shard.
+   The :class:`~repro.cluster.health.ShardHealthMonitor` (probe heartbeats
+   + passive router observations) must escalate it ONLINE → SUSPECT →
+   FAILED, and the autonomous :class:`ClusterSupervisor` loop must drain,
+   condemn, and re-home it — no campaign involvement. Once the detector
+   learns the primary is slow, mirrored reads hedge to the mirror.
+
+The workload is read-only between populate and verify, so the census at
+condemn time — and therefore the :class:`DurabilityLedger` — is a pure
+function of the seed: identical seeds produce byte-identical ledger
+artefacts despite wall-clock noise. Wall-clock numbers (detection
+latency, degraded-window throughput, hedge rate) go to
+``benchmarks/results/BENCH_chaos.json`` instead, gated by
+``compare_bench.py`` against committed conservative floors.
+
+Losing any protected-class object (0-2) — or condemning the wrong shard —
+raises :class:`ChaosCampaignError`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import pathlib
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cluster.health import (
+    ShardHealthMonitor,
+    ShardHealthPolicy,
+    ShardProbe,
+)
+from repro.cluster.router import RouterClient
+from repro.cluster.service import ClusterService
+from repro.cluster.supervisor import ClusterSupervisor
+from repro.faults import LinkFailSlow, LinkFlap, NetFaultPlan, NetPartition, ShardChaos
+from repro.net.client import OsdServiceError
+from repro.net.retry import NO_RETRY
+from repro.sim.report import format_table
+from repro.osd.types import FIRST_USER_OID, PARTITION_BASE, ObjectId
+
+__all__ = [
+    "CHAOS_POLICY",
+    "ChaosCampaignError",
+    "ChaosCampaignResult",
+    "run_chaos_campaign",
+]
+
+BENCH_RESULTS_DIR = (
+    pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+)
+CHAOS_BENCH_NAME = "BENCH_chaos.json"
+CHAOS_LEDGER_NAME = "chaos_campaign_ledger.json"
+
+#: Classes whose loss (or corruption) fails the campaign outright.
+PROTECTED_CLASSES = (0, 1, 2)
+
+#: The campaign's detector tuning. The transient phase *calibrates* these
+#: numbers: an 8-op partition burst peaks the error EWMA near
+#: ``1 - (1 - alpha)^8 ~= 0.64``, safely under ``fail_error_rate``, and
+#: ends long before ``confirm_ops`` of sustained suspicion — so bursts and
+#: flaps park a shard in SUSPECT at worst. A fail-slow link at ~80x the
+#: loopback baseline crosses ``fail_slowdown`` within a handful of
+#: observations once its ramp completes.
+CHAOS_POLICY = ShardHealthPolicy(
+    alpha=0.12,
+    min_ops=6,
+    suspect_error_rate=0.30,
+    fail_error_rate=0.80,
+    suspect_slowdown=5.0,
+    fail_slowdown=25.0,
+    confirm_ops=20,
+    baseline_floor=0.0005,
+)
+
+
+class ChaosCampaignError(RuntimeError):
+    """The cluster failed to heal itself (loss, wrong condemn, no condemn)."""
+
+
+@dataclass
+class ChaosCampaignResult:
+    """Everything one chaos campaign produced."""
+
+    seed: int
+    shards: int
+    objects: int
+    victim_shard: int
+    flap_shard: int
+    partition_shard: int
+    #: Wall seconds from fail-slow injection to the FAILED verdict.
+    detection_latency_s: float
+    #: Routed reads completed per wall second between fail-slow injection
+    #: and the autonomous condemn finishing (the reduced-redundancy window).
+    degraded_ops_per_sec: float
+    degraded_window_reads: int
+    transient_reads: int
+    transient_failures: int
+    hedged_reads: int
+    hedge_wins: int
+    hedge_rate: float
+    breaker_fastfails: int
+    mirror_failovers: int
+    degraded_reads: int
+    redirects: int
+    auto_condemns: int
+    rehome: Dict[str, object]
+    ledger: Dict[str, object]
+    chaos_snapshot: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def protected_losses(self) -> int:
+        lost = self.ledger.get("lost_by_class", {})
+        return sum(
+            count
+            for class_id, count in dict(lost).items()  # type: ignore[union-attr]
+            if int(class_id) in PROTECTED_CLASSES
+        )
+
+    def format(self) -> str:
+        rows = [
+            ["objects populated", f"{self.objects}"],
+            ["fail-slow victim (auto-condemned)", f"{self.victim_shard}"],
+            ["flapping shard (recovered)", f"{self.flap_shard}"],
+            ["partitioned shard (recovered)", f"{self.partition_shard}"],
+            ["detection latency (s)", f"{self.detection_latency_s:.3f}"],
+            ["degraded-window reads/s", f"{self.degraded_ops_per_sec:.0f}"],
+            ["transient-phase reads", f"{self.transient_reads}"],
+            ["transient-phase failures", f"{self.transient_failures}"],
+            ["hedged reads", f"{self.hedged_reads}"],
+            ["hedge wins", f"{self.hedge_wins}"],
+            ["hedge rate (degraded window)", f"{self.hedge_rate:.3f}"],
+            ["breaker fast-fails", f"{self.breaker_fastfails}"],
+            ["mirror failovers", f"{self.mirror_failovers}"],
+            ["degraded striped reads", f"{self.degraded_reads}"],
+            ["autonomous condemns", f"{self.auto_condemns}"],
+            ["objects re-homed", f"{self.rehome['objects_moved']}"],
+            ["fragments moved", f"{self.rehome['fragments_moved']}"],
+            ["protected losses (classes 0-2)", f"{self.protected_losses}"],
+        ]
+        return format_table(
+            f"Chaos campaign [seed {self.seed}]: partition + flap + fail-slow "
+            f"over {self.shards} shards -> autonomous condemn",
+            ["Measure", "Value"],
+            rows,
+        )
+
+    def to_bench_report(self) -> Dict:
+        """The BENCH_chaos.json shape for ``compare_bench.py``.
+
+        Committed floors are deliberately conservative (loose ceilings on
+        latency, low floors on throughput): within one runner class a >20%
+        move past *these* numbers means self-healing broke, not noise.
+        """
+        return {
+            "schema": 1,
+            "seed": self.seed,
+            "shards": self.shards,
+            "objects": self.objects,
+            "protected_losses": self.protected_losses,
+            "metrics": {
+                "chaos_detection_latency_s": {
+                    "label": "fail-slow injection -> FAILED verdict (s)",
+                    "value": self.detection_latency_s,
+                    "higher_is_better": False,
+                },
+                "chaos_degraded_ops_s": {
+                    "label": "routed reads/s through the degraded window",
+                    "value": self.degraded_ops_per_sec,
+                },
+                "chaos_hedge_rate": {
+                    "label": "hedged fraction of degraded-window reads",
+                    "value": self.hedge_rate,
+                },
+                "chaos_auto_condemns": {
+                    "label": "autonomous condemns (exactly one expected)",
+                    "value": float(self.auto_condemns),
+                },
+            },
+        }
+
+    def write_bench_json(
+        self, directory: Optional[pathlib.Path] = None
+    ) -> pathlib.Path:
+        directory = directory or BENCH_RESULTS_DIR
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / CHAOS_BENCH_NAME
+        path.write_text(
+            json.dumps(self.to_bench_report(), indent=2, sort_keys=True) + "\n"
+        )
+        return path
+
+    def write_ledger_json(
+        self, directory: Optional[pathlib.Path] = None
+    ) -> pathlib.Path:
+        """The determinism artefact: byte-identical per seed.
+
+        Only logical-clock state goes in — every wall-clock measurement
+        lives in the bench report instead.
+        """
+        directory = directory or BENCH_RESULTS_DIR
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / CHAOS_LEDGER_NAME
+        payload = {
+            "seed": self.seed,
+            "shards": self.shards,
+            "victim_shard": self.victim_shard,
+            "flap_shard": self.flap_shard,
+            "partition_shard": self.partition_shard,
+            "rehome": self.rehome,
+            "ledger": self.ledger,
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return path
+
+
+def _campaign_payload(seed: int, index: int, size: int) -> bytes:
+    """Deterministic payload oracle (read-only campaign: no versions)."""
+    return random.Random(f"chaos-campaign/{seed}/{index}").randbytes(size)
+
+
+def _cast(seed: int, shards: int) -> Dict[str, int]:
+    """Seed-deterministic fault assignment: three distinct shards."""
+    rng = random.Random(f"chaos-campaign-cast/{seed}")
+    victim, flap, partition = rng.sample(range(shards), 3)
+    return {"victim": victim, "flap": flap, "partition": partition}
+
+
+async def _wait_for(predicate, timeout: float, interval: float = 0.01) -> bool:
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    while loop.time() < deadline:
+        if predicate():
+            return True
+        await asyncio.sleep(interval)
+    return False
+
+
+async def _verified_read(
+    router: RouterClient,
+    object_id: ObjectId,
+    expected: bytes,
+    class_id: int,
+    phase: str,
+    attempts: int = 3,
+) -> bool:
+    """One workload read; protected-class misses fail the campaign.
+
+    Reads are idempotent, so a handful of spaced attempts ride out the
+    worst transient overlap (a partition burst and a flap-down window
+    landing together can briefly exceed the stripe's parity tolerance).
+    Each attempt is a separate clean observation for the health monitor;
+    only exhausting them all is a loss.
+    """
+    for attempt in range(attempts):
+        try:
+            payload, response = await router.read(object_id)
+        except (OsdServiceError, ConnectionError, OSError):
+            payload, response = None, None
+        if response is not None and response.ok and payload == expected:
+            return True
+        if attempt + 1 < attempts:
+            await asyncio.sleep(0.05)
+    if class_id in PROTECTED_CLASSES:
+        raise ChaosCampaignError(
+            f"class-{class_id} object {object_id} unreadable ({phase} phase)"
+        )
+    return False
+
+
+async def _run_campaign(
+    seed: int,
+    shards: int,
+    objects: int,
+    payload_bytes: int,
+    transient_reads: int,
+    max_degraded_reads: int,
+) -> ChaosCampaignResult:
+    cast = _cast(seed, shards)
+    victim = cast["victim"]
+    transient_plan = NetFaultPlan(
+        events=(
+            # One short blackhole burst: total loss, but over before the
+            # error EWMA can reach the hard threshold or the confirm
+            # window can elapse — SUSPECT at worst.
+            NetPartition(
+                shards=(cast["partition"],), from_op=12, until_op=20
+            ),
+            # A flapping link: one dropped command in ten. Staggered to
+            # start after the burst usually ends — the retry loop in
+            # ``_verified_read`` covers the overlap that op-clock skew
+            # can still produce.
+            LinkFlap(
+                shard=cast["flap"],
+                period_ops=10,
+                down_ops=1,
+                from_op=40,
+                until_op=240,
+            ),
+        )
+    )
+    failslow_plan = NetFaultPlan(
+        events=(
+            # Persistent fail-slow: ~80x the loopback baseline once the
+            # ramp completes, but far below the client timeout — detection
+            # must come from the slowdown EWMA, not from timeouts.
+            LinkFailSlow(shard=victim, delay=0.04, ramp_ops=24),
+        )
+    )
+
+    async with ClusterService(shards) as service:
+        monitor = ShardHealthMonitor(CHAOS_POLICY)
+        # NO_RETRY is load-bearing for detection quality: the router
+        # observes whole client submissions, so wire-level retries would
+        # smear a dropped command into one huge "success" latency sample
+        # and make a flapping link look fail-slow. Without them a drop is
+        # a clean error observation, and resilience comes from the
+        # router's own failover / reconstruction / sweep paths.
+        router = service.router(
+            retry=NO_RETRY,
+            timeout=0.5,
+            health_monitor=monitor,
+            hedge_slowdown=3.0,
+        )
+        assert isinstance(router, RouterClient)
+        supervisor = ClusterSupervisor(service, router)
+        supervisor.attach_monitor(monitor)
+        probe = ShardProbe(router, monitor, interval=0.02)
+        chaos: Optional[ShardChaos] = None
+        loop = asyncio.get_running_loop()
+        try:
+            # ---- Populate (all four classes) and learn baselines. ----
+            await router.create_partition(PARTITION_BASE)
+            ids: List[ObjectId] = [
+                ObjectId(PARTITION_BASE, FIRST_USER_OID + 0x6000 + index)
+                for index in range(objects)
+            ]
+            classes = [(0, 1, 2, 3)[index % 4] for index in range(objects)]
+            for index, object_id in enumerate(ids):
+                response = await router.write(
+                    object_id,
+                    _campaign_payload(seed, index, payload_bytes),
+                    classes[index],
+                )
+                if not response.ok:
+                    raise RuntimeError(f"populate failed at {object_id}")
+            await probe.start()
+            await supervisor.start_autonomous()
+            for index, object_id in enumerate(ids):  # warm-up pass
+                await _verified_read(
+                    router,
+                    object_id,
+                    _campaign_payload(seed, index, payload_bytes),
+                    classes[index],
+                    "warm-up",
+                )
+
+            # ---- Transient phase: partition burst + flapping link. ----
+            chaos = ShardChaos(transient_plan).install(service)
+            rng = random.Random(f"chaos-campaign-ops/{seed}")
+            transient_failures = 0
+            for _ in range(transient_reads):
+                index = rng.randrange(objects)
+                ok = await _verified_read(
+                    router,
+                    ids[index],
+                    _campaign_payload(seed, index, payload_bytes),
+                    classes[index],
+                    "transient",
+                )
+                if not ok:
+                    transient_failures += 1
+            chaos.uninstall()
+            if supervisor.auto_events:
+                condemned = supervisor.auto_events[0][0].shard_id
+                raise ChaosCampaignError(
+                    f"transient faults condemned shard {condemned}: bursts "
+                    "and flaps must park a shard in SUSPECT, not remove it"
+                )
+            # Both transient victims must earn their way back to ONLINE
+            # before the persistent fault lands (probe traffic rehabilitates
+            # them once the plan windows expire).
+            recovered = await _wait_for(
+                lambda: monitor.state_of(cast["flap"]) == "online"
+                and monitor.state_of(cast["partition"]) == "online",
+                timeout=20.0,
+            )
+            if not recovered:
+                raise ChaosCampaignError(
+                    "flap/partition shards never recovered to ONLINE: "
+                    f"{monitor.snapshot()}"
+                )
+
+            # ---- Fail-slow phase: the cluster is on its own. ----
+            chaos = ShardChaos(failslow_plan).install(service)
+            injected_at = loop.time()
+            degraded_window_reads = 0
+            while (
+                not supervisor.auto_events
+                and degraded_window_reads < max_degraded_reads
+            ):
+                index = rng.randrange(objects)
+                await _verified_read(
+                    router,
+                    ids[index],
+                    _campaign_payload(seed, index, payload_bytes),
+                    classes[index],
+                    "fail-slow",
+                )
+                degraded_window_reads += 1
+            healed = await _wait_for(
+                lambda: bool(supervisor.auto_events), timeout=30.0
+            )
+            window_s = loop.time() - injected_at
+            chaos.uninstall()
+            if not healed:
+                raise ChaosCampaignError(
+                    "autonomous condemn never fired for the fail-slow shard: "
+                    f"{monitor.snapshot()}"
+                )
+            transition, report = supervisor.auto_events[0]
+            if transition.shard_id != victim or len(supervisor.auto_events) != 1:
+                raise ChaosCampaignError(
+                    f"expected exactly one condemn of shard {victim}, got "
+                    f"{[(t.shard_id, t.reason) for t, _ in supervisor.auto_events]}"
+                )
+            failed_at = next(
+                t.at
+                for t in monitor.transitions
+                if t.shard_id == victim and t.new == "failed"
+            )
+
+            # ---- Verify: every object, byte-exact, on the healed map. ----
+            await probe.aclose()
+            await supervisor.stop_autonomous()
+            class3_losses = 0
+            for index, object_id in enumerate(ids):
+                ok = await _verified_read(
+                    router,
+                    object_id,
+                    _campaign_payload(seed, index, payload_bytes),
+                    classes[index],
+                    "verify",
+                )
+                if not ok:
+                    class3_losses += 1
+                    supervisor.ledger.record_lost(object_id, classes[index])
+
+            stats = router.router_stats
+            hedge_rate = (
+                stats.hedged_reads / degraded_window_reads
+                if degraded_window_reads
+                else 0.0
+            )
+            return ChaosCampaignResult(
+                seed=seed,
+                shards=shards,
+                objects=objects,
+                victim_shard=victim,
+                flap_shard=cast["flap"],
+                partition_shard=cast["partition"],
+                detection_latency_s=max(0.0, failed_at - injected_at),
+                degraded_ops_per_sec=(
+                    degraded_window_reads / window_s if window_s > 0 else 0.0
+                ),
+                degraded_window_reads=degraded_window_reads,
+                transient_reads=transient_reads,
+                transient_failures=transient_failures,
+                hedged_reads=stats.hedged_reads,
+                hedge_wins=stats.hedge_wins,
+                hedge_rate=hedge_rate,
+                breaker_fastfails=stats.breaker_fastfails,
+                mirror_failovers=stats.mirror_failovers,
+                degraded_reads=stats.degraded_reads,
+                redirects=stats.redirects,
+                auto_condemns=len(supervisor.auto_events),
+                rehome=report.to_dict(),
+                ledger=supervisor.ledger.to_dict(),
+                chaos_snapshot=chaos.snapshot(),
+            )
+        finally:
+            if chaos is not None:
+                chaos.uninstall()
+            await probe.aclose()
+            await supervisor.stop_autonomous()
+            await router.aclose()
+            # Let dropped-connection handlers and hedge losers observe
+            # their closed sockets before the loop goes away.
+            await asyncio.sleep(0.02)
+
+
+def run_chaos_campaign(
+    seed: int = 1234,
+    *,
+    shards: int = 4,
+    objects: int = 48,
+    payload_bytes: int = 2048,
+    transient_reads: int = 120,
+    max_degraded_reads: int = 2000,
+) -> ChaosCampaignResult:
+    """Run the chaos campaign; raises unless the cluster heals itself."""
+    if shards < 4:
+        raise ValueError(
+            "the chaos campaign needs >= 4 shards (victim + flap + "
+            "partition + at least one clean shard)"
+        )
+    return asyncio.run(
+        _run_campaign(
+            seed, shards, objects, payload_bytes, transient_reads,
+            max_degraded_reads,
+        )
+    )

@@ -5,10 +5,24 @@ a seeded, typed schedule of fault events (fail-stop, latent sector errors,
 transient read errors, fail-slow, torn writes) that a
 :class:`FaultInjector` executes deterministically against a simulated flash
 array, and that :func:`make_net_fault_hook` adapts to the socket service
-layer. See :mod:`repro.faults.plan` for the event catalogue.
+layer. :class:`NetFaultPlan` lifts the same discipline to shard-grain
+network chaos (partitions, fail-slow links, flapping, crashes) executed by
+:class:`ShardChaos` against a cluster's shard servers. See
+:mod:`repro.faults.plan` and :mod:`repro.faults.netplan` for the event
+catalogues.
 """
 
 from repro.faults.injector import FaultInjector, make_net_fault_hook
+from repro.faults.netplan import (
+    LinkFailSlow,
+    LinkFlap,
+    LinkNoise,
+    NetFaultEvent,
+    NetFaultPlan,
+    NetPartition,
+    ShardChaos,
+    ShardCrash,
+)
 from repro.faults.plan import (
     FailSlow,
     FailStop,
@@ -26,6 +40,14 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "LatentErrors",
+    "LinkFailSlow",
+    "LinkFlap",
+    "LinkNoise",
+    "NetFaultEvent",
+    "NetFaultPlan",
+    "NetPartition",
+    "ShardChaos",
+    "ShardCrash",
     "TornWrite",
     "TransientReadError",
     "make_net_fault_hook",

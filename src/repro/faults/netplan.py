@@ -1,0 +1,397 @@
+"""Shard-grain network chaos: seeded, op-indexed fault schedules.
+
+:class:`~repro.faults.plan.FaultPlan` speaks the *device* failure
+vocabulary (latent errors, torn writes, fail-stop). This module lifts the
+same declarative, seeded discipline to the **cluster network**: a
+:class:`NetFaultPlan` schedules shard-grain link pathologies — partitions
+(blackholed shards), fail-slow links (injected latency ramps), flapping
+(periodic drop/restore), probabilistic drop noise, and outright crashes —
+and :class:`ShardChaos` adapts it into every shard server's ``fault_hook``.
+
+Clock discipline: the net layer runs on wall time, which would make a
+time-anchored schedule non-reproducible. Chaos events are therefore
+anchored to each shard's **operation index** — the count of commands that
+shard has served since the hooks were installed. A campaign that issues a
+deterministic command sequence per shard (the chaos campaign's sequential
+routed workload does) gets a byte-reproducible fault schedule: the same
+ops are dropped, delayed, and crashed on every run with the same seed.
+Stochastic decisions (:class:`LinkNoise`) draw from ``random.Random``
+streams string-seeded with ``"{plan.seed}:{event_index}:{shard_id}:net"``
+— the same cross-process-stable discipline as the device injector.
+
+Fault semantics ride the server's :data:`~repro.net.server.FaultHook`
+protocol, so every injected failure lands *after* execution and before the
+reply — a dropped write is the real-world ambiguous outcome (executed but
+unacknowledged), exactly the case the client's idempotent-only retry and
+the router's degraded paths are built to survive.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Awaitable,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    Union,
+)
+
+from repro.errors import FaultPlanError
+
+if TYPE_CHECKING:  # pragma: no cover - imports only for annotations
+    from repro.cluster.service import ClusterService
+
+__all__ = [
+    "LinkFailSlow",
+    "LinkFlap",
+    "LinkNoise",
+    "NetFaultEvent",
+    "NetFaultPlan",
+    "NetPartition",
+    "ShardChaos",
+    "ShardCrash",
+]
+
+
+@dataclass(frozen=True)
+class NetPartition:
+    """Blackhole the listed shards for a window of their operations.
+
+    Our topology has exactly one kind of network edge — router client ↔
+    shard — so a pairwise partition reduces to "these shards are
+    unreachable from every client": each command in the window is executed
+    but its connection is severed without a reply, which is what an
+    ACK-less blackhole looks like from the initiator's side.
+    """
+
+    shards: Tuple[int, ...]
+    from_op: int
+    until_op: int
+
+    def _validate(self) -> None:
+        if not self.shards:
+            raise FaultPlanError("NetPartition.shards must name at least one shard")
+        if any(shard < 0 for shard in self.shards):
+            raise FaultPlanError("NetPartition.shards must be shard ids")
+        if self.from_op < 0 or self.until_op <= self.from_op:
+            raise FaultPlanError("NetPartition window must satisfy 0 <= from < until")
+
+
+@dataclass(frozen=True)
+class LinkFailSlow:
+    """Ramp injected response latency on one shard's link.
+
+    From ``from_op`` the delay climbs linearly over ``ramp_ops`` operations
+    to ``delay`` seconds per response and stays there (until ``until_op``
+    if given). The ramp is the realistic shape: fail-slow hardware degrades
+    gradually, and a detector tuned on step functions misses it.
+    """
+
+    shard: int
+    delay: float
+    from_op: int = 0
+    ramp_ops: int = 1
+    until_op: Optional[int] = None
+
+    def _validate(self) -> None:
+        if self.shard < 0:
+            raise FaultPlanError("LinkFailSlow.shard must be a shard id")
+        if self.delay <= 0.0:
+            raise FaultPlanError("LinkFailSlow.delay must be positive seconds")
+        if self.from_op < 0 or self.ramp_ops < 1:
+            raise FaultPlanError("LinkFailSlow needs from_op >= 0 and ramp_ops >= 1")
+        if self.until_op is not None and self.until_op <= self.from_op:
+            raise FaultPlanError("LinkFailSlow.until_op must exceed from_op")
+
+
+@dataclass(frozen=True)
+class LinkFlap:
+    """Periodic drop/restore: the first ``down_ops`` of every period drop.
+
+    Flapping is the detector's hardest case — each down window is short
+    enough to look like noise, so a monitor that condemns on one burst
+    false-positives and one that averages forever never reacts. The
+    ``confirm_ops`` persistence in the shard health policy is what this
+    event exists to exercise.
+    """
+
+    shard: int
+    period_ops: int
+    down_ops: int
+    from_op: int = 0
+    until_op: Optional[int] = None
+
+    def _validate(self) -> None:
+        if self.shard < 0:
+            raise FaultPlanError("LinkFlap.shard must be a shard id")
+        if self.period_ops < 1 or not 0 < self.down_ops <= self.period_ops:
+            raise FaultPlanError(
+                "LinkFlap needs period_ops >= 1 and 0 < down_ops <= period_ops"
+            )
+        if self.from_op < 0:
+            raise FaultPlanError("LinkFlap.from_op must be non-negative")
+        if self.until_op is not None and self.until_op <= self.from_op:
+            raise FaultPlanError("LinkFlap.until_op must exceed from_op")
+
+
+@dataclass(frozen=True)
+class LinkNoise:
+    """Drop each response with probability ``drop_rate`` (seeded stream).
+
+    The soft-error noise floor: retries must absorb it, the breaker must
+    not trip on it, and the health monitor must stay below SUSPECT while
+    the rate stays below its threshold.
+    """
+
+    shard: int
+    drop_rate: float
+    from_op: int = 0
+    until_op: Optional[int] = None
+
+    def _validate(self) -> None:
+        if self.shard < 0:
+            raise FaultPlanError("LinkNoise.shard must be a shard id")
+        if not 0.0 <= self.drop_rate <= 1.0:
+            raise FaultPlanError("LinkNoise.drop_rate must be in [0, 1]")
+        if self.from_op < 0:
+            raise FaultPlanError("LinkNoise.from_op must be non-negative")
+        if self.until_op is not None and self.until_op <= self.from_op:
+            raise FaultPlanError("LinkNoise.until_op must exceed from_op")
+
+
+@dataclass(frozen=True)
+class ShardCrash:
+    """Hard-kill one shard the first time its op counter reaches ``at_op``.
+
+    The command that trips the threshold is dropped (executed,
+    unacknowledged) and the shard's server is stopped — the cluster
+    analogue of :class:`~repro.faults.plan.FailStop`.
+    """
+
+    shard: int
+    at_op: int
+
+    def _validate(self) -> None:
+        if self.shard < 0:
+            raise FaultPlanError("ShardCrash.shard must be a shard id")
+        if self.at_op < 0:
+            raise FaultPlanError("ShardCrash.at_op must be non-negative")
+
+
+NetFaultEvent = Union[NetPartition, LinkFailSlow, LinkFlap, LinkNoise, ShardCrash]
+
+_NET_EVENT_TYPES = (NetPartition, LinkFailSlow, LinkFlap, LinkNoise, ShardCrash)
+
+
+@dataclass(frozen=True)
+class NetFaultPlan:
+    """An immutable, seeded schedule of shard-grain network fault events."""
+
+    events: Tuple[NetFaultEvent, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        events = tuple(self.events)
+        object.__setattr__(self, "events", events)
+        for event in events:
+            if not isinstance(event, _NET_EVENT_TYPES):
+                raise FaultPlanError(
+                    f"unknown net fault event type {type(event).__name__!r}"
+                )
+            event._validate()
+
+    def __iter__(self) -> Iterator[NetFaultEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def of_type(self, event_type) -> "list[Tuple[int, NetFaultEvent]]":
+        """``(event_index, event)`` pairs of one type, in plan order.
+
+        As with :meth:`FaultPlan.of_type`, the index keys the event's
+        private random stream, so reordering unrelated events never
+        changes an event's decisions.
+        """
+        return [
+            (index, event)
+            for index, event in enumerate(self.events)
+            if isinstance(event, event_type)
+        ]
+
+    def extended(self, *events: NetFaultEvent) -> "NetFaultPlan":
+        """A new plan with ``events`` appended (same seed, stable indices)."""
+        return NetFaultPlan(events=self.events + tuple(events), seed=self.seed)
+
+    def describe(self) -> str:
+        """One line per event, for campaign logs."""
+        if not self.events:
+            return "NetFaultPlan(empty)"
+        lines = [f"NetFaultPlan(seed={self.seed}):"]
+        for index, event in enumerate(self.events):
+            lines.append(f"  [{index}] {event!r}")
+        return "\n".join(lines)
+
+
+class ShardChaos:
+    """Executes a :class:`NetFaultPlan` as per-shard server fault hooks.
+
+    One instance owns the per-shard operation counters, the seeded noise
+    streams, and the crash bookkeeping; :meth:`install` plugs a hook into
+    every live shard of a :class:`~repro.cluster.service.ClusterService`.
+    Counters (`drops`, `delays`, `delayed_seconds`, `crashed`) make the
+    injected chaos auditable by campaigns and tests.
+    """
+
+    def __init__(
+        self,
+        plan: NetFaultPlan,
+        *,
+        on_crash: Optional[Callable[[int], Awaitable[None]]] = None,
+    ) -> None:
+        self.plan = plan
+        #: Commands seen per shard since install — the plan's clock.
+        self.ops: Dict[int, int] = {}
+        self.drops: Dict[int, int] = {}
+        self.delays: Dict[int, int] = {}
+        self.delayed_seconds: Dict[int, float] = {}
+        self.crashed: Set[int] = set()
+        self._on_crash = on_crash
+        self._service: "Optional[ClusterService]" = None
+        self._streams: Dict[Tuple[int, int], random.Random] = {}
+        self._crash_tasks: List[asyncio.Task] = []
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def install(self, service: "ClusterService") -> "ShardChaos":
+        """Hook every currently-live shard of ``service``."""
+        self._service = service
+        for shard_id, server in service.shards.items():
+            server.fault_hook = self.hook_for(shard_id)
+        return self
+
+    def uninstall(self) -> None:
+        """Remove the hooks from every still-live shard."""
+        if self._service is not None:
+            for server in self._service.shards.values():
+                server.fault_hook = None
+        self._service = None
+
+    async def drain_crashes(self) -> None:
+        """Await any in-flight crash shootdowns (campaign wind-down)."""
+        for task in self._crash_tasks:
+            await task
+        self._crash_tasks.clear()
+
+    def hook_for(self, shard_id: int):
+        """The server ``fault_hook`` enacting this plan at one shard."""
+
+        async def hook(command: object, seq: Optional[int]) -> Optional[str]:
+            return await self._apply(shard_id)
+
+        return hook
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Deterministic counters keyed by shard id (JSON-ready)."""
+        shards = sorted(set(self.ops) | self.crashed)
+        return {
+            "ops": {str(s): self.ops.get(s, 0) for s in shards},
+            "drops": {str(s): self.drops.get(s, 0) for s in shards},
+            "delays": {str(s): self.delays.get(s, 0) for s in shards},
+            "crashed": sorted(self.crashed),
+        }
+
+    # ------------------------------------------------------------------
+    # The hook body
+    # ------------------------------------------------------------------
+    async def _apply(self, shard_id: int) -> Optional[str]:
+        op = self.ops.get(shard_id, 0)
+        self.ops[shard_id] = op + 1
+        if shard_id in self.crashed:
+            return "drop"
+        for _, crash in self.plan.of_type(ShardCrash):
+            if crash.shard == shard_id and op >= crash.at_op:
+                self.crashed.add(shard_id)
+                self._schedule_crash(shard_id)
+                self.drops[shard_id] = self.drops.get(shard_id, 0) + 1
+                return "drop"
+        if self._dropped(shard_id, op):
+            self.drops[shard_id] = self.drops.get(shard_id, 0) + 1
+            return "drop"
+        delay = self._delay(shard_id, op)
+        if delay > 0.0:
+            self.delays[shard_id] = self.delays.get(shard_id, 0) + 1
+            self.delayed_seconds[shard_id] = (
+                self.delayed_seconds.get(shard_id, 0.0) + delay
+            )
+            await asyncio.sleep(delay)
+        return None
+
+    def _dropped(self, shard_id: int, op: int) -> bool:
+        for _, event in self.plan.of_type(NetPartition):
+            if shard_id in event.shards and event.from_op <= op < event.until_op:
+                return True
+        for _, event in self.plan.of_type(LinkFlap):
+            if event.shard != shard_id or op < event.from_op:
+                continue
+            if event.until_op is not None and op >= event.until_op:
+                continue
+            if (op - event.from_op) % event.period_ops < event.down_ops:
+                return True
+        for index, event in self.plan.of_type(LinkNoise):
+            if event.shard != shard_id or op < event.from_op:
+                continue
+            if event.until_op is not None and op >= event.until_op:
+                continue
+            if self._stream(index, shard_id).random() < event.drop_rate:
+                return True
+        return False
+
+    def _delay(self, shard_id: int, op: int) -> float:
+        total = 0.0
+        for _, event in self.plan.of_type(LinkFailSlow):
+            if event.shard != shard_id or op < event.from_op:
+                continue
+            if event.until_op is not None and op >= event.until_op:
+                continue
+            fraction = min(1.0, (op - event.from_op + 1) / event.ramp_ops)
+            total += event.delay * fraction
+        return total
+
+    def _schedule_crash(self, shard_id: int) -> None:
+        service = self._service
+        if self._on_crash is not None:
+            self._crash_tasks.append(
+                asyncio.ensure_future(self._on_crash(shard_id))
+            )
+        elif service is not None:
+            self._crash_tasks.append(
+                asyncio.ensure_future(service.stop_shard(shard_id))
+            )
+
+    def _stream(self, event_index: int, shard_id: int) -> random.Random:
+        key = (event_index, shard_id)
+        stream = self._streams.get(key)
+        if stream is None:
+            stream = random.Random(f"{self.plan.seed}:{event_index}:{shard_id}:net")
+            self._streams[key] = stream
+        return stream
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardChaos(events={len(self.plan)}, seed={self.plan.seed}, "
+            f"ops={sum(self.ops.values())}, "
+            f"drops={sum(self.drops.values())}, crashed={sorted(self.crashed)})"
+        )

@@ -74,6 +74,7 @@ class ClientStats:
     busy_replies: int = 0
     server_timeouts: int = 0
     exhausted: int = 0
+    deadline_exhausted: int = 0
 
 
 class _Connection:
@@ -246,22 +247,45 @@ class AsyncOsdClient:
     # Core submission path
     # ------------------------------------------------------------------
     async def submit(
-        self, command: commands.OsdCommand, timeout: Optional[float] = None
+        self,
+        command: commands.OsdCommand,
+        timeout: Optional[float] = None,
+        *,
+        deadline: Optional[float] = None,
     ) -> OsdResponse:
-        """Execute one command with pipelining, timeout, and retry."""
+        """Execute one command with pipelining, timeout, and retry.
+
+        ``timeout`` bounds each *attempt*; ``deadline`` (an absolute
+        ``loop.time()`` instant) bounds the whole call — backoff sleeps and
+        retry attempts together can never overrun it. Attempt timeouts are
+        clipped to the remaining budget, and a retry whose backoff would
+        land past the deadline is abandoned instead of slept.
+        """
         self.stats.requests += 1
         timeout = self.timeout if timeout is None else timeout
+        loop = asyncio.get_running_loop() if deadline is not None else None
         delays: Optional[List[float]] = None  # built on first retry only
         attempts = self.retry.max_attempts
         failure: Optional[BaseException] = None
         for attempt in range(attempts):
             if attempt:
-                self.stats.retries += 1
                 if delays is None:
                     delays = list(self.retry.delays())
-                await asyncio.sleep(delays[attempt - 1])
+                delay = delays[attempt - 1]
+                if loop is not None and loop.time() + delay >= deadline:
+                    self.stats.deadline_exhausted += 1
+                    break  # the backoff alone would blow the budget
+                self.stats.retries += 1
+                await asyncio.sleep(delay)
+            attempt_timeout = timeout
+            if loop is not None:
+                remaining = deadline - loop.time()
+                if remaining <= 0.0:
+                    self.stats.deadline_exhausted += 1
+                    break
+                attempt_timeout = min(timeout, remaining)
             try:
-                response = await self._attempt(command, attempt, timeout)
+                response = await self._attempt(command, attempt, attempt_timeout)
             except asyncio.TimeoutError as exc:
                 self.stats.timeouts += 1
                 failure = OsdServiceError(
@@ -291,7 +315,11 @@ class AsyncOsdClient:
                 continue
             return response
         self.stats.exhausted += 1
-        assert failure is not None
+        if failure is None:
+            # The deadline expired before the first attempt could even run.
+            raise OsdServiceError(
+                f"operation deadline exhausted before completion: {command!r}"
+            )
         raise failure
 
     async def _attempt(

@@ -76,6 +76,36 @@ def test_scope_excludes_other_packages(lint):
     assert lint.rule_ids() == []
 
 
+def test_cluster_scope_time_sleep_fires(lint):
+    # repro.cluster shares the service event loop: a sleeping supervisor
+    # cannot condemn a failing shard, so the rule covers it too.
+    lint.write(
+        "cluster/bad_supervisor.py",
+        """
+        import time
+
+        async def autonomous_loop():
+            time.sleep(0.25)
+        """,
+    )
+    findings = lint.run()
+    assert [f.rule_id for f in findings] == ["async-blocking"]
+    assert "asyncio.sleep" in findings[0].message
+
+
+def test_cluster_scope_asyncio_sleep_is_quiet(lint):
+    lint.write(
+        "cluster/good_supervisor.py",
+        """
+        import asyncio
+
+        async def autonomous_loop():
+            await asyncio.sleep(0.25)
+        """,
+    )
+    assert lint.rule_ids() == []
+
+
 def test_unawaited_module_coroutine_fires(lint):
     lint.write(
         "net/bad_unawaited.py",

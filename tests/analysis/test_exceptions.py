@@ -64,6 +64,39 @@ def test_narrow_except_is_quiet(lint):
     assert lint.rule_ids() == []
 
 
+def test_cluster_broad_except_fires(lint):
+    # The rule is repo-wide, which includes repro.cluster: a supervisor
+    # that swallows Exception hides the very faults it must react to.
+    lint.write(
+        "cluster/bad_probe.py",
+        """
+        async def probe_once(client):
+            try:
+                return await client.service_stats()
+            except Exception:
+                return None
+        """,
+    )
+    assert lint.rule_ids() == ["broad-except"]
+
+
+def test_cluster_narrow_except_is_quiet(lint):
+    lint.write(
+        "cluster/good_probe.py",
+        """
+        class OsdServiceError(Exception):
+            pass
+
+        async def probe_once(client):
+            try:
+                return await client.service_stats()
+            except (OsdServiceError, ConnectionError, OSError):
+                return None
+        """,
+    )
+    assert lint.rule_ids() == []
+
+
 def test_allowlisted_rollback_site_is_quiet(lint):
     lint.write(
         "flash/rollback.py",

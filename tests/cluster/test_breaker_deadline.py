@@ -1,0 +1,257 @@
+"""Degraded-mode client hardening: breakers, deadline budgets, hedging."""
+
+import asyncio
+
+import pytest
+
+from repro.cluster.breaker import BreakerPolicy, CircuitBreaker, CircuitOpenError
+from repro.cluster.health import ShardHealthMonitor
+from repro.cluster.router import RouterClient
+from repro.cluster.service import ClusterService
+from repro.net.client import OsdServiceError
+from repro.net.retry import NO_RETRY, RetryPolicy
+from repro.osd.types import FIRST_USER_OID, PARTITION_BASE, ObjectId
+
+pytestmark = pytest.mark.cluster
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def oid(index):
+    return ObjectId(PARTITION_BASE, FIRST_USER_OID + 0x3000 + index)
+
+
+def make_router(service, **kwargs):
+    kwargs.setdefault("retry", NO_RETRY)
+    router = service.router(**kwargs)
+    assert isinstance(router, RouterClient)
+    return router
+
+
+class TestCircuitBreakerUnit:
+    def test_opens_after_consecutive_failures_only(self):
+        breaker = CircuitBreaker(BreakerPolicy(threshold=3, cooldown=1.0))
+        breaker.record_failure(0.0)
+        breaker.record_failure(0.1)
+        breaker.record_success()  # resets the streak
+        breaker.record_failure(0.2)
+        breaker.record_failure(0.3)
+        assert breaker.state == "closed"
+        breaker.record_failure(0.4)
+        assert breaker.state == "open"
+        assert not breaker.allow(0.5)
+
+    def test_half_open_single_probe_then_close(self):
+        breaker = CircuitBreaker(BreakerPolicy(threshold=1, cooldown=0.5))
+        breaker.record_failure(0.0)
+        assert not breaker.allow(0.4)
+        assert breaker.allow(0.6)  # cooldown elapsed: one trial allowed
+        assert breaker.state == "half_open"
+        assert not breaker.allow(0.6)  # second concurrent trial rejected
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow(0.7)
+
+    def test_half_open_failure_reopens_with_fresh_cooldown(self):
+        breaker = CircuitBreaker(BreakerPolicy(threshold=1, cooldown=0.5))
+        breaker.record_failure(0.0)
+        assert breaker.allow(0.6)
+        breaker.record_failure(0.6)
+        assert breaker.state == "open"
+        assert not breaker.allow(1.0)  # 0.6 + 0.5 not yet reached
+        assert breaker.allow(1.2)
+        assert breaker.opens == 2
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            BreakerPolicy(threshold=0)
+        with pytest.raises(ValueError):
+            BreakerPolicy(cooldown=0.0)
+
+
+class TestBreakerIntegration:
+    def test_dead_shard_trips_breaker_and_reads_fail_over(self):
+        async def scenario():
+            async with ClusterService(3) as service:
+                async with make_router(
+                    service,
+                    breaker_policy=BreakerPolicy(threshold=2, cooldown=30.0),
+                ) as router:
+                    body = b"mirrored payload" * 50
+                    target = next(
+                        oid(i)
+                        for i in range(64)
+                        if len(router.cluster_map.owners_for(oid(i), width=2)) == 2
+                    )
+                    assert (await router.write(target, body, 0)).ok
+                    victim = router.cluster_map.primary_for(target)
+                    await service.stop_shard(victim)
+                    for _ in range(6):
+                        got, response = await router.read(target)
+                        assert response.ok and got == body
+                    stats = router.router_stats
+                    assert stats.mirror_failovers == 6
+                    # First reads burn real connection attempts; once the
+                    # breaker opens the rest fast-fail locally.
+                    assert stats.breaker_fastfails >= 3
+                    assert router.breakers.of(victim).state == "open"
+
+        run(scenario())
+
+    def test_any_reply_closes_the_breaker(self):
+        breaker = CircuitBreaker()
+
+        async def scenario():
+            async with ClusterService(2) as service:
+                async with make_router(service) as router:
+                    primary = router.cluster_map.primary_for(oid(7))
+                    router.breakers.breakers[primary] = breaker
+                    breaker.record_failure(0.0)
+                    breaker.record_failure(0.1)
+                    # An honest reply (even FAIL for a missing object) is
+                    # proof of life: the failure streak resets.
+                    await router.read(oid(7))
+                    assert breaker.failures == 0
+                    assert breaker.state == "closed"
+
+        run(scenario())
+
+
+class TestDeadlineBudget:
+    def test_client_deadline_caps_retries(self):
+        async def scenario():
+            async with ClusterService(1) as service:
+                server = service.shards[0]
+
+                async def slow(command, seq):
+                    await asyncio.sleep(0.2)
+                    return None
+
+                server.fault_hook = slow
+                async with make_router(
+                    service,
+                    timeout=0.05,
+                    retry=RetryPolicy(max_attempts=10, base_delay=0.05, jitter=0.0),
+                ) as router:
+                    loop = asyncio.get_running_loop()
+                    client = router.client(0)
+                    started = loop.time()
+                    with pytest.raises(OsdServiceError):
+                        await client.read(oid(0))  # no deadline: full retries
+                    full = loop.time() - started
+                    started = loop.time()
+                    with pytest.raises(OsdServiceError):
+                        await client.submit(
+                            __import__("repro.osd.commands", fromlist=["Read"]).Read(
+                                oid(0)
+                            ),
+                            deadline=loop.time() + 0.12,
+                        )
+                    bounded = loop.time() - started
+                    assert bounded < full
+                    assert bounded < 0.5
+                    assert client.stats.deadline_exhausted >= 1
+
+        run(scenario())
+
+    def test_expired_deadline_fails_before_the_wire(self):
+        async def scenario():
+            async with ClusterService(1) as service:
+                async with make_router(service) as router:
+                    client = router.client(0)
+                    loop = asyncio.get_running_loop()
+                    from repro.osd import commands
+
+                    with pytest.raises(OsdServiceError):
+                        await client.submit(
+                            commands.Read(oid(0)), deadline=loop.time() - 1.0
+                        )
+                    assert client.stats.deadline_exhausted == 1
+
+        run(scenario())
+
+    def test_router_op_deadline_bounds_whole_operation(self):
+        async def scenario():
+            async with ClusterService(2) as service:
+                for server in service.shards.values():
+
+                    async def slow(command, seq):
+                        await asyncio.sleep(0.15)
+                        return None
+
+                    server.fault_hook = slow
+                async with make_router(
+                    service,
+                    timeout=1.0,
+                    retry=RetryPolicy(max_attempts=5, base_delay=0.05, jitter=0.0),
+                    op_deadline=0.25,
+                ) as router:
+                    loop = asyncio.get_running_loop()
+                    started = loop.time()
+                    with pytest.raises(OsdServiceError):
+                        # Mirrored write: primary leg + mirror leg + retries
+                        # all share the one 0.25s budget.
+                        await router.write(oid(1), b"x" * 64, 0)
+                    assert loop.time() - started < 1.0
+
+        run(scenario())
+
+
+class TestHedgedReads:
+    def test_slow_primary_hedges_to_mirror(self):
+        async def scenario():
+            async with ClusterService(3) as service:
+                monitor = ShardHealthMonitor()
+                async with make_router(
+                    service, health_monitor=monitor, hedge_slowdown=3.0
+                ) as router:
+                    body = b"hedge me" * 100
+                    target = next(
+                        oid(i)
+                        for i in range(64)
+                        if len(router.cluster_map.owners_for(oid(i), width=2)) == 2
+                    )
+                    assert (await router.write(target, body, 0)).ok
+                    primary = router.cluster_map.primary_for(target)
+
+                    async def crawl(command, seq):
+                        await asyncio.sleep(0.25)
+                        return None
+
+                    service.shards[primary].fault_hook = crawl
+                    # Teach the detector the primary is pathologically slow.
+                    health = monitor.health_of(primary)
+                    health.baseline = 0.001
+                    health.slowdown_ewma = 10.0
+
+                    loop = asyncio.get_running_loop()
+                    started = loop.time()
+                    got, response = await router.read(target)
+                    elapsed = loop.time() - started
+                    assert response.ok and got == body
+                    # The mirror answered long before the crawling primary.
+                    assert elapsed < 0.2
+                    assert router.router_stats.hedged_reads == 1
+                    assert router.router_stats.hedge_wins == 1
+                    # The losing primary leg keeps draining in background.
+                    await asyncio.sleep(0)
+
+        run(scenario())
+
+    def test_healthy_primary_never_hedges(self):
+        async def scenario():
+            async with ClusterService(3) as service:
+                monitor = ShardHealthMonitor()
+                async with make_router(service, health_monitor=monitor) as router:
+                    body = b"calm" * 64
+                    assert (await router.write(oid(9), body, 0)).ok
+                    got, response = await router.read(oid(9))
+                    assert response.ok and got == body
+                    assert router.router_stats.hedged_reads == 0
+                    # Passive traffic fed the monitor.
+                    primary = router.cluster_map.primary_for(oid(9))
+                    assert monitor.health_of(primary).ops > 0
+
+        run(scenario())

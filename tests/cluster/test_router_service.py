@@ -171,6 +171,112 @@ class TestStaleMapHealing:
 
 
 # ----------------------------------------------------------------------
+# Stale-map healing when the map changes AGAIN mid-replay
+# ----------------------------------------------------------------------
+class TestDoubleCondemnMidReplay:
+    """Two condemns land back-to-back while a stale router is replaying.
+
+    The router starts on the epoch-1 map. Its first attempt hits a shard
+    that has only learned of the *first* condemn, so the bounce teaches it
+    the epoch-2 map — whose route is itself already stale, because a
+    second condemn (epoch 3) landed everywhere else. Healing must chase
+    the chain: two bounces, two adoptions, then success on the final home.
+    """
+
+    @staticmethod
+    def _condemn_chain(start_map, object_id):
+        """(map1, map2, map3, s1, s2, s3): condemn the primary, twice."""
+        s1 = start_map.primary_for(object_id)
+        map2 = start_map.with_shard_state(s1, ShardState.CONDEMNED)
+        s2 = map2.primary_for(object_id)
+        map3 = map2.with_shard_state(s2, ShardState.CONDEMNED)
+        s3 = map3.primary_for(object_id)
+        assert len({s1, s2, s3}) == 3  # HRW excludes condemned shards
+        return map2, map3, s1, s2, s3
+
+    @staticmethod
+    def _skew_maps(service, map2, map3, s1):
+        """Shard ``s1`` saw only the first condemn; everyone else both."""
+        service.shards[s1].install_map(map2)
+        for shard_id, server in service.shards.items():
+            if shard_id != s1:
+                server.install_map(map3)
+
+    def test_read_chases_two_condemns_and_final_map_wins(self):
+        async def scenario():
+            async with ClusterService(4) as service:
+                map1 = service.cluster_map
+                target = oid(700)
+                map2, map3, s1, s2, s3 = self._condemn_chain(map1, target)
+                self._skew_maps(service, map2, map3, s1)
+
+                # Seed the object at its *final* home through a current
+                # router — the stale one must find it there, not write it.
+                body = payload_for("double-condemn", 700)
+                async with RouterClient(map3, retry=NO_RETRY) as seeder:
+                    assert (await seeder.write(target, body, 3)).ok
+
+                async with RouterClient(map1, retry=NO_RETRY) as stale:
+                    got, response = await stale.read(target)
+                    assert response.ok and got == body
+                    # Exactly two hops: s1 bounced with epoch 2, s2 bounced
+                    # with epoch 3, s3 served. The final map won.
+                    assert stale.router_stats.redirects == 2
+                    assert stale.cluster_map.epoch == map3.epoch
+                assert service.shards[s1].wrong_shard_rejections >= 1
+                assert service.shards[s2].wrong_shard_rejections >= 1
+
+        run(scenario())
+
+    def test_write_replays_to_the_final_home(self):
+        async def scenario():
+            async with ClusterService(4) as service:
+                map1 = service.cluster_map
+                target = oid(710)
+                map2, map3, s1, s2, s3 = self._condemn_chain(map1, target)
+                self._skew_maps(service, map2, map3, s1)
+
+                # WRONG_SHARD means the mutation did not execute, so the
+                # replay chain is safe: the write lands once, at the final
+                # home, and nothing sticks to the condemned shards.
+                body = payload_for("double-condemn-write", 710)
+                async with RouterClient(map1, retry=NO_RETRY) as stale:
+                    response = await stale.write(target, body, 3)
+                    assert response.ok
+                    assert stale.router_stats.redirects == 2
+                    assert stale.cluster_map.epoch == map3.epoch
+                    got, response = await stale.read(target)
+                    assert response.ok and got == body
+                    # Healed: the read went straight to the final home.
+                    assert stale.router_stats.redirects == 2
+
+        run(scenario())
+
+    def test_redirect_budget_bounds_the_chase(self):
+        async def scenario():
+            async with ClusterService(4) as service:
+                map1 = service.cluster_map
+                target = oid(720)
+                map2, map3, s1, s2, s3 = self._condemn_chain(map1, target)
+                self._skew_maps(service, map2, map3, s1)
+
+                # A chain two condemns deep needs two redirects; a router
+                # capped at one must fail loudly instead of looping.
+                from repro.net.client import OsdServiceError
+
+                async with RouterClient(
+                    map1, retry=NO_RETRY, max_redirects=1
+                ) as capped:
+                    with pytest.raises(OsdServiceError, match="did not converge"):
+                        await capped.read(target)
+                    assert capped.router_stats.redirects == 2
+                    # Even the failed chase taught it the newest map.
+                    assert capped.cluster_map.epoch == map3.epoch
+
+        run(scenario())
+
+
+# ----------------------------------------------------------------------
 # Degraded reads (shard down, map stale)
 # ----------------------------------------------------------------------
 class TestDegradedReads:
