@@ -1,7 +1,15 @@
 """CLI for the invariant linter: ``python -m repro.analysis``.
 
 Exit codes: 0 = clean (all findings baselined or none), 1 = new findings
-(or stale baseline entries), 2 = usage error (bad path, bad baseline).
+(or stale baseline entries), 2 = usage error (bad path, bad rule id,
+bad baseline).
+
+``--only`` selects a subset of rules by id; ``--paths`` narrows
+*reporting* to files under the given comma-separated paths while the
+whole tree is still analyzed (whole-program rules need the full call
+graph to be sound); ``--stats`` prints run statistics — files parsed,
+graph size, per-rule wall time — to stderr so ``--format json`` stdout
+stays byte-stable.
 """
 
 from __future__ import annotations
@@ -16,6 +24,7 @@ from repro.analysis.engine import (
     analyze_paths,
     load_baseline,
     render_json,
+    render_stats,
     render_text,
     write_baseline,
 )
@@ -41,6 +50,27 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("text", "json"),
         default="text",
         help="report format (json output is byte-stable across runs)",
+    )
+    parser.add_argument(
+        "--only",
+        default=None,
+        metavar="RULE[,RULE...]",
+        help="run only these rule ids (comma-separated; see --list-rules)",
+    )
+    parser.add_argument(
+        "--paths",
+        dest="report_paths",
+        default=None,
+        metavar="PATH[,PATH...]",
+        help="report findings only for files at/under these comma-separated "
+        "paths; the whole tree is still analyzed so whole-program rules "
+        "stay sound",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print run statistics (files parsed, call-graph size, per-rule "
+        "timings) to stderr",
     )
     parser.add_argument(
         "--baseline",
@@ -74,11 +104,32 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{rule.rule_id}  [{scope}]\n    {rule.description}")
         return 0
 
+    if args.only is not None:
+        wanted = [part.strip() for part in args.only.split(",") if part.strip()]
+        known = {rule.rule_id: rule for rule in rules}
+        unknown = [rule_id for rule_id in wanted if rule_id not in known]
+        if unknown:
+            print(
+                f"error: unknown rule id(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})",
+                file=sys.stderr,
+            )
+            return 2
+        rules = [known[rule_id] for rule_id in wanted]
+
     paths = args.paths or [Path("src/repro")]
     missing = [p for p in paths if not p.exists()]
     if missing:
         print(f"error: no such path: {', '.join(map(str, missing))}", file=sys.stderr)
         return 2
+
+    report_paths: Optional[List[Path]] = None
+    if args.report_paths is not None:
+        report_paths = [
+            Path(part.strip())
+            for part in args.report_paths.split(",")
+            if part.strip()
+        ]
 
     baseline_path = args.baseline or DEFAULT_BASELINE
     baseline = None
@@ -89,7 +140,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
 
-    report = analyze_paths(paths, rules, root=Path.cwd(), baseline=baseline)
+    report = analyze_paths(
+        paths,
+        rules,
+        root=Path.cwd(),
+        baseline=baseline,
+        report_paths=report_paths,
+    )
+
+    if args.stats:
+        print(render_stats(report), file=sys.stderr)
 
     if args.write_baseline:
         write_baseline(report.findings, baseline_path)

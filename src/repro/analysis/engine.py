@@ -35,23 +35,29 @@ from __future__ import annotations
 import ast
 import json
 import re
+import time
 from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.analysis.graph import ProjectGraph, SourceFile, build_project_graph
+
 __all__ = [
     "AnalysisReport",
     "BaselineError",
     "Finding",
+    "ProjectRule",
     "Rule",
     "RuleVisitor",
+    "RunStats",
     "analyze_paths",
     "analyze_source",
     "iter_python_files",
     "load_baseline",
     "module_of",
     "render_json",
+    "render_stats",
     "render_text",
     "suppressed_lines",
     "write_baseline",
@@ -122,6 +128,30 @@ class Rule:
 
 def _matches_any(module: str, prefixes: Sequence[str]) -> bool:
     return any(module == p or module.startswith(p + ".") for p in prefixes)
+
+
+class ProjectRule(Rule):
+    """Base class for whole-program (flow-aware) rules.
+
+    Where a :class:`Rule` sees one file's AST, a ProjectRule sees the
+    :class:`~repro.analysis.graph.ProjectGraph` built over *every* file in
+    the run — symbol table, call edges, type facts — and returns findings
+    anchored to concrete source locations. The engine builds the graph
+    once per run and shares it across all project rules; per-line
+    ``# repro: allow[rule-id]`` suppressions and the committed baseline
+    apply to project findings exactly as they do to per-file ones.
+
+    ``scope``/``exempt`` are not consulted for file dispatch (the rule
+    sees everything); rules scope their *reports* internally.
+    """
+
+    def check(self, module: str, tree: ast.Module, path: str) -> List[Finding]:
+        raise NotImplementedError(
+            f"{self.rule_id} is a whole-program rule; use check_project()"
+        )
+
+    def check_project(self, graph: ProjectGraph) -> List[Finding]:
+        raise NotImplementedError
 
 
 class RuleVisitor(ast.NodeVisitor):
@@ -304,12 +334,30 @@ def analyze_source(
         ]
     findings: List[Finding] = []
     for rule in rules:
+        if isinstance(rule, ProjectRule):
+            continue  # whole-program rules need analyze_paths
         if rule.applies_to(module):
             findings.extend(rule.check(module, tree, display))
     allow = suppressed_lines(source)
     return sorted(
         f for f in findings if f.rule_id not in allow.get(f.line, set())
     )
+
+
+@dataclass
+class RunStats:
+    """Instrumentation for one engine run (``--stats``).
+
+    Timings are host wall time and deliberately excluded from the JSON
+    findings payload, which must stay byte-identical across runs.
+    """
+
+    files_parsed: int = 0
+    graph_nodes: int = 0
+    graph_edges: int = 0
+    graph_built: bool = False
+    #: rule id -> cumulative check seconds across all files.
+    rule_seconds: Dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -321,6 +369,7 @@ class AnalysisReport:
     #: Baseline entries that matched nothing — stale, should be removed.
     stale_baseline: List[Tuple[str, str, str, str]] = field(default_factory=list)
     files_checked: int = 0
+    stats: RunStats = field(default_factory=RunStats)
 
     @property
     def clean(self) -> bool:
@@ -332,16 +381,92 @@ def analyze_paths(
     rules: Sequence[Rule],
     root: Optional[Path] = None,
     baseline: Optional["Counter[Tuple[str, str, str, str]]"] = None,
+    report_paths: Optional[Sequence[Path]] = None,
 ) -> AnalysisReport:
-    """Analyze files/directories, subtracting baselined findings."""
+    """Analyze files/directories, subtracting baselined findings.
+
+    Every file is parsed exactly once: the tree feeds the per-file rules
+    directly and rides into the project graph (built only when the rule
+    set contains :class:`ProjectRule` instances) for the flow rules.
+
+    ``report_paths`` narrows *reporting* without narrowing analysis: the
+    whole input set is still parsed (so the call graph and cross-module
+    rules see the full program), but findings are kept only for files
+    under one of the given paths. This is the CLI's ``--paths`` filter.
+    """
     files = iter_python_files(paths)
+    per_file_rules = [r for r in rules if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+    stats = RunStats(
+        files_parsed=len(files),
+        rule_seconds={r.rule_id: 0.0 for r in rules},
+    )
     findings: List[Finding] = []
+    sources: List[SourceFile] = []
+    suppressions: Dict[str, Dict[int, Set[str]]] = {}
     for file_path in files:
         source = file_path.read_text(encoding="utf-8")
-        findings.extend(analyze_source(source, file_path, rules, root=root))
+        display = _display_path(file_path, root)
+        module = module_of(file_path)
+        try:
+            tree = ast.parse(source, filename=str(file_path))
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    path=display,
+                    line=exc.lineno or 0,
+                    col=exc.offset or 0,
+                    rule_id="parse-error",
+                    message=f"cannot parse file: {exc.msg}",
+                )
+            )
+            continue
+        allow = suppressed_lines(source)
+        suppressions[display] = allow
+        sources.append(SourceFile(path=display, module=module, source=source, tree=tree))
+        for rule in per_file_rules:
+            if not rule.applies_to(module):
+                continue
+            started = time.perf_counter()
+            checked = rule.check(module, tree, display)
+            stats.rule_seconds[rule.rule_id] += time.perf_counter() - started
+            findings.extend(
+                f for f in checked if f.rule_id not in allow.get(f.line, set())
+            )
+    if project_rules:
+        graph = build_project_graph(sources)
+        stats.graph_built = True
+        stats.graph_nodes = graph.node_count
+        stats.graph_edges = graph.edge_count
+        for rule in project_rules:
+            started = time.perf_counter()
+            checked = rule.check_project(graph)
+            stats.rule_seconds[rule.rule_id] += time.perf_counter() - started
+            findings.extend(
+                f
+                for f in checked
+                if f.rule_id not in suppressions.get(f.path, {}).get(f.line, set())
+            )
+    if report_paths is not None:
+        keep = {
+            _display_path(f, root)
+            for f in iter_python_files(report_paths)
+        }
+        prefixes = tuple(
+            _display_path(p, root).rstrip("/") + "/"
+            for p in report_paths
+            if Path(p).is_dir()
+        )
+        findings = [
+            f
+            for f in findings
+            if f.path in keep or f.path.startswith(prefixes)
+        ]
     findings.sort()
     if not baseline:
-        return AnalysisReport(findings=findings, files_checked=len(files))
+        return AnalysisReport(
+            findings=findings, files_checked=len(files), stats=stats
+        )
     remaining = Counter(baseline)
     fresh: List[Finding] = []
     baselined = 0
@@ -357,6 +482,7 @@ def analyze_paths(
         baselined=baselined,
         stale_baseline=stale,
         files_checked=len(files),
+        stats=stats,
     )
 
 
@@ -432,6 +558,26 @@ def render_text(report: AnalysisReport) -> str:
                 + f": {message}"
             )
     lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_stats(report: AnalysisReport) -> str:
+    """The ``--stats`` summary: parse/graph sizes and per-rule timings.
+
+    Rendered separately from the findings report (and printed to stderr
+    by the CLI) because it contains wall timings, which must never leak
+    into the byte-stable JSON findings payload.
+    """
+    stats = report.stats
+    lines = [f"files parsed: {stats.files_parsed}"]
+    if stats.graph_built:
+        lines.append(
+            f"call graph: {stats.graph_nodes} nodes, {stats.graph_edges} edges"
+        )
+    else:
+        lines.append("call graph: not built (no whole-program rules in the run)")
+    for rule_id in sorted(stats.rule_seconds):
+        lines.append(f"rule {rule_id}: {stats.rule_seconds[rule_id] * 1000:.1f} ms")
     return "\n".join(lines)
 
 

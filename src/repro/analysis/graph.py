@@ -1,0 +1,719 @@
+"""Project symbol table and call graph for whole-program lint rules.
+
+The per-file rules in :mod:`repro.analysis.rules` see one ``ast.Module``
+at a time, so any invariant that spans a call — "this async def reaches
+``time.sleep`` through two helpers", "this sense code is emitted in one
+module and handled in another" — is invisible to them. This module builds
+the shared substrate those flow rules query: one deterministic parse pass
+over every file handed to the engine, producing
+
+- a **symbol table**: every function/method (:class:`FunctionInfo`) and
+  class (:class:`ClassInfo`) keyed by ``"<module>:<dotted symbol>"``,
+  e.g. ``"repro.net.server:OsdServer._serve"``;
+- a **call graph**: for every function, its :class:`CallSite` list with
+  call targets resolved to project symbols where possible and to
+  canonical dotted names (``"time.sleep"``) where not;
+- light **type facts**: parameter/attribute annotations and
+  constructor-typed locals, used to resolve ``self.router.submit()``
+  style calls through one attribute hop.
+
+Resolution is intentionally static and syntactic. What resolves:
+
+- bare calls to functions visible in the lexical scope chain (nested
+  defs, then module level, then imports);
+- ``ClassName(...)`` constructor calls (edge to ``__init__`` when one is
+  defined in the project);
+- ``self.method()`` / ``cls.method()`` including methods inherited from
+  project base classes (method resolution walks base classes
+  breadth-first, left to right);
+- ``module.func()``, ``module.Class.method()``, and imported-name calls,
+  through the same import-alias canonicalization the per-file rules use;
+- one-hop typed-attribute calls — ``self.x.m()`` where ``x`` has a class
+  annotation (on the attribute or on the ``__init__`` parameter assigned
+  to it) and ``var.m()`` where ``var`` is an annotated parameter, an
+  annotated local, or a local bound to a constructor call.
+
+Known limits (documented for rule authors and in docs/architecture.md):
+values returned from functions are untyped, containers are opaque,
+``super()`` and dynamic dispatch (``getattr``, callbacks stored in
+collections) do not resolve, and re-bound names shadow nothing — the
+*first* matching definition wins. Unresolved calls still appear as
+:attr:`CallSite.dotted` so rules can match external names.
+
+Everything is deterministic: files are processed in sorted order, every
+exposed collection is insertion-ordered off that walk, and
+:func:`build_project_graph` memoizes on the exact source bytes so the
+engine, the CLI, and the tests share one graph per (content) snapshot.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "CallSite",
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleInfo",
+    "ProjectGraph",
+    "SourceFile",
+    "build_project_graph",
+    "collect_aliases",
+]
+
+
+def collect_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Local name -> canonical dotted origin, same policy as RuleVisitor.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from repro.osd.sense
+    import SenseCode`` maps ``SenseCode -> repro.osd.sense.SenseCode``.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                local = item.asname or item.name.split(".")[0]
+                origin = item.name if item.asname else item.name.split(".")[0]
+                aliases[local] = origin
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for item in node.names:
+                if item.name == "*":
+                    continue
+                local = item.asname or item.name
+                aliases[local] = f"{node.module}.{item.name}"
+    return aliases
+
+
+@dataclass(frozen=True)
+class SourceFile:
+    """One input file, as handed to the graph builder.
+
+    ``tree`` is an optional pre-parsed AST: the engine parses every file
+    once for the per-file rules and shares the tree here, so the graph
+    build adds no second parse pass.
+    """
+
+    path: str  # display path (repo-relative where possible)
+    module: str  # dotted module name per engine.module_of
+    source: str
+    tree: Optional[ast.Module] = field(default=None, compare=False, repr=False)
+
+    def fingerprint(self) -> Tuple[str, str, int, int]:
+        return (self.path, self.module, len(self.source), hash(self.source))
+
+
+@dataclass
+class CallSite:
+    """One ``ast.Call`` inside a function body."""
+
+    lineno: int
+    col: int
+    #: Resolved project function key ("module:Class.method"), or None.
+    target: Optional[str]
+    #: Canonical dotted name ("time.sleep", "repro.x.f") when derivable.
+    dotted: Optional[str]
+    #: Project class key when this call constructs a project class.
+    constructs: Optional[str]
+    node: ast.Call = field(repr=False, compare=False)
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method in the project."""
+
+    key: str  # "module:dotted.symbol"
+    module: str
+    path: str
+    symbol: str  # dotted symbol within the module ("Cls.meth", "f.inner")
+    name: str
+    lineno: int
+    col: int
+    is_async: bool
+    #: Key of the class this is a direct method of, else None.
+    class_key: Optional[str]
+    #: Parameter names in order, excluding self/cls.
+    params: Tuple[str, ...]
+    #: Parameter name -> raw dotted annotation ("ShardTransition", "x.Y").
+    param_types: Dict[str, str]
+    calls: List[CallSite] = field(default_factory=list)
+    node: Optional[ast.AST] = field(default=None, repr=False, compare=False)
+
+
+@dataclass
+class ClassInfo:
+    """One class definition in the project."""
+
+    key: str  # "module:ClassName"
+    module: str
+    path: str
+    name: str
+    lineno: int
+    #: Raw dotted base names after alias canonicalization.
+    bases: Tuple[str, ...]
+    #: Method name -> function key (direct methods only; see mro_method).
+    methods: Dict[str, str] = field(default_factory=dict)
+    #: Declared field order: class-body AnnAssign names first (the
+    #: NamedTuple/dataclass constructor order), then __init__ self-assigns.
+    fields: Tuple[str, ...] = ()
+    #: Attribute name -> raw dotted type annotation.
+    attr_types: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    """Per-module facts shared by rules: tree, aliases, top-level symbols."""
+
+    module: str
+    path: str
+    tree: ast.Module = field(repr=False, compare=False)
+    aliases: Dict[str, str] = field(default_factory=dict)
+    #: Module-level function name -> key.
+    functions: Dict[str, str] = field(default_factory=dict)
+    #: Module-level class name -> key.
+    classes: Dict[str, str] = field(default_factory=dict)
+
+
+class ProjectGraph:
+    """The queryable whole-program view handed to flow rules."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self._callers: Dict[str, List[str]] = {}
+
+    # -- topology --------------------------------------------------------
+    @property
+    def node_count(self) -> int:
+        return len(self.functions)
+
+    @property
+    def edge_count(self) -> int:
+        return sum(
+            1
+            for info in self.functions.values()
+            for call in info.calls
+            if call.target is not None
+        )
+
+    def callees(self, key: str) -> Tuple[str, ...]:
+        info = self.functions.get(key)
+        if info is None:
+            return ()
+        seen: List[str] = []
+        for call in info.calls:
+            if call.target is not None and call.target not in seen:
+                seen.append(call.target)
+        return tuple(seen)
+
+    def callers(self, key: str) -> Tuple[str, ...]:
+        return tuple(self._callers.get(key, ()))
+
+    # -- symbol lookup ---------------------------------------------------
+    def resolve_dotted(self, dotted: str) -> Optional[str]:
+        """Resolve a canonical dotted name to a function key.
+
+        Accepts ``pkg.mod.func``, ``pkg.mod.Class`` (-> ``__init__``), and
+        ``pkg.mod.Class.method`` by longest-known-module prefix.
+        """
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            module = ".".join(parts[:cut])
+            info = self.modules.get(module)
+            if info is None:
+                continue
+            rest = parts[cut:]
+            if len(rest) == 1:
+                if rest[0] in info.functions:
+                    return info.functions[rest[0]]
+                if rest[0] in info.classes:
+                    return self.mro_method(info.classes[rest[0]], "__init__")
+            elif len(rest) == 2 and rest[0] in info.classes:
+                return self.mro_method(info.classes[rest[0]], rest[1])
+            return None
+        return None
+
+    def resolve_class(self, module: str, dotted: str) -> Optional[str]:
+        """Resolve a raw dotted type name, as written in ``module``."""
+        if not dotted:
+            return None
+        info = self.modules.get(module)
+        if info is not None:
+            root = dotted.split(".")[0]
+            if dotted in info.classes:
+                return info.classes[dotted]
+            canonical = info.aliases.get(root)
+            if canonical is not None:
+                dotted = canonical + dotted[len(root):]
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            owner = self.modules.get(".".join(parts[:cut]))
+            if owner is not None and len(parts) - cut == 1:
+                return owner.classes.get(parts[cut])
+        return None
+
+    def mro_method(self, class_key: str, method: str) -> Optional[str]:
+        """Find ``method`` on the class or its project bases (BFS, L-to-R)."""
+        queue = [class_key]
+        seen = set()
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            cls = self.classes.get(current)
+            if cls is None:
+                continue
+            if method in cls.methods:
+                return cls.methods[method]
+            for base in cls.bases:
+                base_key = self.resolve_class(cls.module, base)
+                if base_key is not None:
+                    queue.append(base_key)
+        return None
+
+    def attr_type_of(self, class_key: str, attr: str) -> Optional[str]:
+        """Resolved class key of attribute ``attr``, searching bases too."""
+        queue = [class_key]
+        seen = set()
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            cls = self.classes.get(current)
+            if cls is None:
+                continue
+            raw = cls.attr_types.get(attr)
+            if raw is not None:
+                return self.resolve_class(cls.module, raw)
+            for base in cls.bases:
+                base_key = self.resolve_class(cls.module, base)
+                if base_key is not None:
+                    queue.append(base_key)
+        return None
+
+    # -- internals -------------------------------------------------------
+    def _index_callers(self) -> None:
+        self._callers = {}
+        for key in self.functions:
+            for callee in self.callees(key):
+                self._callers.setdefault(callee, []).append(key)
+
+
+# ----------------------------------------------------------------------
+# Pass 1: symbol collection
+# ----------------------------------------------------------------------
+def _annotation_name(node: Optional[ast.expr]) -> Optional[str]:
+    """Raw dotted name of an annotation, unwrapping Optional/quotes."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        # String annotation: parse the forward reference.
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(node, ast.Subscript):
+        # Optional[T] / "Optional[T]" — keep the first simple argument.
+        base = _annotation_name(node.value)
+        if base in ("Optional", "typing.Optional"):
+            return _annotation_name(node.slice)
+        return None
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _param_names(node: "ast.FunctionDef | ast.AsyncFunctionDef") -> Tuple[str, ...]:
+    args = node.args
+    names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    if names and names[0] in ("self", "cls"):
+        names = names[1:]
+    return tuple(names)
+
+
+def _param_types(node: "ast.FunctionDef | ast.AsyncFunctionDef") -> Dict[str, str]:
+    types: Dict[str, str] = {}
+    args = node.args
+    for arg in args.posonlyargs + args.args + args.kwonlyargs:
+        if arg.arg in ("self", "cls"):
+            continue
+        name = _annotation_name(arg.annotation)
+        if name is not None:
+            types[arg.arg] = name
+    return types
+
+
+class _SymbolCollector(ast.NodeVisitor):
+    """Pass 1: register every def/class under its dotted symbol."""
+
+    def __init__(self, graph: ProjectGraph, module_info: ModuleInfo) -> None:
+        self.graph = graph
+        self.info = module_info
+        self._symbols: List[str] = []
+        self._class_keys: List[Optional[str]] = []
+
+    def _key(self, name: str) -> str:
+        dotted = ".".join(self._symbols + [name])
+        return f"{self.info.module}:{dotted}"
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        key = self._key(node.name)
+        bases = []
+        aliases = self.info.aliases
+        for base in node.bases:
+            raw = _annotation_name(base)
+            if raw is not None:
+                root = raw.split(".")[0]
+                canonical = aliases.get(root)
+                if canonical is not None and raw != root:
+                    raw = canonical + raw[len(root):]
+                elif canonical is not None:
+                    raw = canonical
+                bases.append(raw)
+        cls = ClassInfo(
+            key=key,
+            module=self.info.module,
+            path=self.info.path,
+            name=node.name,
+            lineno=node.lineno,
+            bases=tuple(bases),
+        )
+        self.graph.classes[key] = cls
+        if not self._symbols:
+            self.info.classes[node.name] = key
+        _collect_class_fields(cls, node)
+        self._symbols.append(node.name)
+        self._class_keys.append(key)
+        self.generic_visit(node)
+        self._class_keys.pop()
+        self._symbols.pop()
+
+    def _visit_def(self, node: "ast.FunctionDef | ast.AsyncFunctionDef") -> None:
+        key = self._key(node.name)
+        class_key = self._class_keys[-1] if self._class_keys else None
+        info = FunctionInfo(
+            key=key,
+            module=self.info.module,
+            path=self.info.path,
+            symbol=".".join(self._symbols + [node.name]),
+            name=node.name,
+            lineno=node.lineno,
+            col=node.col_offset,
+            is_async=isinstance(node, ast.AsyncFunctionDef),
+            class_key=class_key,
+            params=_param_names(node),
+            param_types=_param_types(node),
+            node=node,
+        )
+        self.graph.functions[key] = info
+        if not self._symbols:
+            self.info.functions[node.name] = key
+        if class_key is not None:
+            self.graph.classes[class_key].methods[node.name] = key
+        self._symbols.append(node.name)
+        self._class_keys.append(None)
+        self.generic_visit(node)
+        self._class_keys.pop()
+        self._symbols.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_def(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_def(node)
+
+
+def _collect_class_fields(cls: ClassInfo, node: ast.ClassDef) -> None:
+    """Field order + attribute annotations from the body and __init__."""
+    fields: List[str] = []
+    for item in node.body:
+        if isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name):
+            name = item.target.id
+            fields.append(name)
+            raw = _annotation_name(item.annotation)
+            if raw is not None:
+                cls.attr_types.setdefault(name, raw)
+    for item in node.body:
+        if isinstance(item, ast.FunctionDef) and item.name == "__init__":
+            param_types = _param_types(item)
+            for stmt in ast.walk(item):
+                target: Optional[ast.expr] = None
+                value: Optional[ast.expr] = None
+                annotation: Optional[str] = None
+                if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                    target, value = stmt.targets[0], stmt.value
+                elif isinstance(stmt, ast.AnnAssign):
+                    target, value = stmt.target, stmt.value
+                    annotation = _annotation_name(stmt.annotation)
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    name = target.attr
+                    if name not in fields:
+                        fields.append(name)
+                    if annotation is not None:
+                        cls.attr_types.setdefault(name, annotation)
+                    elif isinstance(value, ast.Name) and value.id in param_types:
+                        cls.attr_types.setdefault(name, param_types[value.id])
+    cls.fields = tuple(fields)
+
+
+# ----------------------------------------------------------------------
+# Pass 2: call resolution
+# ----------------------------------------------------------------------
+@dataclass
+class _Scope:
+    """One lexical function frame: its local defs and typed locals."""
+
+    function: FunctionInfo
+    local_defs: Dict[str, str] = field(default_factory=dict)
+    #: Local variable -> resolved class key.
+    local_types: Dict[str, str] = field(default_factory=dict)
+
+
+class _CallResolver(ast.NodeVisitor):
+    """Pass 2: attach resolved CallSites to every FunctionInfo."""
+
+    def __init__(self, graph: ProjectGraph, module_info: ModuleInfo) -> None:
+        self.graph = graph
+        self.info = module_info
+        self._symbols: List[str] = []
+        self._scopes: List[_Scope] = []
+        self._class_keys: List[Optional[str]] = []
+
+    # -- structure -------------------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._symbols.append(node.name)
+        key = f"{self.info.module}:{'.'.join(self._symbols)}"
+        self._class_keys.append(key if key in self.graph.classes else None)
+        self.generic_visit(node)
+        self._class_keys.pop()
+        self._symbols.pop()
+
+    def _visit_def(self, node: "ast.FunctionDef | ast.AsyncFunctionDef") -> None:
+        key = f"{self.info.module}:{'.'.join(self._symbols + [node.name])}"
+        function = self.graph.functions[key]
+        scope = _Scope(function=function)
+        # Direct nested defs are callable by bare name inside this body.
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scope.local_defs[item.name] = f"{key}.{item.name}"
+        # Annotated parameters type their locals.
+        for param, raw in function.param_types.items():
+            resolved = self.graph.resolve_class(self.info.module, raw)
+            if resolved is not None:
+                scope.local_types[param] = resolved
+        self._symbols.append(node.name)
+        self._scopes.append(scope)
+        self._class_keys.append(None)
+        self.generic_visit(node)
+        self._class_keys.pop()
+        self._scopes.pop()
+        self._symbols.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_def(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_def(node)
+
+    # -- typed locals ----------------------------------------------------
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if self._scopes and isinstance(node.target, ast.Name):
+            raw = _annotation_name(node.annotation)
+            if raw is not None:
+                resolved = self.graph.resolve_class(self.info.module, raw)
+                if resolved is not None:
+                    self._scopes[-1].local_types[node.target.id] = resolved
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        # `x = ClassName(...)` types x for one-hop method resolution.
+        if (
+            self._scopes
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.Call)
+        ):
+            constructed = self._constructed_class(node.value.func)
+            if constructed is not None:
+                self._scopes[-1].local_types[node.targets[0].id] = constructed
+        self.generic_visit(node)
+
+    def _constructed_class(self, func: ast.expr) -> Optional[str]:
+        dotted = self._canonical(func)
+        if dotted is None:
+            return None
+        return self.graph.resolve_class(self.info.module, dotted)
+
+    # -- call resolution -------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._scopes:
+            target, dotted, constructs = self._resolve(node.func)
+            self._scopes[-1].function.calls.append(
+                CallSite(
+                    lineno=node.lineno,
+                    col=node.col_offset,
+                    target=target,
+                    dotted=dotted,
+                    constructs=constructs,
+                    node=node,
+                )
+            )
+        self.generic_visit(node)
+
+    def _canonical(self, func: ast.expr) -> Optional[str]:
+        parts: List[str] = []
+        node = func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.info.aliases.get(node.id, node.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def _enclosing_class(self) -> Optional[str]:
+        for key in reversed(self._class_keys):
+            if key is not None:
+                return key
+        # Method frames push None; recover the class of the current function.
+        if self._scopes:
+            return self._scopes[-1].function.class_key
+        return None
+
+    def _resolve(
+        self, func: ast.expr
+    ) -> Tuple[Optional[str], Optional[str], Optional[str]]:
+        """-> (target function key, canonical dotted name, constructed class)."""
+        if isinstance(func, ast.Name):
+            return self._resolve_bare(func.id)
+        if isinstance(func, ast.Attribute):
+            chain: List[str] = []
+            node: ast.expr = func
+            while isinstance(node, ast.Attribute):
+                chain.append(node.attr)
+                node = node.value
+            chain.reverse()
+            if isinstance(node, ast.Name):
+                return self._resolve_chain(node.id, chain)
+        return None, None, None
+
+    def _resolve_bare(
+        self, name: str
+    ) -> Tuple[Optional[str], Optional[str], Optional[str]]:
+        for scope in reversed(self._scopes):
+            if name in scope.local_defs:
+                return scope.local_defs[name], None, None
+        if name in self.info.functions:
+            return self.info.functions[name], None, None
+        if name in self.info.classes:
+            class_key = self.info.classes[name]
+            return self.graph.mro_method(class_key, "__init__"), None, class_key
+        dotted = self.info.aliases.get(name, name)
+        target = self.graph.resolve_dotted(dotted)
+        constructs = self.graph.resolve_class(self.info.module, dotted)
+        return target, dotted, constructs
+
+    def _resolve_chain(
+        self, root: str, chain: List[str]
+    ) -> Tuple[Optional[str], Optional[str], Optional[str]]:
+        method = chain[-1]
+        if root in ("self", "cls"):
+            class_key = self._scopes[-1].function.class_key if self._scopes else None
+            if class_key is None:
+                class_key = self._enclosing_class()
+            if class_key is not None:
+                if len(chain) == 1:
+                    return self.graph.mro_method(class_key, method), None, None
+                if len(chain) == 2:
+                    attr_cls = self.graph.attr_type_of(class_key, chain[0])
+                    if attr_cls is not None:
+                        return self.graph.mro_method(attr_cls, method), None, None
+            return None, None, None
+        # Typed local: var.m() or var.attr.m().
+        for scope in reversed(self._scopes):
+            if root in scope.local_types:
+                cls_key: Optional[str] = scope.local_types[root]
+                for attr in chain[:-1]:
+                    if cls_key is None:
+                        break
+                    cls_key = self.graph.attr_type_of(cls_key, attr)
+                if cls_key is not None:
+                    return self.graph.mro_method(cls_key, method), None, None
+                return None, None, None
+        dotted_root = self.info.aliases.get(root, root)
+        dotted = ".".join([dotted_root] + chain)
+        target = self.graph.resolve_dotted(dotted)
+        constructs = self.graph.resolve_class(self.info.module, dotted)
+        return target, dotted, constructs
+
+
+# ----------------------------------------------------------------------
+# Builder + cache
+# ----------------------------------------------------------------------
+_CACHE: Dict[Tuple[Tuple[str, str, int, int], ...], ProjectGraph] = {}
+_CACHE_LIMIT = 8
+
+
+def build_project_graph(files: Sequence[SourceFile]) -> ProjectGraph:
+    """Parse + resolve ``files`` into a ProjectGraph (memoized on content).
+
+    The cache key is the exact (path, module, source) set, so repeated
+    runs inside one process (engine + tests) share a single graph while
+    any source edit invalidates it. Output is deterministic: callers must
+    pass files in a stable order (the engine passes them sorted).
+    """
+    key = tuple(f.fingerprint() for f in files)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    graph = _build(files)
+    if len(_CACHE) >= _CACHE_LIMIT:
+        _CACHE.pop(next(iter(_CACHE)))
+    _CACHE[key] = graph
+    return graph
+
+
+def clear_graph_cache() -> None:
+    """Drop memoized graphs (test hook)."""
+    _CACHE.clear()
+
+
+def _build(files: Iterable[SourceFile]) -> ProjectGraph:
+    graph = ProjectGraph()
+    parsed: List[Tuple[SourceFile, ast.Module]] = []
+    for source_file in files:
+        tree = source_file.tree
+        if tree is None:
+            try:
+                tree = ast.parse(source_file.source, filename=source_file.path)
+            except SyntaxError:
+                continue  # the engine reports parse errors separately
+        parsed.append((source_file, tree))
+    for source_file, tree in parsed:
+        info = ModuleInfo(
+            module=source_file.module,
+            path=source_file.path,
+            tree=tree,
+            aliases=collect_aliases(tree),
+        )
+        # Last write wins on duplicate module names (mirrors import rules).
+        graph.modules[source_file.module] = info
+        _SymbolCollector(graph, info).visit(tree)
+    for source_file, tree in parsed:
+        _CallResolver(graph, graph.modules[source_file.module]).visit(tree)
+    graph._index_callers()
+    return graph

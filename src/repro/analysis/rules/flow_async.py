@@ -1,0 +1,152 @@
+"""Transitive async-blocking rule: blocking taint through the call graph.
+
+The per-file ``async-blocking`` rule catches ``time.sleep()`` written
+*directly* inside an ``async def``. It cannot see the two-line refactor
+that defeats it: move the sleep into a sync helper (or a helper in
+another module) and call the helper from the coroutine. The event loop
+stalls exactly the same; the lint goes quiet.
+
+This rule closes that hole with the project call graph. It computes the
+set of *blocking-tainted* sync functions — those that make a blocking
+call directly or reach one through a chain of sync project calls — and
+flags every call from an in-scope ``async def`` (the event-loop code
+under ``repro.net``, ``repro.cluster``, ``repro.osd.transport``) into a
+tainted sync function. The finding message carries the full call chain
+(``helper -> inner -> time.sleep``) so the report reads like the stack
+trace the stall would produce.
+
+Taint propagates through **sync** edges only: calling an ``async def``
+produces a coroutine without running its body, so an async callee cannot
+transitively block its sync caller — and if the callee itself blocks,
+it is flagged at its own definition site (by this rule or the per-file
+one). Direct blocking calls inside async defs are *not* re-reported
+here; they stay the per-file rule's finding, keeping one finding per
+root cause.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.engine import Finding, ProjectRule, _matches_any
+from repro.analysis.graph import CallSite, ProjectGraph
+from repro.analysis.rules.async_blocking import _BLOCKING_CALLS, _BLOCKING_PREFIXES
+
+__all__ = ["TransitiveBlockingRule"]
+
+#: Async defs in these subtrees share the service event loop and must
+#: not reach a blocking call through any depth of sync helpers.
+_ASYNC_SCOPES = ("repro.net", "repro.osd.transport", "repro.cluster")
+
+
+def _blocking_name(call: CallSite) -> Optional[str]:
+    """The canonical blocking-call name this site hits, if any."""
+    dotted = call.dotted
+    if dotted is None:
+        return None
+    if dotted == "open":
+        return "open"
+    if dotted in _BLOCKING_CALLS:
+        return dotted
+    if any(dotted.startswith(prefix) for prefix in _BLOCKING_PREFIXES):
+        return dotted
+    return None
+
+
+class TransitiveBlockingRule(ProjectRule):
+    rule_id = "transitive-blocking"
+    description = (
+        "no sync helper reachable from an event-loop async def may make a "
+        "blocking call (time.sleep, sync sockets, file/process I/O), at "
+        "any call-graph depth"
+    )
+    scope = _ASYNC_SCOPES  # documentation; reports are scoped internally
+
+    def check_project(self, graph: ProjectGraph) -> List[Finding]:
+        taint = _blocking_taint(graph)
+        findings: List[Finding] = []
+        for key in graph.functions:
+            info = graph.functions[key]
+            if not info.is_async or not _matches_any(info.module, _ASYNC_SCOPES):
+                continue
+            for call in info.calls:
+                target = call.target
+                if target is None or target not in taint:
+                    continue
+                callee = graph.functions[target]
+                if callee.is_async:
+                    continue  # flagged at its own site; awaiting is legal
+                chain, root = _chain_for(graph, target, taint)
+                findings.append(
+                    Finding(
+                        path=info.path,
+                        line=call.lineno,
+                        col=call.col,
+                        rule_id=self.rule_id,
+                        message=(
+                            f"call stalls the event loop: {' -> '.join(chain)}"
+                            f" -> {root}() blocks inside async {info.name}()"
+                        ),
+                        symbol=info.symbol,
+                    )
+                )
+        return findings
+
+
+def _blocking_taint(graph: ProjectGraph) -> Dict[str, Tuple[Optional[str], str]]:
+    """Sync functions that reach a blocking call.
+
+    Maps function key -> (next hop key or None, blocking call name). The
+    next-hop pointer reconstructs a concrete chain for the report; with
+    several blocking paths the lexically first discovered one wins, which
+    is deterministic because functions and call sites are walked in file
+    order.
+    """
+    taint: Dict[str, Tuple[Optional[str], str]] = {}
+    # Seed: direct blocking calls in sync functions.
+    for key in graph.functions:
+        info = graph.functions[key]
+        if info.is_async:
+            continue
+        for call in info.calls:
+            name = _blocking_name(call)
+            if name is not None:
+                taint[key] = (None, name)
+                break
+    # Propagate backwards through sync callers to a fixed point.
+    changed = True
+    while changed:
+        changed = False
+        for key in graph.functions:
+            info = graph.functions[key]
+            if info.is_async or key in taint:
+                continue
+            for call in info.calls:
+                target = call.target
+                if (
+                    target is not None
+                    and target in taint
+                    and not graph.functions[target].is_async
+                ):
+                    taint[key] = (target, taint[target][1])
+                    changed = True
+                    break
+    return taint
+
+
+def _chain_for(
+    graph: ProjectGraph,
+    start: str,
+    taint: Dict[str, Tuple[Optional[str], str]],
+) -> Tuple[List[str], str]:
+    """Reconstruct the helper chain from ``start`` to its blocking call."""
+    chain: List[str] = []
+    key: Optional[str] = start
+    root = taint[start][1]
+    seen = set()
+    while key is not None and key not in seen:
+        seen.add(key)
+        info = graph.functions[key]
+        chain.append(f"{info.module}.{info.symbol}")
+        key, root = taint[key]
+    return chain, root

@@ -1,0 +1,205 @@
+"""Await-interleaving rule: no stale read-modify-write across an await.
+
+Every ``await`` is a scheduling point: any other task — another client
+connection, the probe loop, the autonomous supervisor — may run and
+mutate shared object state before control returns. The bug class this
+rule targets shipped twice during the cluster work (PR 6): a method
+snapshots ``self``-state into a local, awaits, then writes the *stale*
+snapshot back, silently clobbering whatever a concurrent task installed
+in between — the stale-map adopt and the stats-clobber both had exactly
+this shape:
+
+    snapshot = self.cluster_map          # read
+    await self.refresh_map()             # interleaving point
+    self.cluster_map = merge(snapshot)   # write-back of stale state
+
+Detection is a linear abstract pass over each in-scope async method, in
+source order:
+
+1. ``local = self.attr[.attr...]`` records a snapshot of that attribute
+   chain;
+2. any ``await`` marks all recorded snapshots *stale* and clears the set
+   of attribute chains freshly read since the last await;
+3. a store ``self.attr[.attr...] = expr`` fires when ``expr`` mentions a
+   stale snapshot local and the same chain has not been re-read since
+   the last await. A fresh read (``if self.attr is snapshot: ...``, or
+   recomputing from ``self.attr``) counts as re-validation and keeps the
+   rule quiet — re-validating before the write is exactly the fix.
+
+Approximations, chosen to keep the rule quiet on correct code: control
+flow is linearized (an await in a dead branch still counts), subscript
+stores (``self.d[k] = v``) and calls that mutate state internally are
+not tracked, and ``AugAssign`` (``self.x += 1``) is exempt because it
+re-reads at write time.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.analysis.engine import Finding, ProjectRule, _matches_any
+from repro.analysis.graph import ProjectGraph
+
+__all__ = ["AwaitInterleavingRule"]
+
+_SCOPES = ("repro.net", "repro.osd.transport", "repro.cluster")
+
+
+def _self_chain(node: ast.expr) -> Optional[str]:
+    """Dotted attribute chain rooted at ``self`` ("cluster_map",
+    "service.cluster_map"), or None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name) and node.id == "self" and parts:
+        return ".".join(reversed(parts))
+    return None
+
+
+class AwaitInterleavingRule(ProjectRule):
+    rule_id = "await-interleaving"
+    description = (
+        "async methods must not write self-state from a local snapshot "
+        "taken before an await without re-reading it after (stale "
+        "read-modify-write across a scheduling point)"
+    )
+    scope = _SCOPES
+
+    def check_project(self, graph: ProjectGraph) -> List[Finding]:
+        findings: List[Finding] = []
+        for key in graph.functions:
+            info = graph.functions[key]
+            if not info.is_async or not _matches_any(info.module, _SCOPES):
+                continue
+            node = info.node
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            for lineno, col, chain, local in _stale_writebacks(node):
+                findings.append(
+                    Finding(
+                        path=info.path,
+                        line=lineno,
+                        col=col,
+                        rule_id=self.rule_id,
+                        message=(
+                            f"self.{chain} is written back from {local!r}, "
+                            "which was read before an await; another task "
+                            "may have updated it at the scheduling point — "
+                            f"re-read self.{chain} after the await (or take "
+                            "the snapshot after the last await)"
+                        ),
+                        symbol=info.symbol,
+                    )
+                )
+        return findings
+
+
+def _events(func: ast.AsyncFunctionDef) -> List[Tuple[int, int, str, Any]]:
+    """(line, col, kind, payload) events in source order for one method.
+
+    Kinds: ``snapshot`` (local <- self chain), ``await``, ``load`` (self
+    chain read), ``store`` (self chain write: payload is (chain, value)).
+    Nested function bodies are skipped — they run on their own schedule.
+    """
+    events: List[Tuple[int, int, str, Any]] = []
+
+    def walk(node: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return
+        if isinstance(node, ast.Await):
+            events.append((node.lineno, node.col_offset, "await", None))
+            walk_children(node)
+            return
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            value_chain = _self_chain(node.value)
+            if isinstance(target, ast.Name) and value_chain is not None:
+                # The read itself is also a fresh load; emit load first so
+                # an await in between invalidates it correctly.
+                events.append(
+                    (node.lineno, node.col_offset, "load", value_chain)
+                )
+                events.append(
+                    (node.lineno, node.col_offset, "snapshot",
+                     (target.id, value_chain))
+                )
+                return
+            if isinstance(target, ast.Name):
+                # Re-bound local: whatever snapshot it held is gone.
+                walk(node.value)
+                events.append((node.lineno, node.col_offset, "clear", target.id))
+                return
+            store_chain = _self_chain(target) if isinstance(
+                target, ast.Attribute
+            ) else None
+            if store_chain is not None:
+                walk(node.value)  # loads/awaits in the RHS come first
+                events.append(
+                    (node.lineno, node.col_offset, "store",
+                     (store_chain, node.value))
+                )
+                return
+        if isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load):
+            chain = _self_chain(node)
+            if chain is not None:
+                events.append((node.lineno, node.col_offset, "load", chain))
+                return  # don't descend: inner chain is part of this load
+        walk_children(node)
+
+    def walk_children(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            walk(child)
+
+    for stmt in func.body:
+        walk(stmt)
+    return events
+
+
+def _stale_writebacks(
+    func: ast.AsyncFunctionDef,
+) -> List[Tuple[int, int, str, str]]:
+    """(line, col, chain, local) for every stale write-back in ``func``."""
+    #: local name -> (chain, crossed_await)
+    snapshots: Dict[str, Tuple[str, bool]] = {}
+    fresh: Set[str] = set()  # chains read since the last await
+    hits: List[Tuple[int, int, str, str]] = []
+    for lineno, col, kind, payload in _events(func):
+        if kind == "await":
+            snapshots = {
+                name: (chain, True) for name, (chain, _) in snapshots.items()
+            }
+            fresh = set()
+        elif kind == "load":
+            fresh.add(payload)
+        elif kind == "snapshot":
+            name, chain = payload
+            snapshots[name] = (chain, False)
+        elif kind == "clear":
+            snapshots.pop(payload, None)
+        elif kind == "store":
+            chain, value = payload
+            local = _stale_local_in(value, chain, snapshots, fresh)
+            if local is not None:
+                hits.append((lineno, col, chain, local))
+            # The write refreshes the chain for later statements.
+            fresh.add(chain)
+    return hits
+
+
+def _stale_local_in(
+    value: ast.expr,
+    chain: str,
+    snapshots: Dict[str, Tuple[str, bool]],
+    fresh: Set[str],
+) -> Optional[str]:
+    """Name of a stale snapshot of ``chain`` referenced by ``value``."""
+    if chain in fresh:
+        return None  # re-validated since the last await
+    for node in ast.walk(value):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            snap = snapshots.get(node.id)
+            if snap is not None and snap[0] == chain and snap[1]:
+                return node.id
+    return None

@@ -1,0 +1,218 @@
+"""Sense-code exhaustiveness: every emitted code has a handling side.
+
+The sense vocabulary (:class:`repro.osd.sense.SenseCode`, paper
+Table III) is the *entire* failure-reporting contract between the
+server tier and the initiator tier: the OSD target, the socket server,
+and the shard server report every outcome as a sense code on a healthy
+connection, and the client/router layers branch on those codes to retry,
+re-route, fail over, or surface the outcome. That contract is
+cross-module by construction — and nothing enforced it: add a new code
+to the enum, emit it from ``ShardServer``, and every router in the fleet
+silently treats it like a generic failure (no replay, no map refresh, no
+backoff), which is exactly how ``WRONG_SHARD`` would have rotted had it
+been added after the fact.
+
+This rule closes the loop over the whole program:
+
+- **emitted** codes are every ``SenseCode.X`` reference in the server
+  tier (``repro.osd.target``, ``repro.net.server``,
+  ``repro.cluster.service``);
+- **handled** codes are every ``SenseCode.X`` reference in the
+  client/initiator tier (``repro.net.client``, ``repro.net.retry``,
+  ``repro.cluster.router``, ``repro.cluster.breaker``,
+  ``repro.cache.manager``, ``repro.osd.initiator``, ``repro.osd.exofs``)
+  — a comparison, a dispatch-table key, or membership in the declared
+  pass-through default;
+- a code emitted but never handled is a finding at its first emit site.
+
+The **declared default** is the sanctioned escape hatch for codes that
+are deliberately surfaced to callers rather than branched on: a
+module-level ``SENSE_HANDLED_BY_DEFAULT = (SenseCode.X, ...)`` tuple in
+a handler module. It keeps the contract auditable — adding a code means
+either writing the handling branch or *visibly* declaring that callers
+get it raw — and it is what makes this rule fail when a new member is
+added on the server side only.
+
+References are matched through import aliases (``from repro.osd.sense
+import SenseCode as SC`` still counts), and the enum itself is located
+in the graph by class name, so fixture trees exercise the rule exactly
+like the real tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.engine import Finding, ProjectRule, _matches_any
+from repro.analysis.graph import ModuleInfo, ProjectGraph
+
+__all__ = ["SenseExhaustiveRule"]
+
+_ENUM_CLASS = "SenseCode"
+_DEFAULT_DECL = "SENSE_HANDLED_BY_DEFAULT"
+
+#: Server tier: modules whose SenseCode references are *emissions*.
+_EMITTER_MODULES = (
+    "repro.osd.target",
+    "repro.net.server",
+    "repro.cluster.service",
+)
+#: Client/initiator tier: modules whose references count as *handling*.
+_HANDLER_MODULES = (
+    "repro.net.client",
+    "repro.net.retry",
+    "repro.cluster.router",
+    "repro.cluster.breaker",
+    "repro.cache.manager",
+    "repro.osd.initiator",
+    "repro.osd.exofs",
+)
+
+
+class SenseExhaustiveRule(ProjectRule):
+    rule_id = "sense-exhaustive"
+    description = (
+        "every SenseCode the server tier emits must be handled in the "
+        "client/router tier — explicitly or via the declared "
+        "SENSE_HANDLED_BY_DEFAULT pass-through tuple"
+    )
+    scope = _EMITTER_MODULES
+
+    def check_project(self, graph: ProjectGraph) -> List[Finding]:
+        enum_members = _enum_members(graph)
+        if enum_members is None:
+            return []  # no SenseCode enum in this tree: nothing to check
+        emitted = _references(graph, _EMITTER_MODULES)
+        handled = _references(graph, _HANDLER_MODULES)
+        handled_names = set(handled) | _declared_defaults(graph)
+        findings: List[Finding] = []
+        for member in sorted(emitted):
+            if member not in enum_members:
+                continue  # not an enum member (typo'd refs are mypy's job)
+            if member in handled_names:
+                continue
+            path, lineno, col, module, symbol = emitted[member]
+            findings.append(
+                Finding(
+                    path=path,
+                    line=lineno,
+                    col=col,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"SenseCode.{member} is emitted by {module} but "
+                        "handled nowhere in the client/initiator tier "
+                        f"({', '.join(_HANDLER_MODULES[:3])}, ...); add a "
+                        "handling branch or list it in "
+                        f"{_DEFAULT_DECL} with a rationale"
+                    ),
+                    symbol=symbol,
+                )
+            )
+        return findings
+
+
+def _enum_members(graph: ProjectGraph) -> Optional[Set[str]]:
+    """Members of the SenseCode enum, located by class name in the graph.
+
+    Prefers a class in a module named ``*.sense`` when several exist.
+    """
+    candidates = [
+        cls for cls in graph.classes.values() if cls.name == _ENUM_CLASS
+    ]
+    if not candidates:
+        return None
+    candidates.sort(
+        key=lambda cls: (not cls.module.endswith(".sense"), cls.module)
+    )
+    cls = candidates[0]
+    module = graph.modules.get(cls.module)
+    if module is None:
+        return None
+    members: Set[str] = set()
+    for node in module.tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == _ENUM_CLASS:
+            for item in node.body:
+                if isinstance(item, ast.Assign):
+                    for target in item.targets:
+                        if isinstance(target, ast.Name) and target.id.isupper():
+                            members.add(target.id)
+    return members
+
+
+def _sense_member(info: ModuleInfo, node: ast.Attribute) -> Optional[str]:
+    """``SenseCode.X`` member name for an attribute node, alias-aware."""
+    parts: List[str] = []
+    expr: ast.expr = node
+    while isinstance(expr, ast.Attribute):
+        parts.append(expr.attr)
+        expr = expr.value
+    if not isinstance(expr, ast.Name) or len(parts) != 1:
+        return None
+    dotted = info.aliases.get(expr.id, expr.id)
+    if dotted == _ENUM_CLASS or dotted.endswith("." + _ENUM_CLASS):
+        return parts[0]
+    return None
+
+
+def _references(
+    graph: ProjectGraph, modules: Tuple[str, ...]
+) -> Dict[str, Tuple[str, int, int, str, str]]:
+    """Member -> (path, line, col, module, symbol) of its first reference."""
+    refs: Dict[str, Tuple[str, int, int, str, str]] = {}
+    for module_name in sorted(graph.modules):
+        if not _matches_any(module_name, modules):
+            continue
+        info = graph.modules[module_name]
+        for node, symbol in _walk_with_symbols(info.tree):
+            if isinstance(node, ast.Attribute):
+                member = _sense_member(info, node)
+                if member is not None and member not in refs:
+                    refs[member] = (
+                        info.path, node.lineno, node.col_offset,
+                        module_name, symbol,
+                    )
+    return refs
+
+
+def _walk_with_symbols(tree: ast.Module) -> List[Tuple[ast.AST, str]]:
+    """(node, enclosing dotted symbol) pairs in source order."""
+    out: List[Tuple[ast.AST, str]] = []
+
+    def walk(node: ast.AST, symbols: Tuple[str, ...]) -> None:
+        if isinstance(node, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)):
+            symbols = symbols + (node.name,)
+        for child in ast.iter_child_nodes(node):
+            out.append((child, ".".join(symbols)))
+            walk(child, symbols)
+
+    walk(tree, ())
+    return out
+
+
+def _declared_defaults(graph: ProjectGraph) -> Set[str]:
+    """Members listed in any handler module's SENSE_HANDLED_BY_DEFAULT."""
+    declared: Set[str] = set()
+    for module_name in sorted(graph.modules):
+        if not _matches_any(module_name, _HANDLER_MODULES):
+            continue
+        info = graph.modules[module_name]
+        for node in info.tree.body:
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets = [node.target]
+            if not any(
+                isinstance(t, ast.Name) and t.id == _DEFAULT_DECL
+                for t in targets
+            ):
+                continue
+            value = node.value
+            assert value is not None
+            for sub in ast.walk(value):
+                if isinstance(sub, ast.Attribute):
+                    member = _sense_member(info, sub)
+                    if member is not None:
+                        declared.add(member)
+    return declared

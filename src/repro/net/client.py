@@ -51,6 +51,19 @@ from repro.osd.types import CONTROL_OBJECT, ObjectId, ROOT_OBJECT
 
 __all__ = ["AsyncOsdClient", "ClientStats", "OsdServiceError"]
 
+#: Sense codes the client deliberately surfaces to callers instead of
+#: branching on (audited by the ``sense-exhaustive`` analysis rule):
+#: the recovery pair is the payload of :meth:`AsyncOsdClient.recovery_status`
+#: — the caller polls until STARTED becomes ENDED — and the two
+#: space-pressure codes are write-admission outcomes the cache manager
+#: turns into eviction/placement decisions at the call site.
+SENSE_HANDLED_BY_DEFAULT = (
+    SenseCode.RECOVERY_STARTED,
+    SenseCode.RECOVERY_ENDED,
+    SenseCode.CACHE_FULL,
+    SenseCode.REDUNDANCY_FULL,
+)
+
 #: Read-side chunk size: one ``await`` can pull many pipelined responses.
 RECV_CHUNK_BYTES = 256 * 1024
 

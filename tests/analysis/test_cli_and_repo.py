@@ -72,6 +72,57 @@ def test_cli_write_baseline_round_trip(tmp_path):
     assert _run_cli("src/repro", "--no-baseline", cwd=tmp_path).returncode == 1
 
 
+def test_cli_only_filters_rules(tmp_path):
+    bad = tmp_path / "src" / "repro" / "sim" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("import time\n\ndef f():\n    return time.time()\n")
+    # determinism alone still fails...
+    picked = _run_cli("src/repro", "--only", "determinism", cwd=tmp_path)
+    assert picked.returncode == 1
+    # ...while a rule set that does not include it is clean.
+    skipped = _run_cli("src/repro", "--only", "broad-except", cwd=tmp_path)
+    assert skipped.returncode == 0, skipped.stdout + skipped.stderr
+
+
+def test_cli_only_rejects_unknown_rule_id():
+    result = _run_cli("src/repro", "--only", "no-such-rule", cwd=REPO_ROOT)
+    assert result.returncode == 2
+    assert "unknown rule id" in result.stderr
+
+
+def test_cli_paths_narrows_reporting_not_analysis(tmp_path):
+    tree = tmp_path / "src" / "repro"
+    (tree / "sim").mkdir(parents=True)
+    (tree / "net").mkdir(parents=True)
+    (tree / "sim" / "bad.py").write_text(
+        "import time\n\ndef f():\n    return time.time()\n"
+    )
+    (tree / "net" / "ok.py").write_text("def g():\n    return 1\n")
+    # Reporting scoped to net/: the sim finding is filtered out.
+    scoped = _run_cli(
+        "src/repro", "--paths", "src/repro/net", cwd=tmp_path
+    )
+    assert scoped.returncode == 0, scoped.stdout + scoped.stderr
+    # Scoped to sim/: the finding shows.
+    assert (
+        _run_cli("src/repro", "--paths", "src/repro/sim", cwd=tmp_path).returncode
+        == 1
+    )
+
+
+def test_cli_stats_go_to_stderr_keeping_json_stable():
+    result = _run_cli(
+        "src/repro", "--format", "json", "--stats", cwd=REPO_ROOT
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    json.loads(result.stdout)  # stdout is still pure JSON
+    assert "files parsed:" in result.stderr
+    assert "call graph:" in result.stderr
+    assert "rule determinism-taint:" in result.stderr
+    plain = _run_cli("src/repro", "--format", "json", cwd=REPO_ROOT)
+    assert plain.stdout == result.stdout
+
+
 def test_real_tree_is_clean_via_api():
     report = analyze_paths(
         [SRC], default_rules(), root=REPO_ROOT, baseline=load_baseline(BASELINE)

@@ -156,3 +156,56 @@ def test_parse_error_is_a_finding_not_a_crash(lint):
     lint.write("sim/broken.py", "def nope(:\n")
     findings = lint.run()
     assert [f.rule_id for f in findings] == ["parse-error"]
+
+
+def test_suppression_on_decorated_def(lint):
+    # seed-plumbing anchors on the def line; the allow comment between
+    # the decorator and the def (or trailing on the def line) covers it.
+    lint.write(
+        "faults/decorated.py",
+        """
+        def wrap(fn):
+            return fn
+
+        @wrap
+        # repro: allow[seed-plumbing]
+        def inject(seed=None):
+            return seed
+
+        @wrap
+        def inject2(seed=None):  # repro: allow[seed-plumbing]
+            return seed
+        """,
+    )
+    assert lint.rule_ids() == []
+
+
+def test_module_of_outside_any_repro_tree():
+    # No `repro` path component: bare stem, which scoped rules ignore —
+    # and the dotted name never accidentally matches a repro.* scope.
+    assert module_of(Path("lib/pkg/mod.py")) == "mod"
+    assert module_of(Path("tools/check.py")) == "check"
+    # A `repro` dir anywhere anchors the dotted name, wherever the tree
+    # is checked out (tmp fixture trees rely on this).
+    assert module_of(Path("/tmp/x/src/repro/net/client.py")) == "repro.net.client"
+    # The *last* repro component anchors (vendored copies nest).
+    assert module_of(Path("repro/vendor/repro/sim/clock.py")) == "repro.sim.clock"
+
+
+def test_baseline_entry_for_deleted_file_is_stale(lint, tmp_path):
+    doomed = lint.write("sim/doomed.py", BAD_SIM)
+    report = analyze_paths([lint.root / "src"], default_rules(), root=lint.root)
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(report.findings, baseline_path)
+
+    doomed.unlink()
+    rerun = analyze_paths(
+        [lint.root / "src"],
+        default_rules(),
+        root=lint.root,
+        baseline=load_baseline(baseline_path),
+    )
+    assert rerun.findings == []
+    assert len(rerun.stale_baseline) == 1
+    assert not rerun.clean or rerun.stale_baseline  # surfaced, not silent
+    assert "stale baseline" in render_text(rerun)

@@ -1,0 +1,134 @@
+"""Fixtures for the transitive-blocking whole-program rule."""
+
+from __future__ import annotations
+
+from repro.analysis.rules import TransitiveBlockingRule
+
+
+def only(lint):
+    return lint.run([TransitiveBlockingRule()])
+
+
+def test_fires_on_blocking_call_two_hops_away(lint):
+    lint.write(
+        "util/slowio.py",
+        """
+        import time
+
+        def settle():
+            time.sleep(0.5)
+        """,
+    )
+    lint.write(
+        "net/helpers.py",
+        """
+        from repro.util.slowio import settle
+
+        def prepare():
+            settle()
+        """,
+    )
+    lint.write(
+        "net/service.py",
+        """
+        from repro.net.helpers import prepare
+
+        async def serve():
+            prepare()
+        """,
+    )
+    (finding,) = only(lint)
+    assert finding.rule_id == "transitive-blocking"
+    assert finding.path.endswith("net/service.py")
+    # The message reconstructs the full helper chain to the root call.
+    assert "repro.net.helpers.prepare" in finding.message
+    assert "repro.util.slowio.settle" in finding.message
+    assert "time.sleep" in finding.message
+
+
+def test_quiet_when_chain_is_clean(lint):
+    lint.write(
+        "net/clean.py",
+        """
+        def compute():
+            return sum(range(10))
+
+        async def serve():
+            return compute()
+        """,
+    )
+    assert only(lint) == []
+
+
+def test_direct_blocking_left_to_per_file_rule(lint):
+    # A blocking call written directly in the async def is the per-file
+    # async-blocking rule's finding; this rule must not double-report.
+    lint.write(
+        "net/direct.py",
+        """
+        import time
+
+        async def serve():
+            time.sleep(1)
+        """,
+    )
+    assert only(lint) == []
+    assert "async-blocking" in lint.rule_ids()
+
+
+def test_quiet_for_async_outside_event_loop_scope(lint):
+    # Same shape as the firing case, but the async def lives outside the
+    # event-loop subtrees, where blocking helpers are allowed.
+    lint.write(
+        "tools_extra/batch.py",
+        """
+        import time
+
+        def settle():
+            time.sleep(0.5)
+
+        async def run():
+            settle()
+        """,
+    )
+    assert only(lint) == []
+
+
+def test_async_callee_is_not_a_transitive_hop(lint):
+    # Calling an async def produces a coroutine without running its body:
+    # the caller does not block, and the callee is flagged at its own site.
+    lint.write(
+        "net/asynccallee.py",
+        """
+        import time
+
+        async def inner():
+            time.sleep(1)
+
+        async def outer():
+            await inner()
+        """,
+    )
+    assert only(lint) == []
+
+
+def test_suppression_silences_the_call_site(lint):
+    lint.write(
+        "util/slowio2.py",
+        """
+        import time
+
+        def settle():
+            time.sleep(0.5)
+        """,
+    )
+    lint.write(
+        "net/waived.py",
+        """
+        from repro.util.slowio2 import settle
+
+        async def serve():
+            settle()  # repro: allow[transitive-blocking]
+        """,
+    )
+    assert only(lint) == []

@@ -1,0 +1,115 @@
+"""Fixtures for the await-interleaving whole-program rule."""
+
+from __future__ import annotations
+
+from repro.analysis.rules import AwaitInterleavingRule
+
+
+def only(lint):
+    return lint.run([AwaitInterleavingRule()])
+
+
+def test_fires_on_stale_writeback_across_await(lint):
+    lint.write(
+        "cluster/staleness.py",
+        """
+        class Router:
+            async def refresh(self):
+                snapshot = self.cluster_map
+                await self.fetch()
+                self.cluster_map = snapshot
+        """,
+    )
+    (finding,) = only(lint)
+    assert finding.rule_id == "await-interleaving"
+    assert "cluster_map" in finding.message
+    assert "snapshot" in finding.message
+    assert finding.symbol == "Router.refresh"
+
+
+def test_fires_when_stale_value_is_merged_not_copied(lint):
+    lint.write(
+        "net/merge.py",
+        """
+        class Pool:
+            async def rebuild(self):
+                old = self.stats
+                await self.drain()
+                self.stats = merge(old, {})
+        """,
+    )
+    assert [f.rule_id for f in only(lint)] == ["await-interleaving"]
+
+
+def test_quiet_when_rereads_after_await(lint):
+    lint.write(
+        "cluster/fresh.py",
+        """
+        class Router:
+            async def refresh(self):
+                snapshot = self.cluster_map
+                await self.fetch()
+                if self.cluster_map is snapshot:
+                    self.cluster_map = snapshot
+        """,
+    )
+    assert only(lint) == []
+
+
+def test_quiet_when_snapshot_taken_after_last_await(lint):
+    lint.write(
+        "cluster/after.py",
+        """
+        class Router:
+            async def refresh(self):
+                await self.fetch()
+                snapshot = self.cluster_map
+                self.cluster_map = snapshot
+        """,
+    )
+    assert only(lint) == []
+
+
+def test_quiet_when_local_is_rebound_before_writeback(lint):
+    lint.write(
+        "cluster/rebound.py",
+        """
+        class Router:
+            async def refresh(self):
+                snap = self.cluster_map
+                await self.fetch()
+                snap = compute()
+                self.cluster_map = snap
+        """,
+    )
+    assert only(lint) == []
+
+
+def test_quiet_outside_event_loop_scopes(lint):
+    # Same stale shape in a module outside net/cluster/osd.transport:
+    # not event-loop shared state, not this rule's business.
+    lint.write(
+        "cache/single.py",
+        """
+        class Manager:
+            async def tick(self):
+                old = self.epoch
+                await self.sync()
+                self.epoch = old
+        """,
+    )
+    assert only(lint) == []
+
+
+def test_quiet_for_augassign_which_rereads_at_write(lint):
+    lint.write(
+        "net/counter.py",
+        """
+        class Stats:
+            async def bump(self):
+                n = self.count
+                await self.flush()
+                self.count += 1
+        """,
+    )
+    assert only(lint) == []

@@ -1,0 +1,148 @@
+"""Fixtures for the sense-exhaustive whole-program rule.
+
+The firing test is the rule's acceptance criterion: adding a member to
+the enum and emitting it on the server side *without* touching the
+client tier must fail the lint.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules import SenseExhaustiveRule
+
+ENUM = """
+class SenseCode:
+    OK = 0x0
+    FAIL = 0x1
+    SERVER_BUSY = 0x2
+    QUOTA_BREACH = 0x3
+"""
+
+
+def only(lint):
+    return lint.run([SenseExhaustiveRule()])
+
+
+def write_enum(lint):
+    lint.write("osd/sense.py", ENUM)
+
+
+def test_fires_when_code_added_on_server_side_only(lint):
+    write_enum(lint)
+    lint.write(
+        "osd/target.py",
+        """
+        from repro.osd.sense import SenseCode
+
+        def admit(full):
+            if full:
+                return SenseCode.QUOTA_BREACH
+            return SenseCode.OK
+        """,
+    )
+    lint.write(
+        "net/client.py",
+        """
+        from repro.osd.sense import SenseCode
+
+        def handle(sense):
+            if sense is SenseCode.OK:
+                return True
+            return False
+        """,
+    )
+    findings = only(lint)
+    assert [f.rule_id for f in findings] == ["sense-exhaustive"]
+    (finding,) = findings
+    assert "QUOTA_BREACH" in finding.message
+    assert finding.path.endswith("osd/target.py")  # anchored at the emit site
+
+
+def test_quiet_when_every_emitted_code_is_handled(lint):
+    write_enum(lint)
+    lint.write(
+        "osd/target.py",
+        """
+        from repro.osd.sense import SenseCode
+
+        def admit(full):
+            return SenseCode.SERVER_BUSY if full else SenseCode.OK
+        """,
+    )
+    lint.write(
+        "net/client.py",
+        """
+        from repro.osd.sense import SenseCode
+
+        HANDLERS = {SenseCode.OK: "done", SenseCode.SERVER_BUSY: "retry"}
+        """,
+    )
+    assert only(lint) == []
+
+
+def test_declared_default_is_the_sanctioned_pass_through(lint):
+    write_enum(lint)
+    lint.write(
+        "osd/target.py",
+        """
+        from repro.osd.sense import SenseCode
+
+        def admit(full):
+            return SenseCode.QUOTA_BREACH if full else SenseCode.OK
+        """,
+    )
+    lint.write(
+        "net/client.py",
+        """
+        from repro.osd.sense import SenseCode
+
+        SENSE_HANDLED_BY_DEFAULT = (SenseCode.QUOTA_BREACH,)
+
+        def handle(sense):
+            return sense is SenseCode.OK
+        """,
+    )
+    assert only(lint) == []
+
+
+def test_handling_through_an_import_alias_counts(lint):
+    write_enum(lint)
+    lint.write(
+        "osd/target.py",
+        """
+        from repro.osd.sense import SenseCode
+
+        def admit():
+            return SenseCode.FAIL
+        """,
+    )
+    lint.write(
+        "cluster/router.py",
+        """
+        from repro.osd.sense import SenseCode as SC
+
+        def route(sense):
+            if sense is SC.FAIL:
+                return None
+        """,
+    )
+    assert only(lint) == []
+
+
+def test_quiet_when_tree_has_no_sense_enum(lint):
+    lint.write("net/plain.py", "def f():\n    return 0\n")
+    assert only(lint) == []
+
+
+def test_emitter_outside_server_tier_is_not_an_emission(lint):
+    write_enum(lint)
+    # A SenseCode reference in, say, the sim layer is neither emission
+    # nor handling; it must not create an obligation.
+    lint.write(
+        "sim/replay.py",
+        """
+        from repro.osd.sense import SenseCode
+
+        EXPECT = SenseCode.QUOTA_BREACH
+        """,
+    )
+    assert only(lint) == []

@@ -1,0 +1,253 @@
+"""Unit tests for the project symbol table / call graph builder."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+from typing import Dict
+
+from repro.analysis.engine import module_of
+from repro.analysis.graph import (
+    ProjectGraph,
+    SourceFile,
+    build_project_graph,
+    clear_graph_cache,
+)
+
+
+def build(files: Dict[str, str]) -> ProjectGraph:
+    """Build a graph from {relpath-under-src/repro: source} fixtures."""
+    sources = [
+        SourceFile(
+            path=f"src/repro/{rel}",
+            module=module_of(Path(f"src/repro/{rel}")),
+            source=textwrap.dedent(src),
+        )
+        for rel, src in sorted(files.items())
+    ]
+    return build_project_graph(sources)
+
+
+def setup_function(_fn) -> None:
+    clear_graph_cache()
+
+
+def test_symbols_and_bare_call_resolution():
+    graph = build(
+        {
+            "util.py": """
+            def helper():
+                return 1
+
+            def caller():
+                return helper()
+            """
+        }
+    )
+    assert "repro.util:helper" in graph.functions
+    assert graph.callees("repro.util:caller") == ("repro.util:helper",)
+    assert graph.callers("repro.util:helper") == ("repro.util:caller",)
+    assert graph.node_count == 2
+    assert graph.edge_count == 1
+
+
+def test_imported_name_resolves_across_modules():
+    graph = build(
+        {
+            "a.py": """
+            def shared():
+                return 0
+            """,
+            "b.py": """
+            from repro.a import shared as sh
+
+            def use():
+                return sh()
+            """,
+        }
+    )
+    assert graph.callees("repro.b:use") == ("repro.a:shared",)
+
+
+def test_module_attribute_call_resolves():
+    graph = build(
+        {
+            "a.py": """
+            def f():
+                return 0
+            """,
+            "b.py": """
+            from repro import a
+
+            def use():
+                return a.f()
+            """,
+        }
+    )
+    # `from repro import a` aliases a -> repro.a; a.f() -> repro.a:f.
+    assert graph.callees("repro.b:use") == ("repro.a:f",)
+
+
+def test_self_method_and_inherited_method_resolve():
+    graph = build(
+        {
+            "base.py": """
+            class Base:
+                def shared(self):
+                    return 1
+            """,
+            "impl.py": """
+            from repro.base import Base
+
+            class Impl(Base):
+                def own(self):
+                    return self.shared() + self.local()
+
+                def local(self):
+                    return 2
+            """,
+        }
+    )
+    callees = graph.callees("repro.impl:Impl.own")
+    assert "repro.base:Base.shared" in callees  # via MRO over project bases
+    assert "repro.impl:Impl.local" in callees
+
+
+def test_one_hop_typed_attribute_call_resolves():
+    graph = build(
+        {
+            "router.py": """
+            class Router:
+                def submit(self):
+                    return 0
+            """,
+            "svc.py": """
+            from repro.router import Router
+
+            class Service:
+                def __init__(self, router: Router):
+                    self.router = router
+
+                async def handle(self):
+                    return self.router.submit()
+            """,
+        }
+    )
+    assert graph.callees("repro.svc:Service.handle") == (
+        "repro.router:Router.submit",
+    )
+
+
+def test_constructor_call_types_local_and_edges_to_init():
+    graph = build(
+        {
+            "box.py": """
+            class Box:
+                def __init__(self, n):
+                    self.n = n
+
+                def get(self):
+                    return self.n
+            """,
+            "use.py": """
+            from repro.box import Box
+
+            def make():
+                b = Box(3)
+                return b.get()
+            """,
+        }
+    )
+    callees = graph.callees("repro.use:make")
+    assert "repro.box:Box.__init__" in callees
+    assert "repro.box:Box.get" in callees
+    site = next(
+        c for c in graph.functions["repro.use:make"].calls if c.constructs
+    )
+    assert site.constructs == "repro.box:Box"
+
+
+def test_nested_def_resolves_via_lexical_scope():
+    graph = build(
+        {
+            "n.py": """
+            def outer():
+                def inner():
+                    return 1
+                return inner()
+            """
+        }
+    )
+    assert graph.callees("repro.n:outer") == ("repro.n:outer.inner",)
+    assert "repro.n:outer.inner" in graph.functions
+
+
+def test_unresolved_external_keeps_canonical_dotted_name():
+    graph = build(
+        {
+            "w.py": """
+            import time as t
+
+            def f():
+                t.sleep(1)
+            """
+        }
+    )
+    (site,) = graph.functions["repro.w:f"].calls
+    assert site.target is None
+    assert site.dotted == "time.sleep"  # alias canonicalized
+
+
+def test_annotated_param_types_a_local_receiver():
+    graph = build(
+        {
+            "t.py": """
+            class Worker:
+                def run(self):
+                    return 0
+
+            def drive(w: Worker):
+                return w.run()
+            """
+        }
+    )
+    assert graph.callees("repro.t:drive") == ("repro.t:Worker.run",)
+
+
+def test_resolve_dotted_and_mro_misses_return_none():
+    graph = build({"m.py": "def f():\n    return 0\n"})
+    assert graph.resolve_dotted("repro.m.f") == "repro.m:f"
+    assert graph.resolve_dotted("repro.m.missing") is None
+    assert graph.resolve_dotted("not.a.module.f") is None
+    assert graph.mro_method("repro.m:NoClass", "f") is None
+
+
+def test_graph_is_memoized_on_content_and_deterministic():
+    files = {
+        "a.py": "def f():\n    return 0\n",
+        "b.py": "from repro.a import f\n\ndef g():\n    return f()\n",
+    }
+    first = build(files)
+    second = build(files)  # same content -> same cached object
+    assert first is second
+
+    clear_graph_cache()
+    rebuilt = build(files)
+    assert rebuilt is not first
+    assert list(rebuilt.functions) == list(first.functions)
+    assert rebuilt.edge_count == first.edge_count
+
+    # Any source edit invalidates the cached graph.
+    edited = dict(files, **{"a.py": "def f():\n    return 1\n"})
+    assert build(edited) is not rebuilt
+
+
+def test_prebuilt_tree_is_used_without_reparse():
+    import ast
+
+    source = "def f():\n    return 0\n"
+    tree = ast.parse(source)
+    graph = build_project_graph(
+        [SourceFile(path="src/repro/p.py", module="repro.p", source=source, tree=tree)]
+    )
+    assert graph.functions["repro.p:f"].node in ast.walk(tree)
