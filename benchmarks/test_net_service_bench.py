@@ -12,6 +12,11 @@ committed baseline) the bench also measures the 8-client run against a
 multi-core hosts the worker shards scale the op rate; on a single-core CI
 box they pay IPC overhead instead, so the committed floor for that metric
 is deliberately conservative.
+
+An 8-client tiny-payload (64/128/256 B mix) run rides along as
+``net_ops_small_c8`` — the small-object regime where PDU header bytes and
+per-request event-loop overhead, not payload movement, set the ceiling;
+it is the metric most sensitive to the wire-v2 binary header.
 """
 
 import json
@@ -21,7 +26,7 @@ import warnings
 import pytest
 
 import compare_bench
-from repro.experiments.concurrency import run_net_service_sweep
+from repro.experiments.concurrency import SMALL_PAYLOAD_MIX, run_net_service_sweep
 
 BENCH_JSON, BASELINE_JSON = compare_bench.SUITES["net_service"]
 
@@ -31,17 +36,29 @@ def test_net_service_sweep(emit):
     workers_sweep = run_net_service_sweep(
         clients=(8,), requests_per_client=150, workers=4
     )
+    small_sweep = run_net_service_sweep(
+        clients=(8,),
+        requests_per_client=150,
+        payload_bytes=min(SMALL_PAYLOAD_MIX),
+        payload_mix=SMALL_PAYLOAD_MIX,
+    )
     sweep.write_bench_json()
     emit("net_service_sweep", sweep.format())
     emit("net_service_sweep_workers4", workers_sweep.format())
+    emit("net_service_sweep_small", small_sweep.format())
 
-    # Merge the sharded-server headline into the artifact.
+    # Merge the sharded-server and small-object headlines into the artifact.
     data = json.loads(BENCH_JSON.read_text())
     data["metrics"]["net_ops_c8_w4"] = {
         "label": "service op rate (ops/s), 8 clients, 4 workers",
         "value": workers_sweep.ops_per_sec[0],
     }
+    data["metrics"]["net_ops_small_c8"] = {
+        "label": "service op rate (ops/s), 8 clients, tiny payloads",
+        "value": small_sweep.ops_per_sec[0],
+    }
     data["workers_headline"] = 4
+    data["small_payload_mix"] = list(SMALL_PAYLOAD_MIX)
     BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
     # Reliability before speed: a benchmark run with lost or corrupted
@@ -50,6 +67,8 @@ def test_net_service_sweep(emit):
     assert sweep.corrupted == 0
     assert workers_sweep.errors == 0
     assert workers_sweep.corrupted == 0
+    assert small_sweep.errors == 0
+    assert small_sweep.corrupted == 0
     # Concurrency must help: 8 closed-loop clients beat 1.
     assert sweep.ops_per_sec[-1] > sweep.ops_per_sec[0]
 

@@ -29,6 +29,15 @@ Inside ``async def`` bodies in scope this rule flags:
 
 Nested *synchronous* ``def`` bodies are skipped: they only run when
 called, and flagging them here would double-report helper functions.
+
+Synchronous methods of :class:`asyncio.Protocol` /
+:class:`asyncio.BufferedProtocol` subclasses are **in scope** despite not
+being ``async def``: the event loop invokes ``data_received`` /
+``buffer_updated`` / ``connection_made`` and friends directly as
+callbacks, so a ``time.sleep`` there stalls the loop exactly like one
+inside a coroutine. The rule detects protocol subclasses by their base
+class names (resolved through the module's imports) and applies the same
+blocking-call and unawaited-coroutine checks to their sync methods.
 """
 
 from __future__ import annotations
@@ -53,6 +62,15 @@ _BLOCKING_CALLS = {
     "os.popen",
     "os.waitpid",
     "asyncio.run",
+}
+
+#: Base classes whose sync methods are event-loop callbacks.
+_PROTOCOL_BASES = {
+    "asyncio.BaseProtocol",
+    "asyncio.Protocol",
+    "asyncio.BufferedProtocol",
+    "asyncio.DatagramProtocol",
+    "asyncio.SubprocessProtocol",
 }
 
 
@@ -101,19 +119,42 @@ class _AsyncVisitor(RuleVisitor):
         self._async_defs = async_defs
         self._async_depth = 0
         self._loop_depth = 0
+        self._function_depth = 0
         self._class_stack: List[str] = []
+        #: Parallel to the class stack: True for asyncio protocol classes,
+        #: whose *sync* methods are event-loop callbacks.
+        self._protocol_stack: List[bool] = []
 
     # -- context tracking ------------------------------------------------
     def visit_ClassDef(self, node: ast.ClassDef) -> None:
         self._class_stack.append(node.name)
+        self._protocol_stack.append(
+            any(self.canonical(base) in _PROTOCOL_BASES for base in node.bases)
+        )
         super().visit_ClassDef(node)
         self._class_stack.pop()
+        self._protocol_stack.pop()
+
+    def _is_protocol_callback(self) -> bool:
+        """True when entering a sync method the event loop calls directly."""
+        return (
+            self._function_depth == 0
+            and bool(self._protocol_stack)
+            and self._protocol_stack[-1]
+        )
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-        # A nested sync def's body runs outside the awaiting context.
-        depth, self._async_depth = self._async_depth, 0
+        # A nested sync def's body runs outside the awaiting context —
+        # except a protocol subclass's methods, which the event loop
+        # invokes directly as callbacks.
+        depth, self._async_depth = (
+            self._async_depth,
+            1 if self._is_protocol_callback() else 0,
+        )
         loops, self._loop_depth = self._loop_depth, 0
+        self._function_depth += 1
         super().visit_FunctionDef(node)
+        self._function_depth -= 1
         self._async_depth = depth
         self._loop_depth = loops
 
@@ -122,7 +163,9 @@ class _AsyncVisitor(RuleVisitor):
         # loop that lexically encloses its definition.
         loops, self._loop_depth = self._loop_depth, 0
         self._async_depth += 1
+        self._function_depth += 1
         super().visit_AsyncFunctionDef(node)
+        self._function_depth -= 1
         self._async_depth -= 1
         self._loop_depth = loops
 

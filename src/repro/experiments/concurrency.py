@@ -108,6 +108,8 @@ class NetServiceSweep:
     payload_bytes: int
     requests_per_client: int
     workers: int = 1
+    #: Wire format the clients were pinned to (None = client default, v2).
+    wire_version: Optional[int] = None
     ops_per_sec: List[float] = field(default_factory=list)
     mb_per_sec: List[float] = field(default_factory=list)
     p50_latency_ms: List[float] = field(default_factory=list)
@@ -128,10 +130,11 @@ class NetServiceSweep:
             ]
             for index in range(len(self.clients))
         ]
+        wire = f", wire v{self.wire_version}" if self.wire_version else ""
         table = format_table(
             "repro.net service layer: closed-loop clients vs throughput/latency "
             f"({self.payload_bytes}B payloads, {self.requests_per_client} req/client, "
-            f"{self.workers} worker{'s' if self.workers != 1 else ''})",
+            f"{self.workers} worker{'s' if self.workers != 1 else ''}{wire})",
             ["Clients", "ops/s", "MB/s", "p50 (ms)", "p99 (ms)"],
             rows,
         )
@@ -165,7 +168,7 @@ class NetServiceSweep:
                 "value": self.p99_latency_ms[index],
                 "higher_is_better": False,
             }
-        return {
+        report = {
             "schema": 1,
             "payload_bytes": self.payload_bytes,
             "requests_per_client": self.requests_per_client,
@@ -174,6 +177,9 @@ class NetServiceSweep:
             "corrupted": self.corrupted,
             "metrics": metrics,
         }
+        if self.wire_version is not None:
+            report["wire_version"] = self.wire_version
+        return report
 
     def write_bench_json(self, directory: Optional[pathlib.Path] = None) -> pathlib.Path:
         directory = directory or BENCH_RESULTS_DIR
@@ -206,13 +212,20 @@ def _zero_cost_target(_worker_id: int = 0):
     return target
 
 
+#: Small-object profile: tiny payloads where the PDU header, not the
+#: data, dominates bytes on the wire — the regime wire v2 targets.
+SMALL_PAYLOAD_MIX = (64, 128, 256)
+
+
 def run_net_service_sweep(
     clients: Sequence[int] = (1, 2, 4, 8),
     requests_per_client: int = 150,
     payload_bytes: int = 4096,
+    payload_mix: Optional[Sequence[int]] = None,
     write_fraction: float = 0.35,
     seed: int = 1234,
     workers: int = 1,
+    wire_version: Optional[int] = None,
 ) -> NetServiceSweep:
     """Run the closed-loop load generator against a live localhost server.
 
@@ -225,6 +238,10 @@ def run_net_service_sweep(
     of forked processes (one target shard each). Load generator clients each
     hold a single connection, so placement is connection-affine and every
     client reads its own writes regardless of which shard it lands on.
+
+    ``payload_mix`` switches writes to a seeded multi-size mix (see
+    :func:`~repro.net.loadgen.run_load`); ``wire_version`` pins clients to
+    wire v1 or v2 (None = client default, v2).
     """
     import asyncio
 
@@ -237,37 +254,32 @@ def run_net_service_sweep(
         payload_bytes=payload_bytes,
         requests_per_client=requests_per_client,
         workers=workers,
+        wire_version=wire_version,
     )
 
-    async def _measure_single(count: int):
-        async with OsdServer(_zero_cost_target()) as server:
-            return await run_load(
-                "127.0.0.1",
-                server.port,
-                clients=count,
-                requests_per_client=requests_per_client,
-                payload_bytes=payload_bytes,
-                write_fraction=write_fraction,
-                seed=seed,
-            )
-
-    async def _drive_pool(port: int, count: int):
+    async def _drive(port: int, count: int):
         return await run_load(
             "127.0.0.1",
             port,
             clients=count,
             requests_per_client=requests_per_client,
             payload_bytes=payload_bytes,
+            payload_mix=payload_mix,
             write_fraction=write_fraction,
             seed=seed,
+            wire_version=wire_version,
         )
+
+    async def _measure_single(count: int):
+        async with OsdServer(_zero_cost_target()) as server:
+            return await _drive(server.port, count)
 
     for count in sweep.clients:
         if workers > 1:
             # Fork the pool before entering asyncio: the workers each run
             # their own fresh event loop.
             with WorkerPool(_zero_cost_target, workers) as pool:
-                report = asyncio.run(_drive_pool(pool.port, count))
+                report = asyncio.run(_drive(pool.port, count))
         else:
             report = asyncio.run(_measure_single(count))
         sweep.ops_per_sec.append(report.ops_per_sec)
@@ -312,14 +324,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=1,
         help="OSD worker processes serving the port (--net mode; default 1)",
     )
+    parser.add_argument(
+        "--wire-version",
+        type=int,
+        choices=(1, 2),
+        default=None,
+        help="pin clients to wire v1 or v2 (--net mode; default: client default, v2)",
+    )
+    parser.add_argument(
+        "--small",
+        action="store_true",
+        help="small-object profile: tiny payload mix (64/128/256 B) (--net mode)",
+    )
     args = parser.parse_args(argv)
     counts = [int(token) for token in args.clients.split(",") if token]
     if args.net:
         sweep = run_net_service_sweep(
             clients=counts,
             requests_per_client=args.requests,
-            payload_bytes=args.payload_bytes,
+            payload_bytes=min(SMALL_PAYLOAD_MIX) if args.small else args.payload_bytes,
+            payload_mix=SMALL_PAYLOAD_MIX if args.small else None,
             workers=args.workers,
+            wire_version=args.wire_version,
         )
         print(sweep.format())
         path = sweep.write_bench_json()

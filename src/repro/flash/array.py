@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.erasure.rs import RSCodec
@@ -52,6 +53,18 @@ __all__ = [
 ]
 
 ObjectKey = Hashable
+
+
+@lru_cache(maxsize=1024)
+def _scheme_geometry(scheme: RedundancyScheme, width: int) -> Tuple[int, bool]:
+    """Validated per-(scheme, width) stripe geometry for the write path.
+
+    Schemes are frozen policy values, so the validation + geometry
+    arithmetic is a pure function of ``(scheme, width)`` — cached here so
+    the per-write cost is one dict probe instead of re-deriving it.
+    """
+    scheme.validate(width)
+    return scheme.data_chunks_per_stripe(width), isinstance(scheme, ReplicationScheme)
 
 
 class ObjectHealth(enum.Enum):
@@ -219,9 +232,8 @@ class _IoBatch:
         self._service[device.device_id] += seconds
         self._sample(device).seconds += seconds
 
-    def finish(self, devices: Sequence[FlashDevice]) -> ArrayIoResult:
+    def finish(self, by_id: Dict[int, FlashDevice]) -> ArrayIoResult:
         elapsed = 0.0
-        by_id = {device.device_id: device for device in devices}
         for device_id, service in self._service.items():
             completion = self._wait[device_id] + service
             elapsed = max(elapsed, completion)
@@ -252,6 +264,12 @@ class FlashArray:
             FlashDevice(device_id=i, capacity_bytes=device_capacity, model=model)
             for i in range(num_devices)
         ]
+        #: Zero-cost billing fast path: device membership is fixed for the
+        #: array's lifetime (``fail``/``replace`` mutate devices in place),
+        #: so the id→device map is built once instead of per operation.
+        self._devices_by_id: Dict[int, FlashDevice] = {
+            device.device_id: device for device in self.devices
+        }
         self._objects: Dict[ObjectKey, ObjectExtent] = {}
         self._next_stripe_id = 0
         self._codecs: Dict[Tuple[int, int], RSCodec] = {}
@@ -386,14 +404,12 @@ class FlashArray:
             raise ObjectExistsError(f"object {key!r} already stored")
         online = self.online_devices
         width = len(online)
-        scheme.validate(width)
+        data_per_stripe, is_replication = _scheme_geometry(scheme, width)
         device_ids = [device.device_id for device in online]
-        by_id = {device.device_id: device for device in self.devices}
+        by_id = self._devices_by_id
 
         extent = ObjectExtent(key=key, size=len(payload), scheme=scheme)
         batch = _IoBatch(self.clock.now, op="write")
-        is_replication = isinstance(scheme, ReplicationScheme)
-        data_per_stripe = scheme.data_chunks_per_stripe(width)
         offset = 0
         try:
             for stripe_payload, chunk_length in split_payload(
@@ -465,7 +481,7 @@ class FlashArray:
 
     def _discard_chunks(self, extent: ObjectExtent) -> None:
         """Remove an extent's chunks from whichever live devices hold them."""
-        by_id = {device.device_id: device for device in self.devices}
+        by_id = self._devices_by_id
         for stripe in extent.stripes:
             for chunk in stripe.chunks:
                 device = by_id[chunk.device_id]
@@ -496,7 +512,7 @@ class FlashArray:
         """
         extent = self.get_extent(key)
         batch = _IoBatch(self.clock.now, op="read")
-        by_id = {device.device_id: device for device in self.devices}
+        by_id = self._devices_by_id
         pieces: List[bytes] = []
         for stripe in extent.stripes:
             pieces.append(self._read_stripe(stripe, batch, by_id))
@@ -624,7 +640,7 @@ class FlashArray:
             )
         if not data:
             return ArrayIoResult()
-        by_id = {device.device_id: device for device in self.devices}
+        by_id = self._devices_by_id
         batch = _IoBatch(self.clock.now, op="update")
         position = 0
         for stripe in extent.stripes:
@@ -719,7 +735,7 @@ class FlashArray:
     def delete_object(self, key: ObjectKey) -> ArrayIoResult:
         """Remove an object's chunks (from online devices) and metadata."""
         extent = self.get_extent(key)
-        by_id = {device.device_id: device for device in self.devices}
+        by_id = self._devices_by_id
         for stripe in extent.stripes:
             for chunk in stripe.chunks:
                 device = by_id[chunk.device_id]
@@ -750,7 +766,7 @@ class FlashArray:
     def object_health(self, key: ObjectKey) -> ObjectHealth:
         """Classify an object as healthy, degraded-but-recoverable, or lost."""
         extent = self.get_extent(key)
-        by_id = {device.device_id: device for device in self.devices}
+        by_id = self._devices_by_id
         health = ObjectHealth.HEALTHY
         for stripe in extent.stripes:
             present = [
@@ -781,7 +797,7 @@ class FlashArray:
         a lost object is purged, not rebuilt).
         """
         extent = self.get_extent(key)
-        by_id = {device.device_id: device for device in self.devices}
+        by_id = self._devices_by_id
         missing: List[ChunkLocation] = []
         health = ObjectHealth.HEALTHY
         for stripe in extent.stripes:
@@ -808,7 +824,7 @@ class FlashArray:
     def missing_chunks(self, key: ObjectKey) -> List[ChunkLocation]:
         """Chunks of this object absent from their (online) home device."""
         extent = self.get_extent(key)
-        by_id = {device.device_id: device for device in self.devices}
+        by_id = self._devices_by_id
         return [
             chunk
             for stripe in extent.stripes
@@ -826,7 +842,7 @@ class FlashArray:
             UnrecoverableDataError: a stripe cannot be decoded.
         """
         extent = self.get_extent(key)
-        by_id = {device.device_id: device for device in self.devices}
+        by_id = self._devices_by_id
         batch = _IoBatch(self.clock.now, op="rebuild")
         for stripe in extent.stripes:
             available: Dict[int, ChunkLocation] = {}
@@ -899,7 +915,7 @@ class FlashArray:
         idle gaps instead of monopolizing the array.
         """
         report = ScrubReport()
-        by_id = {device.device_id: device for device in self.devices}
+        by_id = self._devices_by_id
         batch = _IoBatch(self.clock.now, op="scrub")
         if keys is None:
             targets = list(self._objects.items())

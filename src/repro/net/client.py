@@ -25,8 +25,16 @@ Reliability model:
   per-connection :class:`~repro.net.flush.StreamFlusher` as un-copied
   ``[frame prefix, header, payload]`` segments, so pipelined commands
   issued in the same event-loop tick share one ``writelines`` and one
-  ``drain``; responses are pulled in large chunks through the zero-copy
-  :class:`~repro.osd.transport.FrameDecoder`.
+  ``drain``; responses land straight in the zero-copy
+  :class:`~repro.osd.transport.FrameDecoder` via the
+  :class:`asyncio.BufferedProtocol` receive path (no StreamReader
+  double-buffer, no reader task).
+- **Wire version** — requests are encoded at ``wire_version``
+  (:data:`~repro.osd.wire.WIRE_V2` binary headers by default; pass
+  ``wire_version=wire.WIRE_V1`` to speak JSON headers to an old server).
+  The first PDU on each connection advertises the version; responses are
+  auto-detected per PDU, so either way the client interoperates with
+  servers of both generations.
 """
 
 from __future__ import annotations
@@ -90,52 +98,85 @@ class ClientStats:
     deadline_exhausted: int = 0
 
 
-class _Connection:
-    """One pooled socket with a pipelined in-flight table."""
+class _Connection(asyncio.BufferedProtocol):
+    """One pooled socket with a pipelined in-flight table.
 
-    def __init__(
-        self,
-        reader: asyncio.StreamReader,
-        writer: asyncio.StreamWriter,
-        max_pdu_bytes: int,
-    ) -> None:
-        self.reader = reader
-        self.writer = writer
+    A :class:`asyncio.BufferedProtocol`: the transport ``recv_into``\\ s
+    straight into the frame decoder's buffer, and responses resolve their
+    pending futures synchronously in ``buffer_updated`` — no reader task,
+    no per-chunk copy. Transport back-pressure parks the flusher's
+    standby drain via ``pause_writing``/``resume_writing``.
+    """
+
+    def __init__(self, max_pdu_bytes: int, wire_version: int) -> None:
         self.max_pdu_bytes = max_pdu_bytes
+        self.wire_version = wire_version
+        self.decoder = FrameDecoder(max_pdu_bytes)
         self.pending: Dict[int, asyncio.Future] = {}
         self.closed = False
-        self.flusher = StreamFlusher(writer, on_error=self._fail_pending)
-        self.reader_task = asyncio.ensure_future(self._read_loop())
+        self.transport: Optional[asyncio.Transport] = None
+        self.flusher: Optional[StreamFlusher] = None
+        self._lost = asyncio.Event()
 
-    async def _read_loop(self) -> None:
-        decoder = FrameDecoder(self.max_pdu_bytes)
+    # ------------------------------------------------------------------
+    # asyncio.BufferedProtocol interface
+    # ------------------------------------------------------------------
+    def connection_made(self, transport: asyncio.BaseTransport) -> None:
+        assert isinstance(transport, asyncio.Transport)
+        sock = transport.get_extra_info("socket")
+        if sock is not None:
+            # Request/response traffic: never sit in Nagle's buffer.
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.transport = transport
+        self.flusher = StreamFlusher(transport, on_error=self._fail_pending)
+
+    def get_buffer(self, sizehint: int) -> memoryview:
+        return self.decoder.get_buffer(max(sizehint, RECV_CHUNK_BYTES))
+
+    def buffer_updated(self, nbytes: int) -> None:
+        self.decoder.buffer_updated(nbytes)
         try:
-            while True:
-                chunk = await self.reader.read(RECV_CHUNK_BYTES)
-                if not chunk:
-                    raise ConnectionResetError("server closed the connection")
-                decoder.feed(chunk)
-                for pdu in decoder.frames():
-                    seq, response = wire.decode_response_pdu(pdu)
-                    future = self.pending.pop(seq, None) if seq is not None else None
-                    if future is not None and not future.done():
-                        future.set_result(response)
-                    # else: a response we stopped waiting for (late after a
-                    # timeout) or an unsolicited error reply — drop it.
-        except (asyncio.IncompleteReadError, ConnectionError, OSError, WireError):
+            for pdu in self.decoder.frames():
+                seq, response = wire.decode_response_pdu(pdu)
+                future = self.pending.pop(seq, None) if seq is not None else None
+                if future is not None and not future.done():
+                    future.set_result(response)
+                # else: a response we stopped waiting for (late after a
+                # timeout) or an unsolicited error reply — drop it.
+        except WireError:
             self._fail_pending()
 
+    def eof_received(self) -> bool:
+        self._fail_pending()
+        return False
+
+    def connection_lost(self, exc: Optional[BaseException]) -> None:
+        self._fail_pending()
+        self._lost.set()
+
+    def pause_writing(self) -> None:
+        if self.flusher is not None:
+            self.flusher.pause_writing()
+
+    def resume_writing(self) -> None:
+        if self.flusher is not None:
+            self.flusher.resume_writing()
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
     def _fail_pending(self) -> None:
         self.closed = True
-        self.flusher.abort()
+        if self.flusher is not None:
+            self.flusher.abort()
         for future in self.pending.values():
             if not future.done():
                 future.set_exception(
                     _ConnectionLostError("connection lost with requests in flight")
                 )
         self.pending.clear()
-        if not self.writer.is_closing():
-            self.writer.close()
+        if self.transport is not None and not self.transport.is_closing():
+            self.transport.close()
 
     async def request(
         self,
@@ -144,12 +185,14 @@ class _Connection:
         retry: int,
         timeout: Optional[float] = None,
     ) -> OsdResponse:
-        if self.closed or self.writer.is_closing():
+        if self.closed or self.transport is None or self.transport.is_closing():
             raise _ConnectionLostError("connection already closed")
         # Encode before registering: a WireError (e.g. oversized PDU) must
         # surface to the caller, not strand a pending future.
         parts = frame_parts(
-            wire.encode_command_parts(command, seq=seq, retry=retry),
+            wire.encode_command_parts(
+                command, seq=seq, retry=retry, version=self.wire_version
+            ),
             max_bytes=self.max_pdu_bytes,
         )
         loop = asyncio.get_running_loop()
@@ -181,20 +224,14 @@ class _Connection:
 
     async def close(self) -> None:
         self.closed = True
-        self.reader_task.cancel()
-        await self.flusher.aclose()
-        try:
-            await self.reader_task
-        except (asyncio.CancelledError, OsdError, ConnectionError, OSError):
-            # Cancellation is the normal path; the reader may also have
-            # already died on stream corruption or a dropped connection.
-            pass
-        if not self.writer.is_closing():
-            self.writer.close()
-        try:
-            await self.writer.wait_closed()
-        except (ConnectionError, OSError):
-            pass
+        if self.flusher is not None:
+            await self.flusher.aclose()
+        if self.transport is not None:
+            if not self.transport.is_closing():
+                self.transport.close()
+            # The transport flushes its write buffer before the FIN;
+            # connection_lost marks the lost event once it is truly down.
+            await self._lost.wait()
 
 
 class AsyncOsdClient:
@@ -209,15 +246,19 @@ class AsyncOsdClient:
         timeout: float = 2.0,
         retry: Optional[RetryPolicy] = None,
         max_pdu_bytes: int = wire.MAX_PDU_BYTES,
+        wire_version: int = wire.WIRE_V2,
     ) -> None:
         if pool_size < 1:
             raise ValueError("pool_size must be >= 1")
+        if wire_version not in (wire.WIRE_V1, wire.WIRE_V2):
+            raise ValueError(f"unsupported wire version {wire_version!r}")
         self.host = host
         self.port = port
         self.pool_size = pool_size
         self.timeout = timeout
         self.retry = retry or RetryPolicy()
         self.max_pdu_bytes = max_pdu_bytes
+        self.wire_version = wire_version
         self.stats = ClientStats()
         self._pool: List[Optional[_Connection]] = [None] * pool_size
         self._dispatch = itertools.count()
@@ -234,12 +275,12 @@ class AsyncOsdClient:
     async def _connection(self, slot: int) -> _Connection:
         conn = self._pool[slot]
         if conn is None or conn.closed:
-            reader, writer = await asyncio.open_connection(self.host, self.port)
-            sock = writer.get_extra_info("socket")
-            if sock is not None:
-                # Request/response traffic: never sit in Nagle's buffer.
-                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            conn = _Connection(reader, writer, self.max_pdu_bytes)
+            loop = asyncio.get_running_loop()
+            _transport, conn = await loop.create_connection(
+                lambda: _Connection(self.max_pdu_bytes, self.wire_version),
+                self.host,
+                self.port,
+            )
             self._pool[slot] = conn
         return conn
 

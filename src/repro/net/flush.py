@@ -21,6 +21,17 @@ Memory stays bounded by a high-water mark: once the outbox exceeds it,
 ``send`` pushes the buffered segments into the transport immediately
 (still without draining per send), so backpressure is delegated to the
 transport's own write buffer and the standby drain task.
+
+The flusher accepts two kinds of sink. A :class:`asyncio.StreamWriter`
+(anything with a ``drain`` coroutine) is *writer mode*, where the standby
+task awaits ``writer.drain()``. A bare :class:`asyncio.Transport`
+(``Protocol`` port) is *transport mode*: there is no ``drain()``
+coroutine in the protocol world — the transport signals back-pressure by
+calling ``pause_writing``/``resume_writing`` on its protocol, and the
+owning protocol forwards those to :meth:`pause_writing`/
+:meth:`resume_writing` here. The standby drain task then awaits the
+resume event instead of ``drain()``: same semantics (block until the
+write buffer empties below the low-water mark), no stream wrapper.
 """
 
 from __future__ import annotations
@@ -40,7 +51,9 @@ class StreamFlusher:
     """Coalesces many outbound frames into one ``writelines`` + ``drain``.
 
     Args:
-        writer: the connection's :class:`asyncio.StreamWriter`.
+        writer: the connection's :class:`asyncio.StreamWriter`, or a bare
+            :class:`asyncio.Transport` (transport mode — anything without
+            a ``drain`` coroutine).
         high_water_bytes: outbox size that triggers an early (undrained)
             push into the transport; also the transport write-buffer size
             past which the standby drain task is woken.
@@ -51,13 +64,16 @@ class StreamFlusher:
 
     def __init__(
         self,
-        writer: asyncio.StreamWriter,
+        writer,
         *,
         high_water_bytes: int = DEFAULT_HIGH_WATER_BYTES,
         on_error: Optional[Callable[[], None]] = None,
         on_flush: Optional[Callable[[], None]] = None,
     ) -> None:
         self.writer = writer
+        #: Writer mode awaits ``writer.drain()``; transport mode awaits
+        #: the ``resume_writing`` signal forwarded by the owning protocol.
+        self._writer_mode = hasattr(writer, "drain")
         self.high_water_bytes = high_water_bytes
         self.on_error = on_error
         self.on_flush = on_flush
@@ -70,12 +86,33 @@ class StreamFlusher:
         self._flush_scheduled = False
         self._loop = asyncio.get_event_loop()
         self._wakeup = asyncio.Event()
+        self._resumed = asyncio.Event()
+        self._resumed.set()
         self._closed = False
         self._task = asyncio.ensure_future(self._run())
 
     @property
     def closed(self) -> bool:
         return self._closed
+
+    @property
+    def paused(self) -> bool:
+        """True while the transport holds the connection in back-pressure."""
+        return not self._resumed.is_set()
+
+    def pause_writing(self) -> None:
+        """Transport mode: the write buffer crossed its high-water mark.
+
+        Forwarded by the owning protocol's ``pause_writing``. Wakes the
+        standby drain task, which parks on the resume event — the
+        protocol-world equivalent of an in-flight ``drain()``.
+        """
+        self._resumed.clear()
+        self._wakeup.set()
+
+    def resume_writing(self) -> None:
+        """Transport mode: the write buffer emptied below low-water."""
+        self._resumed.set()
 
     def send(self, parts: Sequence[Buffer]) -> None:
         """Enqueue one framed PDU (as segments) for the next batch."""
@@ -117,10 +154,17 @@ class StreamFlusher:
             self._wakeup.set()
 
     def _write_buffer_size(self) -> int:
-        transport = self.writer.transport
+        transport = self.writer.transport if self._writer_mode else self.writer
         if transport is None:
             return 0
         return transport.get_write_buffer_size()
+
+    async def _drain(self) -> None:
+        """One back-pressure wait, in whichever dialect the sink speaks."""
+        if self._writer_mode:
+            await self.writer.drain()  # repro: allow[async-blocking]
+        else:
+            await self._resumed.wait()
 
     async def _run(self) -> None:
         """Standby drain task: applies back-pressure only when asked."""
@@ -132,7 +176,7 @@ class StreamFlusher:
                     break
                 # The sanctioned drain: one per pressured batch, covering
                 # every send since the transport last emptied.
-                await self.writer.drain()  # repro: allow[async-blocking]
+                await self._drain()
         except asyncio.CancelledError:
             raise
         except (ConnectionError, OSError):
@@ -145,6 +189,9 @@ class StreamFlusher:
         if not self._closed:
             self._closed = True
             self._push()
+        # Unblock any transport-mode drain waiter: a closed transport
+        # flushes (or drops) its own buffer; nobody resumes a dead one.
+        self._resumed.set()
         self._task.cancel()
 
     async def aclose(self) -> None:
@@ -158,6 +205,6 @@ class StreamFlusher:
             return
         if not self.writer.is_closing():
             try:
-                await self.writer.drain()  # repro: allow[async-blocking]
+                await self._drain()
             except (ConnectionError, OSError):
                 pass

@@ -17,7 +17,7 @@ import functools
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Sequence
 
 from repro.net.client import AsyncOsdClient, OsdServiceError
 from repro.net.retry import RetryPolicy
@@ -88,13 +88,13 @@ async def _client_seed(
     client_id: int,
     client: AsyncOsdClient,
     objects: List[ObjectId],
-    payload_bytes: int,
+    sizes: List[int],
 ) -> None:
     """Warmup: connect and write every object once (outside the timed window)."""
     await client.connect()
     for index, object_id in enumerate(objects):
         await client.write(
-            object_id, payload_for(client_id, index, 0, payload_bytes), class_id=3
+            object_id, payload_for(client_id, index, 0, sizes[index]), class_id=3
         )
 
 
@@ -105,7 +105,8 @@ async def _client_loop(
     report: LoadReport,
     *,
     requests: int,
-    payload_bytes: int,
+    sizes: List[int],
+    size_mix: Optional[Sequence[int]],
     write_fraction: float,
     seed: int,
 ) -> None:
@@ -119,8 +120,10 @@ async def _client_loop(
         try:
             if is_write:
                 versions[index] += 1
+                if size_mix is not None:
+                    sizes[index] = size_mix[rng.randrange(len(size_mix))]
                 payload = payload_for(
-                    client_id, index, versions[index], payload_bytes
+                    client_id, index, versions[index], sizes[index]
                 )
                 response = await client.write(object_id, payload, class_id=3)
                 ok = response.ok
@@ -128,7 +131,7 @@ async def _client_loop(
                 payload, response = await client.read(object_id)
                 ok = response.ok
                 expected = payload_for(
-                    client_id, index, versions[index], payload_bytes
+                    client_id, index, versions[index], sizes[index]
                 )
                 if ok and payload != expected:
                     report.corrupted += 1
@@ -138,7 +141,7 @@ async def _client_loop(
         report.ops += 1
         report.latencies.append(elapsed)
         if ok:
-            report.payload_bytes_moved += payload_bytes
+            report.payload_bytes_moved += sizes[index]
         else:
             report.errors += 1
     report.retries += client.stats.retries
@@ -153,11 +156,13 @@ async def run_load(
     clients: int = 8,
     requests_per_client: int = 100,
     payload_bytes: int = 4096,
+    payload_mix: Optional[Sequence[int]] = None,
     write_fraction: float = 0.35,
     seed: int = 1234,
     timeout: float = 2.0,
     retry: Optional[RetryPolicy] = None,
     client_factory: Optional[ClientFactory] = None,
+    wire_version: Optional[int] = None,
 ) -> LoadReport:
     """Drive the server with ``clients`` concurrent closed-loop clients.
 
@@ -165,10 +170,20 @@ async def run_load(
     timed window opens, so the reported rates measure steady-state service,
     not connect/warmup cost.
 
+    ``payload_mix`` switches to a multi-size workload: every write draws
+    its size from the mix (seeded, per client), and read verification
+    checks the last written size per object — the small-object profile
+    uses this with tiny (≤256 B) sizes, where header bytes dominate.
+    ``payload_bytes`` then only seeds the warmup objects.
+
+    ``wire_version`` pins the clients to a wire format
+    (:data:`~repro.osd.wire.WIRE_V1` / :data:`~repro.osd.wire.WIRE_V2`);
+    ``None`` keeps the client default (v2).
+
     ``client_factory`` (client id → client) substitutes any
     ``AsyncOsdClient``-shaped object — e.g. a cluster ``RouterClient`` —
     for the default single-server client; ``host``/``port`` are then
-    ignored.
+    ignored (as is ``wire_version`` — the factory owns client setup).
     """
     report = LoadReport(
         clients=clients,
@@ -177,8 +192,11 @@ async def run_load(
     )
     retry = retry or RetryPolicy(seed=seed)
     if client_factory is None:
+        client_kwargs = {} if wire_version is None else {"wire_version": wire_version}
         pool = [
-            AsyncOsdClient(host, port, pool_size=1, timeout=timeout, retry=retry)
+            AsyncOsdClient(
+                host, port, pool_size=1, timeout=timeout, retry=retry, **client_kwargs
+            )
             for _ in range(clients)
         ]
     else:
@@ -193,9 +211,14 @@ async def run_load(
         ]
         for client_id in range(clients)
     ]
+    #: Last-written size per (client, object) — the verification oracle's
+    #: size component when the mix varies payloads per write.
+    size_sets = [[payload_bytes] * OBJECTS_PER_CLIENT for _ in range(clients)]
     try:
         await asyncio.gather(*(
-            _client_seed(client_id, pool[client_id], object_sets[client_id], payload_bytes)
+            _client_seed(
+                client_id, pool[client_id], object_sets[client_id], size_sets[client_id]
+            )
             for client_id in range(clients)
         ))
         started = time.perf_counter()
@@ -206,7 +229,8 @@ async def run_load(
                 object_sets[client_id],
                 report,
                 requests=requests_per_client,
-                payload_bytes=payload_bytes,
+                sizes=size_sets[client_id],
+                size_mix=payload_mix,
                 write_fraction=write_fraction,
                 seed=seed,
             )

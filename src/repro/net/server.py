@@ -36,6 +36,18 @@ as ``[frame prefix, header, payload]`` segments and shipped with one
 ``writelines`` + one ``drain`` per event-loop tick instead of one drain per
 command. ``--workers N`` (see :mod:`repro.net.cluster`) scales past the
 GIL with one target shard per worker process.
+
+Protocol port (wire v2 PR): each connection is an
+:class:`asyncio.BufferedProtocol` — the socket ``recv_into``\\ s straight
+into the :class:`~repro.osd.transport.FrameDecoder`'s buffer (no
+StreamReader double-buffer, no reader-task wakeup per chunk) and frames
+are served synchronously from ``buffer_updated``. Back-pressure is
+symmetric: the connection's in-flight bound and the transport's
+``pause_writing`` both gate ``pause_reading``/``resume_reading``, and the
+flusher's standby drain parks on the transport's resume signal. The
+server also negotiates the wire format per connection: it starts in v1
+(JSON headers) and sticks to v2 binary headers from the first v2 command
+it decodes, so v1 and v2 clients share one port.
 """
 
 from __future__ import annotations
@@ -43,7 +55,8 @@ from __future__ import annotations
 import asyncio
 import socket
 import time
-from typing import Awaitable, Callable, Optional, Set
+from collections import deque
+from typing import Awaitable, Callable, Deque, Optional, Set, Tuple
 
 from repro.errors import ControlMessageError, OsdError, WireError
 from repro.net.flush import StreamFlusher
@@ -58,7 +71,8 @@ from repro.osd.types import CONTROL_OBJECT, SERVICE_STATS_OBJECT, ObjectId
 
 __all__ = ["ControlReadProvider", "FaultHook", "OsdServer", "RECV_CHUNK_BYTES"]
 
-#: Read-side chunk size: one ``await`` can pull many pipelined frames.
+#: Read-side chunk size: the floor on the writable buffer tail handed to
+#: the transport, so one ``recv_into`` can land many pipelined frames.
 RECV_CHUNK_BYTES = 256 * 1024
 
 #: Test/chaos hook called after a command executes, before its response is
@@ -79,28 +93,166 @@ FaultHook = Callable[[OsdCommand, Optional[int]], Awaitable[Optional[str]]]
 ControlReadProvider = Callable[[], bytes]
 
 
-class _Connection:
-    """Server-side state for one client socket."""
+class _Connection(asyncio.BufferedProtocol):
+    """Server-side protocol for one client socket.
 
-    def __init__(
-        self,
-        reader: asyncio.StreamReader,
-        writer: asyncio.StreamWriter,
-        max_in_flight: int,
-        on_flush: Optional[Callable[[], None]] = None,
-    ) -> None:
-        self.reader = reader
-        self.writer = writer
-        self.semaphore = asyncio.Semaphore(max_in_flight)
+    The transport fills the frame decoder's buffer directly
+    (``get_buffer``/``buffer_updated``); complete frames are decoded and
+    served synchronously in the same callback. Commands that need the
+    fault-hook task path are admitted through a backlog bounded by the
+    server's per-connection in-flight limit — while the backlog is
+    non-empty (or the transport reports write pressure) the socket is
+    paused, which is the protocol-world version of the old
+    "stop reading while the semaphore is full" back-pressure.
+    """
+
+    def __init__(self, server: "OsdServer") -> None:
+        self.server = server
+        self.transport: Optional[asyncio.Transport] = None
+        self.decoder = FrameDecoder(server.max_pdu_bytes)
         self.tasks: Set[asyncio.Task] = set()
         self.dropped = False
-        self.flusher = StreamFlusher(writer, on_error=self.drop, on_flush=on_flush)
+        #: Negotiated wire format: starts v1, sticky-upgrades to the
+        #: highest version seen on a decoded command PDU.
+        self.wire_version = wire.WIRE_V1
+        self.flusher: Optional[StreamFlusher] = None
+        #: Decoded-but-unserved commands beyond the in-flight bound.
+        self._backlog: Deque[Tuple[Optional[int], OsdCommand]] = deque()
+        self._in_flight = 0
+        self._reading_paused = False
+        self._write_paused = False
+        self._eof_drain: Optional[asyncio.Task] = None
 
+    # ------------------------------------------------------------------
+    # asyncio.BufferedProtocol interface
+    # ------------------------------------------------------------------
+    def connection_made(self, transport: asyncio.BaseTransport) -> None:
+        assert isinstance(transport, asyncio.Transport)
+        sock = transport.get_extra_info("socket")
+        if sock is not None:
+            # Response traffic is latency-sensitive: never sit in Nagle's
+            # buffer waiting for an ACK.
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.transport = transport
+        self.flusher = StreamFlusher(
+            transport, on_error=self.drop, on_flush=self.server._count_flush
+        )
+        self.server._register(self)
+
+    def get_buffer(self, sizehint: int) -> memoryview:
+        return self.decoder.get_buffer(max(sizehint, RECV_CHUNK_BYTES))
+
+    def buffer_updated(self, nbytes: int) -> None:
+        self.decoder.buffer_updated(nbytes)
+        if self.dropped or self.server._draining:
+            return
+        try:
+            for frame in self.decoder.frames():
+                self.server._accept_frame(self, frame)
+                if self.dropped or self.server._draining:
+                    return
+        except WireError:
+            # Oversized/poisoned frame: the stream cannot be resynced.
+            self.server.stats.wire_errors += 1
+            self.drop()
+
+    def eof_received(self) -> Optional[bool]:
+        # Connection-level EOF: finish what was already accepted, then
+        # close from our side (True keeps the transport open for writes).
+        if self.tasks or self._backlog:
+            self._eof_drain = asyncio.ensure_future(self._drain_then_close())
+            return True
+        self.drop()
+        return False
+
+    def connection_lost(self, exc: Optional[BaseException]) -> None:
+        self.dropped = True
+        self._backlog.clear()
+        if self._eof_drain is not None:
+            self._eof_drain.cancel()
+        for task in self.tasks:
+            task.cancel()
+        if self.flusher is not None:
+            self.flusher.abort()
+        self.server._unregister(self)
+
+    def pause_writing(self) -> None:
+        # The transport's write buffer crossed its high-water mark: park
+        # the flusher's standby drain and stop accepting bytes whose
+        # responses would pile onto an already-pressured buffer.
+        self._write_paused = True
+        if self.flusher is not None:
+            self.flusher.pause_writing()
+        self._update_read_gate()
+
+    def resume_writing(self) -> None:
+        self._write_paused = False
+        if self.flusher is not None:
+            self.flusher.resume_writing()
+        self._update_read_gate()
+
+    # ------------------------------------------------------------------
+    # Serving support
+    # ------------------------------------------------------------------
     def send(self, response: OsdResponse, seq: Optional[int]) -> None:
         """Enqueue one response for the connection's next coalesced flush."""
-        if self.dropped or self.writer.is_closing():
+        if self.dropped or self.flusher is None:
             return
-        self.flusher.send(frame_parts(wire.encode_response_parts(response, seq=seq)))
+        self.flusher.send(
+            frame_parts(
+                wire.encode_response_parts(
+                    response, seq=seq, version=self.wire_version
+                )
+            )
+        )
+
+    def enqueue(self, seq: Optional[int], command: OsdCommand) -> None:
+        """Admit one command to the fault-hook task path."""
+        self._backlog.append((seq, command))
+        self._pump()
+
+    def _pump(self) -> None:
+        while self._backlog and self._in_flight < self.server.max_in_flight:
+            seq, command = self._backlog.popleft()
+            self._in_flight += 1
+            task = asyncio.ensure_future(
+                self.server._serve_command(self, seq, command)
+            )
+            self.tasks.add(task)
+            task.add_done_callback(self._task_done)
+        self._update_read_gate()
+
+    def _task_done(self, task: asyncio.Task) -> None:
+        self.tasks.discard(task)
+        self._in_flight -= 1
+        if not self.dropped:
+            self._pump()
+
+    def _update_read_gate(self) -> None:
+        """Pause the socket while back-pressured, resume when clear."""
+        want_pause = self._write_paused or bool(self._backlog)
+        if self.transport is None or self.transport.is_closing():
+            return
+        if want_pause and not self._reading_paused:
+            self.transport.pause_reading()
+            self._reading_paused = True
+        elif not want_pause and self._reading_paused and not self.dropped:
+            self.transport.resume_reading()
+            self._reading_paused = False
+
+    async def _drain_then_close(self) -> None:
+        """Post-EOF drain: serve accepted commands, then close the socket."""
+        deadline = asyncio.get_running_loop().time() + self.server.drain_timeout
+        while self.tasks or self._backlog:
+            pending = set(self.tasks)
+            remaining = deadline - asyncio.get_running_loop().time()
+            if remaining <= 0:
+                break
+            if pending:
+                await asyncio.wait(pending, timeout=remaining)
+            else:
+                await asyncio.sleep(0)
+        self.drop()
 
     def drop(self) -> None:
         """Sever the connection immediately (fault injection / fatal error).
@@ -110,9 +262,11 @@ class _Connection:
         drained-then-dropped connection still delivers its replies.
         """
         self.dropped = True
-        self.flusher.abort()
-        if not self.writer.is_closing():
-            self.writer.close()
+        self._backlog.clear()
+        if self.flusher is not None:
+            self.flusher.abort()
+        if self.transport is not None and not self.transport.is_closing():
+            self.transport.close()
 
 
 class OsdServer:
@@ -184,14 +338,16 @@ class OsdServer:
     # ------------------------------------------------------------------
     async def start(self) -> None:
         """Bind and start accepting; resolves the actual port for port 0."""
+        loop = asyncio.get_running_loop()
+        factory = lambda: _Connection(self)  # noqa: E731
         if self.sock is not None:
-            self._server = await asyncio.start_server(self._handle, sock=self.sock)
+            self._server = await loop.create_server(factory, sock=self.sock)
         elif self.reuse_port:
-            self._server = await asyncio.start_server(
-                self._handle, self.host, self.port, reuse_port=True
+            self._server = await loop.create_server(
+                factory, self.host, self.port, reuse_port=True
             )
         else:
-            self._server = await asyncio.start_server(self._handle, self.host, self.port)
+            self._server = await loop.create_server(factory, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
 
     async def shutdown(self) -> None:
@@ -200,13 +356,18 @@ class OsdServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        pending = [task for conn in self._connections for task in conn.tasks]
-        if pending:
-            await asyncio.wait(pending, timeout=self.drain_timeout)
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.drain_timeout
+        while True:
+            pending = [task for conn in self._connections for task in conn.tasks]
+            remaining = deadline - loop.time()
+            if not pending or remaining <= 0:
+                break
+            await asyncio.wait(pending, timeout=remaining)
         for conn in list(self._connections):
             conn.drop()
-        # Let the per-connection handlers observe the closed sockets and
-        # unregister themselves before we return.
+        # Let the transports deliver connection_lost and unregister the
+        # connections before we return.
         await asyncio.sleep(0)
 
     async def __aenter__(self) -> "OsdServer":
@@ -219,68 +380,38 @@ class OsdServer:
     # ------------------------------------------------------------------
     # Per-connection serving
     # ------------------------------------------------------------------
-    async def _handle(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        sock = writer.get_extra_info("socket")
-        if sock is not None:
-            # Response traffic is latency-sensitive: never sit in Nagle's
-            # buffer waiting for an ACK.
-            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        conn = _Connection(reader, writer, self.max_in_flight, self._count_flush)
+    def _register(self, conn: _Connection) -> None:
         self._connections.add(conn)
         self.stats.connections_total += 1
         self.stats.connections_active += 1
-        try:
-            await self._read_loop(conn)
-            # Connection-level EOF: finish what was already accepted.
-            if conn.tasks:
-                await asyncio.wait(set(conn.tasks), timeout=self.drain_timeout)
-        finally:
-            for task in conn.tasks:
-                task.cancel()
-            conn.drop()
+
+    def _unregister(self, conn: _Connection) -> None:
+        if conn in self._connections:
             self._connections.discard(conn)
             self.stats.connections_active -= 1
 
     def _count_flush(self) -> None:
         self.stats.flushes += 1
 
-    async def _read_loop(self, conn: _Connection) -> None:
-        decoder = FrameDecoder(self.max_pdu_bytes)
-        while not self._draining and not conn.dropped:
-            try:
-                chunk = await conn.reader.read(RECV_CHUNK_BYTES)
-            except (ConnectionError, OSError):
-                return  # client went away
-            if not chunk:
-                return  # EOF (a dangling partial frame is just discarded)
-            try:
-                decoder.feed(chunk)
-                for frame in decoder.frames():
-                    await self._accept_frame(conn, frame)
-                    if self._draining or conn.dropped:
-                        return
-            except WireError:
-                # Oversized/poisoned frame: the stream cannot be resynced.
-                self.stats.wire_errors += 1
-                return
+    def _accept_frame(self, conn: _Connection, frame: memoryview) -> None:
+        """Decode one framed PDU and serve it (inline or via a task).
 
-    async def _accept_frame(self, conn: _Connection, frame: memoryview) -> None:
-        """Decode one framed PDU and hand it to a serving task.
-
-        The memoryview is only valid until the caller pulls the next frame,
-        so decoding (which copies the payload out) happens before any await
-        that could interleave with the decoder.
+        Runs synchronously inside ``buffer_updated``: the memoryview is
+        only valid until the decoder's next batch, so decoding (which
+        copies the payload out) happens before anything can interleave.
         """
         try:
-            seq, retry, command = wire.decode_command_pdu(frame)
+            seq, retry, command, version = wire.decode_command_pdu(frame)
         except WireError:
             # The frame boundary held, so the stream is still good:
             # answer a structured failure and keep serving.
             self.stats.wire_errors += 1
-            conn.send(OsdResponse(SenseCode.FAIL), seq=self._salvage_seq(frame))
+            conn.send(OsdResponse(SenseCode.FAIL), seq=wire.salvage_seq(frame))
             return
+        if version > conn.wire_version:
+            # Negotiation: the first v2 command upgrades the connection;
+            # every response from here on carries the binary header.
+            conn.wire_version = version
         if retry:
             self.stats.retries_seen += 1
         if (
@@ -297,22 +428,9 @@ class OsdServer:
             # in the same coalesced flush.
             self._serve_inline(conn, seq, command)
             return
-        # Backpressure: stop reading this socket while the connection is
-        # at its in-flight bound.
-        await conn.semaphore.acquire()
-        task = asyncio.ensure_future(self._serve_command(conn, seq, command))
-        conn.tasks.add(task)
-        task.add_done_callback(conn.tasks.discard)
-
-    @staticmethod
-    def _salvage_seq(pdu: "wire.Buffer") -> Optional[int]:
-        """Best-effort sequence id of a PDU whose command failed to decode."""
-        try:
-            header, _ = wire._unpack(pdu)
-            seq = header.get("seq")
-            return int(seq) if seq is not None else None
-        except (WireError, TypeError, ValueError):
-            return None
+        # Backpressure: the connection pauses its socket while commands
+        # are backlogged beyond the in-flight bound.
+        conn.enqueue(seq, command)
 
     def _serve_inline(
         self, conn: _Connection, seq: Optional[int], command: OsdCommand
@@ -350,7 +468,6 @@ class OsdServer:
             # response enqueued this tick with one writelines + one drain.
             conn.send(response, seq=seq)
         finally:
-            conn.semaphore.release()
             self.stats.end_command(time.perf_counter() - started, ok)
 
     def _execute(self, command: OsdCommand) -> OsdResponse:

@@ -109,12 +109,34 @@ class FrameDecoder:
     previously yielded view is *released*, so stale use raises
     ``ValueError`` instead of silently reading recycled bytes. Consumers
     that need a frame beyond the current batch must ``bytes(frame)`` it.
+
+    **Protocol mode (asyncio port):** the decoder doubles as the receive
+    buffer for an :class:`asyncio.BufferedProtocol` — :meth:`get_buffer`
+    hands the transport a writable view of the internal buffer's free
+    tail and :meth:`buffer_updated` commits the received byte count, so
+    the socket ``recv_into``\\ s straight into the decoder with no
+    intermediate chunk copy at all. The buffer therefore tracks a
+    *capacity* (``len(self._buffer)``) separate from the *valid length*
+    (``self._length``): the transport keeps a view over the buffer while
+    it delivers ``buffer_updated``, and a :class:`bytearray` with
+    exported views may be mutated but never resized — so compaction (a
+    same-size move) is safe anywhere, while growth happens only in
+    :meth:`get_buffer`/:meth:`feed`, when no transport view is
+    outstanding.
     """
+
+    #: Floor on the writable tail handed to transports — the selector
+    #: loop passes ``sizehint=-1``, and tiny buffers mean tiny reads.
+    MIN_RECV_BYTES = 64 * 1024
 
     def __init__(self, max_bytes: int = wire.MAX_PDU_BYTES) -> None:
         self.max_bytes = max_bytes
         self._buffer = bytearray()
-        #: Bytes of ``_buffer`` already yielded as frames (compacted lazily).
+        #: Valid bytes at the front of ``_buffer``; the rest is spare
+        #: capacity for :meth:`get_buffer`.
+        self._length = 0
+        #: Bytes of the valid region already yielded as frames
+        #: (compacted lazily).
         self._consumed = 0
         self._exported: List[memoryview] = []
 
@@ -124,25 +146,49 @@ class FrameDecoder:
             view.release()
         self._exported.clear()
         if self._consumed:
-            del self._buffer[: self._consumed]
+            remaining = self._length - self._consumed
+            if remaining:
+                # Same-size slice move: compacts without resizing, so it
+                # is legal even mid-``buffer_updated``.
+                self._buffer[:remaining] = self._buffer[
+                    self._consumed : self._length
+                ]
+            self._length = remaining
             self._consumed = 0
 
     def feed(self, data: Buffer) -> None:
         self._reclaim()
-        self._buffer += data
+        need = self._length + len(data)
+        if need > len(self._buffer):
+            self._buffer += bytes(need - len(self._buffer))
+        self._buffer[self._length : need] = data
+        self._length = need
+
+    def get_buffer(self, sizehint: int) -> memoryview:
+        """Hand the transport a writable view of the buffer's free tail."""
+        self._reclaim()
+        want = max(sizehint, self.MIN_RECV_BYTES)
+        free = len(self._buffer) - self._length
+        if free < want:
+            self._buffer += bytes(want - free)
+        return memoryview(self._buffer)[self._length :]
+
+    def buffer_updated(self, nbytes: int) -> None:
+        """Commit ``nbytes`` the transport wrote into the last view."""
+        self._length += nbytes
 
     @property
     def buffered_bytes(self) -> int:
-        return len(self._buffer) - self._consumed
+        return self._length - self._consumed
 
     def frames(self) -> Iterator[memoryview]:
         """Yield every complete PDU currently buffered, as memoryviews."""
         self._reclaim()
-        while len(self._buffer) - self._consumed >= FRAME_PREFIX_BYTES:
+        while self._length - self._consumed >= FRAME_PREFIX_BYTES:
             length = frame_length(self._buffer, self.max_bytes, offset=self._consumed)
             start = self._consumed + FRAME_PREFIX_BYTES
             end = start + length
-            if len(self._buffer) < end:
+            if self._length < end:
                 return
             whole = memoryview(self._buffer)
             frame = whole[start:end]

@@ -27,6 +27,24 @@ command/response payload. On the send side the ``encode_*_parts``
 variants return the PDU as ``[header segment, payload]`` buffers for
 ``StreamWriter.writelines``, so large payloads are never concatenated
 into a fresh PDU bytestring just to be written.
+
+Wire format v2 (binary header PR): the JSON header costs real CPU on the
+hot path — for a 128-byte object the ~200-byte JSON header outweighs the
+payload. Version 2 replaces it with a fixed-width binary header packed by
+``struct``: magic + version byte, command/response kind, object ids,
+flags, sequence id, and the data-segment length. The rare fields the
+fixed header cannot carry (attribute keys/values, out-of-range integers)
+ride in an optional *extended header* — a length-prefixed JSON object
+gated by a flag bit — so ``SetAttr``/``GetAttr`` and pathological values
+keep exact round-trip fidelity without taxing the common case.
+
+Both versions coexist on one stream: every valid v1 PDU begins with the
+``0x00`` byte of its 4-byte big-endian header length (the header limit is
+64 KiB), while every v2 PDU begins with the magic byte ``0xB2`` — so the
+decoders auto-detect the version per PDU and old and new peers
+interoperate. Encoders default to v1 (the format the committed property
+tests pin); the service layer negotiates v2 per connection and passes
+``version=WIRE_V2`` explicitly.
 """
 
 from __future__ import annotations
@@ -47,6 +65,9 @@ __all__ = [
     "CommandPdu",
     "MAX_HEADER_BYTES",
     "MAX_PDU_BYTES",
+    "V2_MAGIC",
+    "WIRE_V1",
+    "WIRE_V2",
     "decode_command",
     "decode_command_pdu",
     "decode_response",
@@ -55,6 +76,8 @@ __all__ = [
     "encode_command_parts",
     "encode_response",
     "encode_response_parts",
+    "pdu_version",
+    "salvage_seq",
 ]
 
 #: Anything the decode paths and vectored send paths accept in place of
@@ -70,6 +93,57 @@ MAX_HEADER_BYTES = 64 * 1024
 #: Hard ceiling on a whole PDU (header + data segment). Caps both what an
 #: encoder will produce and what a decoder/server will buffer per request.
 MAX_PDU_BYTES = 64 * 1024 * 1024
+
+#: Wire format versions. v1 is the JSON-header format; v2 is the binary
+#: fixed-width header. Encoders default to v1; decoders auto-detect.
+WIRE_V1 = 1
+WIRE_V2 = 2
+
+#: First byte of every v2 PDU. A v1 PDU starts with the most significant
+#: byte of its 4-byte header length, which the 64 KiB header limit pins to
+#: ``0x00`` — so one byte disambiguates the versions.
+V2_MAGIC = 0xB2
+
+#: ``kind`` byte marking a v2 response PDU; command PDUs carry their
+#: opcode (all < 0x80) in the same slot.
+_V2_RESPONSE_KIND = 0x80
+
+_V2_PREFIX = struct.Struct(">BBBB")
+#: v2 command fixed header: magic, version, opcode, flags, seq, retry,
+#: pid, oid, aux (op-specific: update offset / write class_id / create
+#: kind index), data length. 44 bytes.
+_V2_COMMAND = struct.Struct(">BBBBQIQQqI")
+#: v2 response fixed header: magic, version, kind, flags, seq, sense
+#: (signed — FAIL is -1), elapsed, chunks read/written, bytes
+#: read/written, data length. 50 bytes.
+_V2_RESPONSE = struct.Struct(">BBBBQhdIIQQI")
+#: Length prefix of the optional extended JSON header.
+_V2_EXT_LEN = struct.Struct(">H")
+_V2_MAX_EXT_BYTES = 0xFFFF
+
+#: Flag bits shared by both PDU kinds.
+_V2_FLAG_EXT = 0x01  # extended JSON header follows the fixed header
+_V2_FLAG_SEQ = 0x02  # seq field is meaningful (None otherwise)
+#: Command-only: the aux field carries a Write class_id.
+_V2_FLAG_AUX = 0x04
+#: Response-only.
+_V2_FLAG_PAYLOAD = 0x04
+_V2_FLAG_DEGRADED = 0x08
+
+_V2_OPCODES = {
+    "create_partition": 0x01,
+    "create": 0x02,
+    "write": 0x03,
+    "update": 0x04,
+    "read": 0x05,
+    "remove": 0x06,
+    "set_attr": 0x07,
+    "get_attr": 0x08,
+    "list": 0x09,
+}
+_V2_OPS = {code: op for op, code in _V2_OPCODES.items()}
+_V2_KINDS = tuple(ObjectKind)
+_V2_KIND_INDEX = {kind.value: index for index, kind in enumerate(_V2_KINDS)}
 
 
 def _pack_parts(
@@ -99,12 +173,6 @@ def _pack_parts(
     if len(data):
         parts.append(data)
     return parts
-
-
-def _pack(
-    header: Dict[str, Any], data: Buffer = b"", seq: Optional[int] = None
-) -> bytes:
-    return b"".join(_pack_parts(header, data, seq))
 
 
 def _unpack(pdu: Buffer) -> Tuple[Dict[str, Any], Buffer]:
@@ -167,12 +235,276 @@ def _object_id_from(header: Dict[str, Any]) -> ObjectId:
 
 
 # ----------------------------------------------------------------------
+# Wire v2: binary fixed-width headers
+# ----------------------------------------------------------------------
+def pdu_version(pdu: Buffer) -> int:
+    """Report the wire version of a PDU from its first byte."""
+    if not len(pdu):
+        raise WireError("truncated PDU: empty")
+    return WIRE_V2 if pdu[0] == V2_MAGIC else WIRE_V1
+
+
+def _fit_u64(value: int, ext: Dict[str, Any], key: str) -> int:
+    """Pack ``value`` into an unsigned 64-bit field, spilling to ``ext``.
+
+    Out-of-range values ride the extended JSON header under their v1 key
+    and override the (zeroed) fixed field on decode — exact round-trip
+    fidelity at any magnitude, zero cost in the common case.
+    """
+    if 0 <= value < 1 << 64:
+        return value
+    ext[key] = value
+    return 0
+
+
+def _fit_u32(value: int, ext: Dict[str, Any], key: str) -> int:
+    if 0 <= value < 1 << 32:
+        return value
+    ext[key] = value
+    return 0
+
+
+def _fit_i64(value: int, ext: Dict[str, Any], key: str) -> int:
+    if -(1 << 63) <= value < 1 << 63:
+        return value
+    ext[key] = value
+    return 0
+
+
+def _fit_i16(value: int, ext: Dict[str, Any], key: str) -> int:
+    if -(1 << 15) <= value < 1 << 15:
+        return value
+    ext[key] = value
+    return 0
+
+
+def _v2_assemble(head: bytes, ext: Dict[str, Any], data: Buffer) -> List[Buffer]:
+    """Append the optional extended header and enforce size limits."""
+    if ext:
+        ext_bytes = json.dumps(
+            ext, sort_keys=True, separators=(",", ":")
+        ).encode("ascii")
+        if len(ext_bytes) > _V2_MAX_EXT_BYTES:
+            raise WireError(
+                f"v2 extended header of {len(ext_bytes)} bytes exceeds the "
+                f"{_V2_MAX_EXT_BYTES}-byte limit"
+            )
+        head = head + _V2_EXT_LEN.pack(len(ext_bytes)) + ext_bytes
+    total = len(head) + len(data)
+    if total > MAX_PDU_BYTES:
+        raise WireError(
+            f"PDU of {total} bytes exceeds the {MAX_PDU_BYTES}-byte limit"
+        )
+    parts: List[Buffer] = [head]
+    if len(data):
+        parts.append(data)
+    return parts
+
+
+def _pack_v2_command_parts(
+    header: Dict[str, Any], data: Buffer, seq: Optional[int]
+) -> List[Buffer]:
+    """Serialize a command envelope with the v2 binary header."""
+    op = header["op"]
+    opcode = _V2_OPCODES.get(op)
+    if opcode is None:
+        raise WireError(f"cannot encode command op {op!r} as wire v2")
+    ext: Dict[str, Any] = {}
+    flags = 0
+    seq_field = 0
+    if seq is not None:
+        flags |= _V2_FLAG_SEQ
+        seq_field = _fit_u64(int(seq), ext, "seq")
+    retry = _fit_u32(int(header.get("retry", 0)), ext, "retry")
+    pid = oid = aux = 0
+    if op in ("create_partition", "list"):
+        pid = _fit_u64(int(header["partition"]), ext, "partition")
+    else:
+        pid = _fit_u64(int(header["pid"]), ext, "pid")
+        oid = _fit_u64(int(header["oid"]), ext, "oid")
+    if op == "create":
+        index = _V2_KIND_INDEX.get(header.get("kind"))
+        if index is None:
+            ext["kind"] = header.get("kind")
+        else:
+            aux = index
+    elif op == "write":
+        class_id = header.get("class_id")
+        if class_id is not None:
+            flags |= _V2_FLAG_AUX
+            aux = _fit_i64(int(class_id), ext, "class_id")
+    elif op == "update":
+        aux = _fit_i64(int(header["offset"]), ext, "offset")
+    elif op == "set_attr":
+        ext["key"] = header["key"]
+        ext["value"] = header["value"]
+    elif op == "get_attr":
+        ext["key"] = header["key"]
+    if ext:
+        flags |= _V2_FLAG_EXT
+    head = _V2_COMMAND.pack(
+        V2_MAGIC, WIRE_V2, opcode, flags,
+        seq_field, retry, pid, oid, aux, len(data),
+    )
+    return _v2_assemble(head, ext, data)
+
+
+def _pack_v2_response_parts(
+    response: OsdResponse, seq: Optional[int]
+) -> List[Buffer]:
+    """Serialize a response with the v2 binary header."""
+    ext: Dict[str, Any] = {}
+    flags = 0
+    seq_field = 0
+    if seq is not None:
+        flags |= _V2_FLAG_SEQ
+        seq_field = _fit_u64(int(seq), ext, "seq")
+    io = response.io
+    data: Buffer = response.payload or b""
+    if response.payload is not None:
+        flags |= _V2_FLAG_PAYLOAD
+    if io.degraded:
+        flags |= _V2_FLAG_DEGRADED
+    sense = _fit_i16(int(response.sense), ext, "sense")
+    chunks_read = _fit_u32(io.chunks_read, ext, "chunks_read")
+    chunks_written = _fit_u32(io.chunks_written, ext, "chunks_written")
+    bytes_read = _fit_u64(io.bytes_read, ext, "bytes_read")
+    bytes_written = _fit_u64(io.bytes_written, ext, "bytes_written")
+    if ext:
+        flags |= _V2_FLAG_EXT
+    head = _V2_RESPONSE.pack(
+        V2_MAGIC, WIRE_V2, _V2_RESPONSE_KIND, flags,
+        seq_field, sense, io.elapsed,
+        chunks_read, chunks_written, bytes_read, bytes_written, len(data),
+    )
+    return _v2_assemble(head, ext, data)
+
+
+def _decode_v2(pdu: Buffer) -> Tuple[int, Dict[str, Any], Buffer]:
+    """Parse a v2 PDU into ``(kind byte, header dict, data segment)``.
+
+    The header dict uses the same keys as the v1 JSON header, so both
+    versions share the envelope→object construction code below.
+    """
+    if len(pdu) > MAX_PDU_BYTES:
+        raise WireError(
+            f"PDU of {len(pdu)} bytes exceeds the {MAX_PDU_BYTES}-byte limit"
+        )
+    if len(pdu) < _V2_PREFIX.size:
+        raise WireError("truncated PDU: missing v2 fixed header")
+    magic, version, kind, flags = _V2_PREFIX.unpack_from(pdu)
+    if magic != V2_MAGIC:
+        raise WireError(f"bad v2 magic byte 0x{magic:02x}")
+    if version != WIRE_V2:
+        raise WireError(f"unsupported wire version {version}")
+    header: Dict[str, Any]
+    if kind == _V2_RESPONSE_KIND:
+        layout = _V2_RESPONSE
+        if len(pdu) < layout.size:
+            raise WireError("truncated PDU: v2 response header cut short")
+        fields = layout.unpack_from(pdu)
+        seq_field = fields[4]
+        header = {
+            "sense": fields[5],
+            "elapsed": fields[6],
+            "chunks_read": fields[7],
+            "chunks_written": fields[8],
+            "bytes_read": fields[9],
+            "bytes_written": fields[10],
+            "degraded": bool(flags & _V2_FLAG_DEGRADED),
+            "has_payload": bool(flags & _V2_FLAG_PAYLOAD),
+        }
+        data_length = fields[11]
+    else:
+        op = _V2_OPS.get(kind)
+        if op is None:
+            raise WireError(f"unknown v2 command opcode 0x{kind:02x}")
+        layout = _V2_COMMAND
+        if len(pdu) < layout.size:
+            raise WireError("truncated PDU: v2 command header cut short")
+        _, _, _, _, seq_field, retry, pid, oid, aux, data_length = (
+            layout.unpack_from(pdu)
+        )
+        header = {"op": op}
+        if retry:
+            header["retry"] = retry
+        if op in ("create_partition", "list"):
+            header["partition"] = pid
+        else:
+            header["pid"] = pid
+            header["oid"] = oid
+        if op == "create":
+            header["_kind_index"] = aux
+        elif op == "write" and flags & _V2_FLAG_AUX:
+            header["class_id"] = aux
+        elif op == "update":
+            header["offset"] = aux
+    if flags & _V2_FLAG_SEQ:
+        header["seq"] = seq_field
+    offset = layout.size
+    if flags & _V2_FLAG_EXT:
+        if len(pdu) < offset + _V2_EXT_LEN.size:
+            raise WireError("truncated PDU: missing v2 extended header length")
+        (ext_length,) = _V2_EXT_LEN.unpack_from(pdu, offset)
+        offset += _V2_EXT_LEN.size
+        if len(pdu) < offset + ext_length:
+            raise WireError(
+                "truncated PDU: v2 extended header shorter than declared"
+            )
+        try:
+            ext = json.loads(bytes(pdu[offset : offset + ext_length]).decode("ascii"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise WireError(f"malformed v2 extended header: {exc}") from None
+        if not isinstance(ext, dict):
+            raise WireError(
+                f"v2 extended header must be a JSON object, got {type(ext).__name__}"
+            )
+        offset += ext_length
+        header.update(ext)
+    kind_index = header.pop("_kind_index", None)
+    if kind_index is not None and "kind" not in header:
+        if not 0 <= kind_index < len(_V2_KINDS):
+            raise WireError(f"unknown v2 object kind index {kind_index}")
+        header["kind"] = _V2_KINDS[kind_index].value
+    data = pdu[offset:]
+    if len(data) != data_length:
+        raise WireError(
+            f"v2 data segment of {len(data)} bytes does not match the "
+            f"declared {data_length}"
+        )
+    return kind, header, data
+
+
+def salvage_seq(pdu: Buffer) -> Optional[int]:
+    """Best-effort sequence id recovery from a PDU of either version.
+
+    A server that cannot decode a PDU still wants to address its failure
+    reply, so the client's pending request fails fast instead of timing
+    out. Returns ``None`` when no sequence id can be recovered.
+    """
+    try:
+        if len(pdu) >= _V2_PREFIX.size and pdu[0] == V2_MAGIC:
+            layout = (
+                _V2_RESPONSE if pdu[2] == _V2_RESPONSE_KIND else _V2_COMMAND
+            )
+            if not (pdu[3] & _V2_FLAG_SEQ) or len(pdu) < layout.size:
+                return None
+            return int(layout.unpack_from(pdu)[4])
+        header, _ = _unpack(pdu)
+        return _seq_of(header)
+    except WireError:
+        return None
+
+
+# ----------------------------------------------------------------------
 # Commands
 # ----------------------------------------------------------------------
 def encode_command(
     command: commands.OsdCommand,
     seq: Optional[int] = None,
     retry: int = 0,
+    *,
+    version: int = WIRE_V1,
 ) -> bytes:
     """Serialize a command to its PDU.
 
@@ -182,14 +514,21 @@ def encode_command(
             the matching response so it can be demultiplexed.
         retry: retransmission attempt number (0 = first send). Lets the
             server count retried commands in its service stats.
+        version: wire format version — :data:`WIRE_V1` (JSON header,
+            default) or :data:`WIRE_V2` (binary header).
     """
-    return _pack(*_command_envelope(command, retry), seq=seq)
+    return b"".join(
+        bytes(part)
+        for part in encode_command_parts(command, seq, retry, version=version)
+    )
 
 
 def encode_command_parts(
     command: commands.OsdCommand,
     seq: Optional[int] = None,
     retry: int = 0,
+    *,
+    version: int = WIRE_V1,
 ) -> List[Buffer]:
     """Serialize a command as ``[header segment, payload]`` buffers.
 
@@ -197,6 +536,10 @@ def encode_command_parts(
     rides along un-copied, for ``writelines``-style send paths.
     """
     header, data = _command_envelope(command, retry)
+    if version == WIRE_V2:
+        return _pack_v2_command_parts(header, data, seq)
+    if version != WIRE_V1:
+        raise WireError(f"unsupported wire version {version!r}")
     return _pack_parts(header, data, seq=seq)
 
 
@@ -250,15 +593,25 @@ class CommandPdu(NamedTuple):
     seq: Optional[int]
     retry: int
     command: commands.OsdCommand
+    version: int = WIRE_V1
 
 
 def decode_command_pdu(pdu: Buffer) -> CommandPdu:
-    """Parse a command PDU into its ``(seq, retry, command)`` envelope."""
-    header, data = _unpack(pdu)
+    """Parse a command PDU into its ``(seq, retry, command, version)``
+    envelope. The wire version is auto-detected per PDU, letting a server
+    negotiate per connection from the first command it sees."""
+    if len(pdu) and pdu[0] == V2_MAGIC:
+        kind, header, data = _decode_v2(pdu)
+        if kind == _V2_RESPONSE_KIND:
+            raise WireError("expected a command PDU, got a v2 response")
+        version = WIRE_V2
+    else:
+        header, data = _unpack(pdu)
+        version = WIRE_V1
     seq = _seq_of(header)
     try:
         retry = int(header.get("retry", 0))
-        return CommandPdu(seq, retry, _command_from(header, data))
+        return CommandPdu(seq, retry, _command_from(header, data), version)
     except (KeyError, TypeError, ValueError) as exc:
         raise WireError(f"malformed command PDU: {exc!r}") from None
 
@@ -300,17 +653,28 @@ def _command_from(header: Dict[str, Any], data: Buffer) -> commands.OsdCommand:
 # ----------------------------------------------------------------------
 # Responses
 # ----------------------------------------------------------------------
-def encode_response(response: OsdResponse, seq: Optional[int] = None) -> bytes:
+def encode_response(
+    response: OsdResponse,
+    seq: Optional[int] = None,
+    *,
+    version: int = WIRE_V1,
+) -> bytes:
     """Serialize a response to its PDU (sense + io summary + payload).
 
     ``seq`` echoes the request's sequence id so pipelined connections can
     match out-of-order responses to in-flight requests.
     """
-    return _pack(_response_header(response), response.payload or b"", seq=seq)
+    return b"".join(
+        bytes(part)
+        for part in encode_response_parts(response, seq, version=version)
+    )
 
 
 def encode_response_parts(
-    response: OsdResponse, seq: Optional[int] = None
+    response: OsdResponse,
+    seq: Optional[int] = None,
+    *,
+    version: int = WIRE_V1,
 ) -> List[Buffer]:
     """Serialize a response as ``[header segment, payload]`` buffers.
 
@@ -318,6 +682,10 @@ def encode_response_parts(
     written straight from the object store's bytes, never copied into a
     concatenated PDU.
     """
+    if version == WIRE_V2:
+        return _pack_v2_response_parts(response, seq)
+    if version != WIRE_V1:
+        raise WireError(f"unsupported wire version {version!r}")
     return _pack_parts(_response_header(response), response.payload or b"", seq=seq)
 
 
@@ -340,8 +708,16 @@ def decode_response(pdu: Buffer) -> OsdResponse:
 
 
 def decode_response_pdu(pdu: Buffer) -> Tuple[Optional[int], OsdResponse]:
-    """Parse a response PDU; returns ``(sequence id or None, response)``."""
-    header, data = _unpack(pdu)
+    """Parse a response PDU; returns ``(sequence id or None, response)``.
+
+    The wire version is auto-detected per PDU from its first byte.
+    """
+    if len(pdu) and pdu[0] == V2_MAGIC:
+        kind, header, data = _decode_v2(pdu)
+        if kind != _V2_RESPONSE_KIND:
+            raise WireError("expected a response PDU, got a v2 command")
+    else:
+        header, data = _unpack(pdu)
     seq = _seq_of(header)
     try:
         sense = SenseCode(int(header["sense"]))

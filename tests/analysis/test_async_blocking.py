@@ -234,6 +234,103 @@ def test_drain_loop_suppressed_with_allow_tag(lint):
     assert lint.rule_ids() == []
 
 
+def test_sleep_in_protocol_callback_fires(lint):
+    # Sync methods of asyncio.Protocol subclasses ARE event-loop context:
+    # the loop invokes data_received/buffer_updated directly.
+    lint.write(
+        "net/bad_protocol.py",
+        """
+        import asyncio
+        import time
+
+        class Conn(asyncio.BufferedProtocol):
+            def buffer_updated(self, nbytes):
+                time.sleep(0.1)
+        """,
+    )
+    findings = lint.run()
+    assert [f.rule_id for f in findings] == ["async-blocking"]
+    assert findings[0].symbol == "Conn.buffer_updated"
+    assert "asyncio.sleep" in findings[0].message
+
+
+def test_blocking_io_in_streaming_protocol_fires(lint):
+    lint.write(
+        "net/bad_protocol_io.py",
+        """
+        from asyncio import Protocol
+
+        class Conn(Protocol):
+            def data_received(self, data):
+                with open("/tmp/log") as handle:
+                    handle.write(data)
+        """,
+    )
+    findings = lint.run()
+    assert [f.rule_id for f in findings] == ["async-blocking"]
+    assert "open()" in findings[0].message
+
+
+def test_unawaited_self_coroutine_in_protocol_callback_fires(lint):
+    lint.write(
+        "net/bad_protocol_coro.py",
+        """
+        import asyncio
+
+        class Conn(asyncio.BufferedProtocol):
+            async def drain(self):
+                return None
+
+            def eof_received(self):
+                self.drain()
+                return False
+        """,
+    )
+    findings = lint.run()
+    assert [f.symbol for f in findings] == ["Conn.eof_received"]
+    assert "never awaited" in findings[0].message
+
+
+def test_clean_protocol_callbacks_are_quiet(lint):
+    lint.write(
+        "net/good_protocol.py",
+        """
+        import asyncio
+
+        class Conn(asyncio.BufferedProtocol):
+            def connection_made(self, transport):
+                self.transport = transport
+
+            def buffer_updated(self, nbytes):
+                self.task = asyncio.ensure_future(self.pump())
+
+            async def pump(self):
+                await asyncio.sleep(0)
+
+            def helper(self):
+                # Ordinary arithmetic and method calls stay legal.
+                return 2 + 2
+        """,
+    )
+    assert lint.rule_ids() == []
+
+
+def test_non_protocol_class_sync_methods_stay_quiet(lint):
+    # Only protocol subclasses get the callback treatment; a plain class
+    # with a blocking sync method is not the event loop's business.
+    lint.write(
+        "net/plain_class.py",
+        """
+        import time
+
+        class RetrySchedule:
+            def backoff(self):
+                time.sleep(0.1)
+        """,
+    )
+    assert lint.rule_ids() == []
+
+
 def test_drain_in_nested_def_not_charged_to_enclosing_loop(lint):
     # The nested coroutine runs per call, not per iteration of the loop
     # that happens to enclose its definition.
